@@ -1,0 +1,25 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one paper artifact: it computes the same rows
+or series the paper reports, prints them, and persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can quote measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a result table and persist it to benchmarks/results/."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    banner = f"===== {name} ====="
+    print(f"\n{banner}\n{text}")
+    path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,44 @@
+"""Fig. 14: registration errors, Base vs CS vs CS+DT (A-LOAM / KITTI).
+
+Paper setting: LiDAR clouds split serially into 4 chunks, deadline at 25%
+of a full traversal; the techniques add ~0.01% translational error and no
+rotational error.  We run the from-scratch odometry over a simulated
+sequence under each variant.
+"""
+
+from repro.datasets import ScannerConfig, make_kitti_sequence
+from repro.registration import compare_registration_variants
+from repro.registration.features import FeatureConfig
+
+from _common import emit
+
+
+def _run():
+    sequence = make_kitti_sequence(
+        n_scans=5, seed=0, step=0.3,
+        config=ScannerConfig(n_azimuth=240, n_beams=8))
+    return compare_registration_variants(
+        sequence, n_chunks=4, deadline_fraction=0.25,
+        feature_config=FeatureConfig(half_window=4, n_edge_per_ring=10,
+                                     n_planar_per_ring=24))
+
+
+def test_bench_fig14(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = ["variant  trans_err[m]  rot_err[rad]  rel_drift"]
+    for name in ("Base", "CS", "CS+DT"):
+        errs = results[name]
+        lines.append(
+            f"{name:7s}  {errs['mean_translation_error']:.4f}        "
+            f"{errs['mean_rotation_error']:.5f}      "
+            f"{errs['relative_drift']:.4f}")
+    extra_t = (results["CS+DT"]["mean_translation_error"]
+               - results["Base"]["mean_translation_error"])
+    lines.append(f"CS+DT extra translational error vs Base: {extra_t:+.4f} m")
+    lines.append("paper shape: marginal extra error from CS/CS+DT")
+    emit("fig14_accuracy_registration", lines)
+
+    base = results["Base"]["mean_translation_error"]
+    for variant in ("CS", "CS+DT"):
+        assert results[variant]["mean_translation_error"] < base + 0.5

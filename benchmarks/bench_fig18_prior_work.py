@@ -1,0 +1,64 @@
+"""Fig. 18: speedup and normalised energy against prior accelerators.
+
+All designs get 256 PEs and comparable on-chip storage.  Paper factors:
+classification/segmentation — 1.4x over PointAcc, 2.4x over Mesorasi,
+1.2x over Base+$; registration — 30.4x over QuickNN, 28.9x over Tigris,
+13.1x over Base+$; rendering — 1.9x over GSCore.  The reproduction targets
+the ordering and rough magnitudes.
+"""
+
+from repro.pipelines import build_pipeline
+from repro.sim import evaluate_accelerators, evaluate_all_variants
+
+from _common import emit
+
+PIPELINES = (
+    ("classification", {"n_points": 1024}),
+    ("segmentation", {"n_points": 1024}),
+    ("registration", {"n_scan_points": 4096}),
+    ("rendering", {"n_gaussians": 16384}),
+)
+
+
+def _run():
+    results = {}
+    for name, kwargs in PIPELINES:
+        spec = build_pipeline(name, **kwargs)
+        variants = evaluate_all_variants(spec.graph, spec.workload)
+        priors = evaluate_accelerators(spec.hardware_baselines,
+                                       spec.workload)
+        results[name] = (variants, priors)
+    return results
+
+
+def test_bench_fig18(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = ["pipeline        comparator  speedup(CS+DT)  "
+             "energy_saving(CS+DT)"]
+    speedups = []
+    for name, (variants, priors) in results.items():
+        csdt = variants["CS+DT"]
+        rows = {"Base+$": variants["Base+$"]}
+        rows.update(priors)
+        for comp_name, comp in rows.items():
+            speedup = comp.cycles / csdt.cycles
+            saving = 1 - csdt.energy_pj / comp.energy_pj
+            if comp_name != "Base+$":
+                speedups.append(speedup)
+            lines.append(f"{name:14s}  {comp_name:9s}  "
+                         f"{speedup:>13.2f}x  {saving:>19.1%}")
+    mean_speedup = sum(speedups) / len(speedups)
+    lines.append(f"mean speedup over prior accelerators: "
+                 f"{mean_speedup:.1f}x (paper: 10.0x, energy 3.9x)")
+    emit("fig18_prior_work", lines)
+
+    # Who-wins checks per domain.
+    cls_variants, cls_priors = results["classification"]
+    assert cls_priors["PointAcc"].cycles > cls_variants["CS+DT"].cycles
+    assert cls_priors["Mesorasi"].cycles > cls_priors["PointAcc"].cycles
+    reg_variants, reg_priors = results["registration"]
+    assert (reg_priors["QuickNN"].cycles
+            / reg_variants["CS+DT"].cycles) > 5.0
+    ren_variants, ren_priors = results["rendering"]
+    assert ren_priors["GSCore"].cycles > ren_variants["CS+DT"].cycles

@@ -1,0 +1,57 @@
+"""Tbl. 2: the benchmark suite — four domains, their pipelines, and the
+global-dependent operation each one carries.
+
+This bench builds every pipeline (measuring its workload on the real
+substrates) and regenerates the table, plus the ILP/constraint-pruning
+statistics (Sec. 5.2: the pruned formulation replaces the >100K dense
+constraints with a handful per edge).
+"""
+
+from repro.optimizer import (
+    build_problem,
+    count_dense_constraints,
+    count_pruned_constraints,
+    optimize_buffers,
+)
+from repro.pipelines import build_pipeline
+
+from _common import emit
+
+PIPELINES = (
+    ("classification", {"n_points": 1024}, "Range Search"),
+    ("segmentation", {"n_points": 1024}, "Range Search"),
+    ("registration", {"n_scan_points": 2048}, "kNN Search"),
+    ("rendering", {"n_gaussians": 8192}, "Sorting"),
+)
+
+
+def _build_all():
+    return {name: build_pipeline(name, **kwargs)
+            for name, kwargs, _ in PIPELINES}
+
+
+def test_bench_table2(benchmark):
+    specs = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+
+    lines = ["pipeline        global_op     n_points  windows  "
+             "dense_constraints  pruned  ilp_buffer[KiB]"]
+    for name, _, global_op_name in PIPELINES:
+        spec = specs[name]
+        inst = spec.graph.instantiate(spec.workload.window_points)
+        problem = build_problem(inst)
+        schedule = optimize_buffers(inst)
+        lines.append(
+            f"{name:14s}  {global_op_name:12s}  "
+            f"{spec.workload.n_points:>8d}  "
+            f"{spec.workload.n_windows:>7d}  "
+            f"{count_dense_constraints(inst):>17d}  "
+            f"{count_pruned_constraints(problem):>6d}  "
+            f"{schedule.total_buffer_bytes / 1024:>15.1f}")
+    emit("table2_suite", lines)
+
+    for name, _, _ in PIPELINES:
+        spec = specs[name]
+        inst = spec.graph.instantiate(spec.workload.window_points)
+        problem = build_problem(inst)
+        assert (count_pruned_constraints(problem)
+                < count_dense_constraints(inst))

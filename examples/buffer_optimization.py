@@ -1,0 +1,49 @@
+"""Line-buffer optimization across all four application pipelines.
+
+Builds each Tbl. 2 pipeline, runs the ILP on the unsplit and windowed
+instantiations, and prints the Fig. 17-style buffer comparison plus the
+constraint-pruning statistics.
+
+Run:  python examples/buffer_optimization.py
+"""
+
+from repro.optimizer import (
+    build_problem,
+    count_dense_constraints,
+    count_pruned_constraints,
+)
+from repro.pipelines import build_pipeline
+from repro.sim.variants import pipeline_buffer_bytes
+
+PIPELINES = (
+    ("classification", {"n_points": 1024}),
+    ("segmentation", {"n_points": 1024}),
+    ("registration", {"n_scan_points": 2048}),
+    ("rendering", {"n_gaussians": 8192}),
+)
+
+
+def main() -> None:
+    print(f"{'pipeline':14s} {'Base[KiB]':>10s} {'CS[KiB]':>9s} "
+          f"{'CS+DT[KiB]':>11s} {'reduction':>9s} {'dense':>7s} "
+          f"{'pruned':>6s}")
+    for name, kwargs in PIPELINES:
+        spec = build_pipeline(name, **kwargs)
+        base = pipeline_buffer_bytes(spec.graph, spec.workload,
+                                     False, False)
+        cs = pipeline_buffer_bytes(spec.graph, spec.workload, True, False)
+        csdt = pipeline_buffer_bytes(spec.graph, spec.workload,
+                                     True, True)
+        inst = spec.graph.instantiate(spec.workload.window_points)
+        dense = count_dense_constraints(inst)
+        pruned = count_pruned_constraints(build_problem(inst))
+        print(f"{name:14s} {base / 1024:>10.1f} {cs / 1024:>9.1f} "
+              f"{csdt / 1024:>11.1f} {1 - csdt / base:>9.1%} "
+              f"{dense:>7d} {pruned:>6d}")
+    print("\npaper shape (Fig. 17a): ~72% mean buffer reduction; "
+          "constraint pruning shrinks >100K constraints to a handful "
+          "per edge (Sec. 5.2)")
+
+
+if __name__ == "__main__":
+    main()

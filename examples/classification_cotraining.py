@@ -1,0 +1,63 @@
+"""Co-training PointNet++ with StreamGrid behaviours (Sec. 4.3, Fig. 16).
+
+Trains the from-scratch PointNet++ classifier twice — once with canonical
+search (no co-training) and once with windowed, step-capped search in the
+forward pass (co-training) — then evaluates both under an aggressive
+deployment split to show co-training rescuing accuracy.
+
+Run:  python examples/classification_cotraining.py
+"""
+
+import numpy as np
+
+from repro.core import StreamGridConfig, TerminationConfig
+from repro.core.cotraining import baseline_config
+from repro.core.splitting import splitting_for_chunks
+from repro.datasets import make_modelnet
+from repro.nn import (
+    ClassifierSpec,
+    SALevelSpec,
+    evaluate_classifier,
+    train_classifier,
+)
+
+
+def main() -> None:
+    classes = ("sphere", "box", "plane", "cross")
+    dataset = make_modelnet(8, n_points=96, class_names=classes, seed=0)
+    train, test = dataset.split(0.6, np.random.default_rng(1))
+    print(f"dataset: {len(train)} train / {len(test)} test clouds, "
+          f"{len(classes)} classes")
+
+    spec = ClassifierSpec(sa1=SALevelSpec(24, 0.45, 12),
+                          sa2=SALevelSpec(8, 0.9, 6))
+    deploy = StreamGridConfig(
+        splitting=splitting_for_chunks(16, kernel_width=1),
+        termination=TerminationConfig(profile_queries=8),
+        use_splitting=True, use_termination=True)
+    print(f"deployment config: {deploy.splitting.n_windows} independent "
+          "chunk windows + profiled deadline (aggressive)")
+
+    print("\ntraining WITHOUT co-training (canonical search)...")
+    plain = train_classifier(train, baseline_config(), epochs=15,
+                             lr=0.003, seed=0, spec=spec)
+    print("training WITH co-training (deployment search in the loop)...")
+    cotrained = train_classifier(train, deploy, epochs=15, lr=0.003,
+                                 seed=0, spec=spec)
+
+    rows = [
+        ("plain model, exact search", evaluate_classifier(plain, test)),
+        ("plain model, deployed CS+DT",
+         evaluate_classifier(plain, test, deploy)),
+        ("co-trained model, deployed CS+DT",
+         evaluate_classifier(cotrained, test, deploy)),
+    ]
+    print(f"\n{'setting':36s} accuracy")
+    for name, acc in rows:
+        print(f"{name:36s} {acc:.3f}")
+    print("\npaper shape (Fig. 16): deployment without co-training drops "
+          "accuracy; co-training restores it")
+
+
+if __name__ == "__main__":
+    main()

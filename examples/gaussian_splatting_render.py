@@ -1,0 +1,32 @@
+"""3D Gaussian Splatting with global vs. chunked (hierarchical) sorting.
+
+Renders a synthetic scene with the exact depth sort and with compulsory
+splitting's chunked sort, reporting PSNR and sorting cost — the Fig. 15
+experiment in miniature.
+
+Run:  python examples/gaussian_splatting_render.py
+"""
+
+from repro.datasets import scene_by_name
+from repro.splatting import PinholeCamera, compare_rendering
+
+
+def main() -> None:
+    camera = PinholeCamera(64, 64, 60.0)
+    for scene_name in ("tank_temple_like", "deep_blending_like"):
+        scene = scene_by_name(scene_name, seed=0)
+        report = compare_rendering(scene, camera, grid_shape=(4, 4, 6))
+        print(f"scene {scene_name}: {len(scene)} gaussians")
+        print(f"  CS image vs exact sort: {report['psnr_cs_db']:.2f} dB "
+              f"PSNR ({report['inversions']} residual depth inversions)")
+        print(f"  sort comparators: {report['comparators_base']} -> "
+              f"{report['comparators_cs']} "
+              f"({report['comparators_cs'] / report['comparators_base']:.1%})")
+        print(f"  sorter buffer:    {report['buffer_base']} -> "
+              f"{report['buffer_cs']} elements")
+    print("\npaper shape (Fig. 15): ~0.1 dB quality cost for a bounded, "
+          "far cheaper sort")
+
+
+if __name__ == "__main__":
+    main()

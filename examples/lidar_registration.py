@@ -1,0 +1,46 @@
+"""LiDAR odometry (A-LOAM-style) under Base / CS / CS+DT.
+
+Simulates a short drive through a synthetic urban canyon, runs
+scan-to-scan odometry with each variant's correspondence search, and
+reports the Fig. 14 error metrics.
+
+Run:  python examples/lidar_registration.py
+"""
+
+from repro.datasets import ScannerConfig, make_kitti_sequence
+from repro.registration import (
+    compare_registration_variants,
+    feature_clouds_summary,
+)
+from repro.registration.features import FeatureConfig
+
+
+def main() -> None:
+    sequence = make_kitti_sequence(
+        n_scans=5, seed=0, step=0.3,
+        config=ScannerConfig(n_azimuth=240, n_beams=8))
+    summary = feature_clouds_summary(sequence.scans[0])
+    print(f"sequence: {len(sequence)} scans, first scan "
+          f"{summary['n_points']} points -> {summary['n_edges']} edge + "
+          f"{summary['n_planes']} planar features")
+
+    results = compare_registration_variants(
+        sequence, n_chunks=4, deadline_fraction=0.25,
+        feature_config=FeatureConfig(half_window=4, n_edge_per_ring=10,
+                                     n_planar_per_ring=24))
+
+    print(f"\n{'variant':8s} {'trans err [m]':>14s} {'rot err [rad]':>14s}"
+          f" {'rel drift':>10s}")
+    for name in ("Base", "CS", "CS+DT"):
+        errs = results[name]
+        print(f"{name:8s} {errs['mean_translation_error']:>14.4f} "
+              f"{errs['mean_rotation_error']:>14.5f} "
+              f"{errs['relative_drift']:>10.4f}")
+    extra = (results["CS+DT"]["mean_translation_error"]
+             - results["Base"]["mean_translation_error"])
+    print(f"\nCS+DT adds {extra:+.4f} m translational error over Base "
+          "(paper: ~0.01% extra, no rotational loss)")
+
+
+if __name__ == "__main__":
+    main()

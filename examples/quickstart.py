@@ -1,0 +1,74 @@
+"""Quickstart: the StreamGrid flow end to end in ~60 lines.
+
+1. Build a point-cloud pipeline as an abstract dataflow graph (Sec. 6).
+2. Apply compulsory splitting + deterministic termination to its
+   global-dependent search (Sec. 4).
+3. Optimize the line buffers with the ILP (Sec. 5) and verify the
+   schedule streams stall-free at cycle granularity.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CompulsorySplitter,
+    SplittingConfig,
+    TerminationConfig,
+    TerminationPolicy,
+)
+from repro.dataflow import DataflowGraph, global_op, sink, source, stencil
+from repro.datasets import make_lidar_cloud
+from repro.optimizer import extend_to_chunks, optimize_buffers
+from repro.sim import simulate_streaming
+
+
+def main() -> None:
+    # --- a real point cloud and a real global-dependent operation -----
+    cloud = make_lidar_cloud(n_points=1024, seed=0)
+    print(f"simulated LiDAR cloud: {len(cloud)} points")
+
+    splitting = SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1))
+    splitter = CompulsorySplitter(cloud.positions, splitting)
+    print(f"compulsory splitting: {splitter.n_chunks} chunks, "
+          f"{splitter.n_windows} stencil windows, worst window holds "
+          f"{splitter.max_window_points()} of {len(cloud)} points")
+
+    policy = TerminationPolicy(TerminationConfig(deadline_fraction=0.25))
+    deadline = policy.calibrate(cloud.positions, k=16)
+    print(f"deterministic termination: profiled "
+          f"{policy.profile.describe()}; deadline = {deadline} steps")
+
+    result = splitter.knn(cloud.positions[10], k=16, max_steps=deadline)
+    print(f"windowed + capped kNN: {len(result.indices)} neighbours in "
+          f"{result.steps} steps (terminated={result.terminated})")
+
+    # --- describe the pipeline abstractly (the Fig. 12 example) -------
+    graph = DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        global_op("knn_search", i_shape=(1, 3), o_shape=(4, 3),
+                  i_freq=1, o_freq=8, reuse=(1, 1), stage=8),
+        stencil("curvature", i_shape=(1, 3), o_shape=(1, 1), stage=2,
+                reuse=(2, 1)),
+        sink("drain", i_shape=(1, 1)),
+    ])
+
+    # --- optimize line buffers for one chunk window -------------------
+    window_points = splitter.max_window_points()
+    schedule = optimize_buffers(graph.instantiate(window_points))
+    print("\n" + schedule.summary())
+
+    # --- extend over all windows and verify stall-free streaming ------
+    multi = extend_to_chunks(schedule, splitter.n_windows)
+    report = simulate_streaming(schedule, n_chunks=splitter.n_windows)
+    print(f"\nmulti-chunk: {splitter.n_windows} windows, II = "
+          f"{multi.initiation_interval:.0f} cycles, makespan = "
+          f"{multi.makespan:.0f} cycles")
+    print(f"cycle-level replay: stall_free={report.stall_free}, DRAM "
+          f"traffic = {report.dram_traffic_bytes / 1024:.1f} KiB "
+          "(input + output only — no intermediate off-chip traffic)")
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=3, suppress=True)
+    main()

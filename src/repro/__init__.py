@@ -1,0 +1,30 @@
+"""StreamGrid reproduction: streaming point cloud analytics.
+
+A from-scratch Python implementation of *StreamGrid: Streaming Point Cloud
+Analytics via Compulsory Splitting and Deterministic Termination*
+(ASPLOS 2025).  See README.md for a tour and DESIGN.md for the system
+inventory.
+"""
+
+from repro.core import (
+    CompulsorySplitter,
+    GroupingContext,
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+    TerminationPolicy,
+)
+from repro.pointcloud import PointCloud
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PointCloud",
+    "SplittingConfig",
+    "TerminationConfig",
+    "StreamGridConfig",
+    "CompulsorySplitter",
+    "TerminationPolicy",
+    "GroupingContext",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""The paper's primary contribution: splitting, termination, streaming."""
+
+from repro.core.config import (
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+)
+from repro.core.cotraining import (
+    GroupingContext,
+    baseline_config,
+    cs_config,
+    cs_dt_config,
+)
+from repro.core.extensions import (
+    RecallCalibration,
+    RecallTargetPolicy,
+    balanced_partition,
+    partition_balance,
+)
+from repro.core.splitting import (
+    CompulsorySplitter,
+    count_accessed_chunks,
+    naive_partition,
+    splitting_for_chunks,
+)
+from repro.core.streaming import (
+    ChunkPipelineModel,
+    StreamSchedule,
+    StreamStage,
+    peak_buffered_elements,
+    pointnet_fig8_pipeline,
+)
+from repro.core.termination import (
+    StepProfile,
+    TerminationPolicy,
+    apply_deadline,
+    profile_step_distribution,
+)
+
+__all__ = [
+    "SplittingConfig",
+    "TerminationConfig",
+    "StreamGridConfig",
+    "GroupingContext",
+    "baseline_config",
+    "cs_config",
+    "cs_dt_config",
+    "CompulsorySplitter",
+    "count_accessed_chunks",
+    "naive_partition",
+    "splitting_for_chunks",
+    "ChunkPipelineModel",
+    "StreamStage",
+    "StreamSchedule",
+    "peak_buffered_elements",
+    "pointnet_fig8_pipeline",
+    "StepProfile",
+    "TerminationPolicy",
+    "apply_deadline",
+    "profile_step_distribution",
+    "RecallCalibration",
+    "RecallTargetPolicy",
+    "balanced_partition",
+    "partition_balance",
+]

@@ -1,0 +1,134 @@
+"""Configuration objects for the two StreamGrid techniques.
+
+The paper's evaluation settings map directly onto these dataclasses:
+
+* classification / segmentation — ``SplittingConfig(shape=(3, 3, 1),
+  kernel=(2, 2, 1))`` ("equivalent to partitioning into 4 chunks") and
+  ``TerminationConfig(deadline_fraction=0.25)``.
+* registration — serial splitting into 4 chunks, same deadline fraction.
+* 3DGS — a dense spatial grid with stride 1 and no termination (no
+  non-deterministic ops in the 3DGS pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SplittingConfig:
+    """Compulsory-splitting parameters (Sec. 4.1).
+
+    ``mode`` selects how the cloud is partitioned:
+
+    * ``"spatial"`` — spatially even ``shape`` grid over the bounding box
+      (CAD-derived clouds);
+    * ``"serial"`` — even contiguous runs in point arrival order
+      (LiDAR clouds), using ``shape[0]`` chunks and ``kernel[0]`` window.
+    """
+
+    shape: Tuple[int, int, int] = (3, 3, 1)
+    kernel: Tuple[int, int, int] = (2, 2, 1)
+    stride: Tuple[int, int, int] = (1, 1, 1)
+    mode: str = "spatial"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("spatial", "serial"):
+            raise ValidationError(
+                f"mode must be 'spatial' or 'serial', got {self.mode!r}"
+            )
+        for name, tup in (("shape", self.shape), ("kernel", self.kernel),
+                          ("stride", self.stride)):
+            if len(tup) != 3 or any(int(v) <= 0 for v in tup):
+                raise ValidationError(
+                    f"{name} must be three positive ints, got {tup}"
+                )
+        if any(k > s for k, s in zip(self.kernel, self.shape)):
+            raise ValidationError(
+                f"kernel {self.kernel} does not fit in grid {self.shape}"
+            )
+
+    @property
+    def n_chunks(self) -> int:
+        """Total chunk count of the partition."""
+        if self.mode == "serial":
+            return self.shape[0]
+        sx, sy, sz = self.shape
+        return sx * sy * sz
+
+    @property
+    def n_windows(self) -> int:
+        """Number of stencil windows the global ops iterate over."""
+        if self.mode == "serial":
+            return (self.shape[0] - self.kernel[0]) // self.stride[0] + 1
+        return _prod((g - k) // s + 1 for g, k, s in
+                     zip(self.shape, self.kernel, self.stride))
+
+    @property
+    def equivalent_chunks(self) -> int:
+        """The paper's "equivalent to partitioning into N chunks" count.
+
+        A grid of shape g with kernel k and stride s gives the same window
+        count as naive splitting into ``n_windows`` chunks.
+        """
+        return self.n_windows
+
+
+@dataclass(frozen=True)
+class TerminationConfig:
+    """Deterministic-termination parameters (Sec. 4.2).
+
+    ``deadline_fraction`` scales the profiled full-traversal step count
+    (the paper uses 1/4); ``deadline_steps`` pins an absolute deadline and
+    overrides the fraction when set.
+    """
+
+    deadline_fraction: float = 0.25
+    deadline_steps: Optional[int] = None
+    profile_queries: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.deadline_fraction <= 1.0:
+            raise ValidationError(
+                "deadline_fraction must lie in (0, 1], got "
+                f"{self.deadline_fraction}"
+            )
+        if self.deadline_steps is not None and self.deadline_steps <= 0:
+            raise ValidationError("deadline_steps must be positive")
+        if self.profile_queries <= 0:
+            raise ValidationError("profile_queries must be positive")
+
+
+@dataclass(frozen=True)
+class StreamGridConfig:
+    """Bundle of both techniques plus the variant switches of Sec. 7.
+
+    ``use_splitting`` / ``use_termination`` map onto the paper's variants:
+    Base (False/False), CS (True/False), CS+DT (True/True).
+    """
+
+    splitting: SplittingConfig = field(default_factory=SplittingConfig)
+    termination: TerminationConfig = field(default_factory=TerminationConfig)
+    use_splitting: bool = True
+    use_termination: bool = True
+
+    @property
+    def variant_name(self) -> str:
+        """Paper-style variant label."""
+        if self.use_splitting and self.use_termination:
+            return "CS+DT"
+        if self.use_splitting:
+            return "CS"
+        if self.use_termination:
+            return "DT"
+        return "Base"
+
+
+def _prod(values) -> int:
+    result = 1
+    for value in values:
+        result *= int(value)
+    return result

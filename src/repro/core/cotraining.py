@@ -1,0 +1,134 @@
+"""Integrated co-training hooks (paper Sec. 4.3).
+
+Co-training means the *training-time* forward pass performs neighbour
+search exactly the way the deployed accelerator will: windowed over chunks
+(compulsory splitting) and step-capped (deterministic termination).  The
+searches only *select indices* — gradients flow through the local ops that
+consume the gathered points, never through the selection itself, which is
+why non-differentiability is harmless (paper Fig. 10).
+
+:class:`GroupingContext` packages both behaviours behind two calls
+(:meth:`ball_group`, :meth:`knn_group`) that the PointNet++ layers in
+:mod:`repro.nn.pointnet2` consume.  Building a context per cloud mirrors
+the per-sample preprocessing of the training loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import StreamGridConfig
+from repro.core.splitting import CompulsorySplitter
+from repro.core.termination import TerminationPolicy
+from repro.errors import ValidationError
+from repro.spatial.kdtree import KDTree
+
+
+class GroupingContext:
+    """Per-cloud neighbour-search context honouring a StreamGrid config."""
+
+    def __init__(self, positions: np.ndarray, config: StreamGridConfig,
+                 calibration_k: int = 8,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValidationError("positions must be (N, 3)")
+        if len(positions) == 0:
+            raise ValidationError("cannot build a context on an empty cloud")
+        self.positions = positions
+        self.config = config
+        self._splitter: Optional[CompulsorySplitter] = None
+        self._tree: Optional[KDTree] = None
+        self._deadline: Optional[int] = None
+        if config.use_splitting:
+            self._splitter = CompulsorySplitter(positions, config.splitting)
+        else:
+            self._tree = KDTree(positions)
+        if config.use_termination:
+            policy = TerminationPolicy(config.termination)
+            policy.calibrate(positions, calibration_k,
+                             rng or np.random.default_rng(0))
+            self._deadline = policy.deadline
+
+    @property
+    def deadline(self) -> Optional[int]:
+        """Step deadline in force (None when DT is disabled)."""
+        return self._deadline
+
+    # ------------------------------------------------------------------
+    def ball_group(self, queries: np.ndarray, radius: float,
+                   max_results: int) -> List[np.ndarray]:
+        """Ball-query neighbour indices per query, padded by repetition.
+
+        Every query returns exactly ``max_results`` indices: real hits
+        first, then the first hit repeated (PointNet++ grouping semantics).
+        A query with no hits falls back to its nearest point so downstream
+        feature gathering always has support.
+        """
+        if radius <= 0:
+            raise ValidationError("radius must be positive")
+        if max_results <= 0:
+            raise ValidationError("max_results must be positive")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        groups: List[np.ndarray] = []
+        for query in queries:
+            if self._splitter is not None:
+                result = self._splitter.range(
+                    query, radius, max_steps=self._deadline,
+                    max_results=max_results)
+            else:
+                result = self._tree.range_search(
+                    query, radius, max_steps=self._deadline,
+                    max_results=max_results)
+            groups.append(self._pad(result.indices, max_results, query))
+        return groups
+
+    def knn_group(self, queries: np.ndarray, k: int) -> List[np.ndarray]:
+        """kNN neighbour indices per query, padded to exactly *k*."""
+        if k <= 0:
+            raise ValidationError("k must be positive")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        groups: List[np.ndarray] = []
+        for query in queries:
+            if self._splitter is not None:
+                result = self._splitter.knn(query, k,
+                                            max_steps=self._deadline)
+            else:
+                result = self._tree.knn(query, k, max_steps=self._deadline)
+            groups.append(self._pad(result.indices, k, query))
+        return groups
+
+    def _pad(self, indices: np.ndarray, size: int,
+             query: np.ndarray) -> np.ndarray:
+        if len(indices) == 0:
+            nearest = int(np.argmin(
+                np.linalg.norm(self.positions - query, axis=1)))
+            indices = np.array([nearest], dtype=np.int64)
+        if len(indices) >= size:
+            return indices[:size]
+        pad = np.full(size - len(indices), indices[0], dtype=np.int64)
+        return np.concatenate([indices, pad])
+
+
+def baseline_config() -> StreamGridConfig:
+    """The paper's **Base** variant: no splitting, no termination."""
+    return StreamGridConfig(use_splitting=False, use_termination=False)
+
+
+def cs_config(config: Optional[StreamGridConfig] = None) -> StreamGridConfig:
+    """The **CS** variant of a config (splitting only)."""
+    base = config or StreamGridConfig()
+    return StreamGridConfig(splitting=base.splitting,
+                            termination=base.termination,
+                            use_splitting=True, use_termination=False)
+
+
+def cs_dt_config(config: Optional[StreamGridConfig] = None
+                 ) -> StreamGridConfig:
+    """The **CS+DT** variant of a config (both techniques)."""
+    base = config or StreamGridConfig()
+    return StreamGridConfig(splitting=base.splitting,
+                            termination=base.termination,
+                            use_splitting=True, use_termination=True)

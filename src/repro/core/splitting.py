@@ -1,0 +1,175 @@
+"""Compulsory splitting (paper Sec. 4.1).
+
+The technique partitions a point cloud into chunks and lets each
+global-dependent operation see only a *stencil window* of chunks at a time,
+trading a bounded accuracy relaxation for bounded line buffers and
+chunk-level pipelining.  :class:`CompulsorySplitter` materialises the
+partition for a given cloud under a :class:`~repro.core.config.SplittingConfig`
+and serves windowed kNN / range searches through
+:class:`~repro.spatial.neighbors.ChunkedIndex`.
+
+``naive_partition`` builds the paper's strawman (fully independent chunks,
+kernel = 1), used by the Fig. 8 comparison and the co-training study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SplittingConfig
+from repro.errors import ValidationError
+from repro.spatial.grid import (
+    ChunkGrid,
+    ChunkWindow,
+    chunk_windows,
+    serial_chunks,
+    serial_windows,
+)
+from repro.spatial.kdtree import QueryResult
+from repro.spatial.neighbors import ChunkedIndex
+
+
+class CompulsorySplitter:
+    """A chunk partition of one cloud plus its windowed search index."""
+
+    def __init__(self, positions: np.ndarray,
+                 config: SplittingConfig) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValidationError("positions must be (N, 3)")
+        if len(positions) == 0:
+            raise ValidationError("cannot split an empty cloud")
+        self.positions = positions
+        self.config = config
+        if config.mode == "spatial":
+            self.grid: Optional[ChunkGrid] = ChunkGrid.fit(
+                positions, config.shape)
+            self.assignment = self.grid.assign(positions)
+            self.windows: List[ChunkWindow] = chunk_windows(
+                config.shape, config.kernel, config.stride)
+        else:
+            self.grid = None
+            n_chunks = min(config.shape[0], len(positions))
+            runs = serial_chunks(len(positions), n_chunks)
+            self.assignment = np.empty(len(positions), dtype=np.int64)
+            for chunk_id, run in enumerate(runs):
+                self.assignment[run] = chunk_id
+            kernel = min(config.kernel[0], n_chunks)
+            self.windows = serial_windows(n_chunks, kernel,
+                                          config.stride[0])
+        self.index = ChunkedIndex(positions, self.assignment, self.windows)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        return int(self.assignment.max()) + 1
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    def chunk_of_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Chunk id each query falls into (spatial) or nearest point's
+        chunk (serial)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if self.grid is not None:
+            return self.grid.assign(queries)
+        # Serial mode: a query inherits the chunk of its nearest point,
+        # matching the paper's LiDAR processing where queries are the
+        # points themselves.
+        chunks = np.empty(len(queries), dtype=np.int64)
+        for i, query in enumerate(queries):
+            nearest = int(np.argmin(
+                np.linalg.norm(self.positions - query, axis=1)))
+            chunks[i] = self.assignment[nearest]
+        return chunks
+
+    def knn(self, query: np.ndarray, k: int,
+            max_steps: Optional[int] = None,
+            query_chunk: Optional[int] = None) -> QueryResult:
+        """Windowed kNN for one query (indices into the original cloud)."""
+        if query_chunk is None:
+            query_chunk = int(self.chunk_of_queries(query)[0])
+        return self.index.query_knn(query, query_chunk, k,
+                                    max_steps=max_steps)
+
+    def range(self, query: np.ndarray, radius: float,
+              max_steps: Optional[int] = None,
+              max_results: Optional[int] = None,
+              query_chunk: Optional[int] = None) -> QueryResult:
+        """Windowed ball query for one query."""
+        if query_chunk is None:
+            query_chunk = int(self.chunk_of_queries(query)[0])
+        return self.index.query_range(query, query_chunk, radius,
+                                      max_steps=max_steps,
+                                      max_results=max_results)
+
+    def window_point_counts(self) -> np.ndarray:
+        """Points per window — the line-buffer working set of a global op."""
+        counts = np.zeros(len(self.windows), dtype=np.int64)
+        for widx, window in enumerate(self.windows):
+            counts[widx] = int(np.isin(
+                self.assignment, window.chunk_ids).sum())
+        return counts
+
+    def max_window_points(self) -> int:
+        """Worst-case window population: the buffer a windowed global op
+        must hold, versus the full cloud without splitting."""
+        return int(self.window_point_counts().max())
+
+
+def naive_partition(config: SplittingConfig) -> SplittingConfig:
+    """The paper's naive-splitting strawman: independent chunks.
+
+    Same chunk count, but kernel 1 — each window is a single chunk, so all
+    cross-chunk dependencies are severed (Fig. 8's accuracy-losing variant).
+    """
+    return SplittingConfig(shape=config.shape, kernel=(1, 1, 1),
+                           stride=(1, 1, 1), mode=config.mode)
+
+
+def splitting_for_chunks(n_chunks: int, mode: str = "spatial",
+                         kernel_width: int = 2) -> SplittingConfig:
+    """Build a config whose *equivalent* chunk count is ``n_chunks``.
+
+    Used by the sensitivity sweeps (Fig. 16 / Fig. 19) which vary the chunk
+    count directly.  For spatial mode this produces an
+    ``(n+kw-1) x 1 x 1``-style 1D grid with a width-``kernel_width`` kernel
+    so that the window count equals ``n_chunks``; ``n_chunks=1`` means no
+    splitting (a single window covering everything).
+    """
+    if n_chunks <= 0:
+        raise ValidationError("n_chunks must be positive")
+    if kernel_width <= 0:
+        raise ValidationError("kernel_width must be positive")
+    if n_chunks == 1:
+        return SplittingConfig(shape=(1, 1, 1), kernel=(1, 1, 1),
+                               stride=(1, 1, 1), mode=mode)
+    shape = (n_chunks + kernel_width - 1, 1, 1)
+    return SplittingConfig(shape=shape, kernel=(kernel_width, 1, 1),
+                           stride=(1, 1, 1), mode=mode)
+
+
+def count_accessed_chunks(positions: np.ndarray, queries: np.ndarray,
+                          k: int, grid_shape: Sequence[int]) -> np.ndarray:
+    """Fig. 6 measurement: chunks touched per query during full kNN.
+
+    Partitions *positions* into ``grid_shape`` chunks, runs a canonical
+    (unsplit, uncapped) kd-tree kNN per query with traversal tracing, and
+    counts the distinct chunks owning the visited tree nodes.
+    """
+    from repro.spatial.kdtree import KDTree  # local import to avoid cycle
+
+    positions = np.asarray(positions, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    grid = ChunkGrid.fit(positions, grid_shape)
+    assignment = grid.assign(positions)
+    tree = KDTree(positions)
+    counts = np.empty(len(queries), dtype=np.int64)
+    for i, query in enumerate(queries):
+        result = tree.knn(query, k, record_trace=True)
+        visited = tree.point_index[np.array(result.trace, dtype=np.int64)]
+        counts[i] = len(np.unique(assignment[visited]))
+    return counts

@@ -1,0 +1,168 @@
+"""Element-granularity streaming schedule model (paper Fig. 8).
+
+This small analytic model shows *why* compulsory splitting buys
+finer-grained pipelining, independent of the cycle-level simulator in
+:mod:`repro.sim`:
+
+* every stage streams at one element per cycle;
+* a **local**-dependent consumer may start one cycle after its producer
+  starts (line-buffer style);
+* a **global**-dependent consumer must wait for its producer to finish the
+  *whole* unit it depends on — the full cloud without splitting, or just
+  one chunk window with splitting;
+* a stage is busy: it processes its windows in order, one at a time.
+
+``schedule()`` returns per-(stage, window) start/end cycles and the
+makespan; the Fig. 8 contrast falls out by comparing ``n_windows=1``
+(original pipeline) against ``n_windows=N`` (split pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class StreamStage:
+    """One pipeline stage: a name, its dependency kind, and throughput.
+
+    ``kind`` is ``"local"`` or ``"global"``.  ``work_per_element`` scales
+    the stage's processing time (cycles per input element).
+    """
+
+    name: str
+    kind: str
+    work_per_element: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("local", "global"):
+            raise ValidationError(
+                f"stage kind must be 'local' or 'global', got {self.kind!r}"
+            )
+        if self.work_per_element <= 0:
+            raise ValidationError("work_per_element must be positive")
+
+
+@dataclass(frozen=True)
+class StreamSchedule:
+    """Computed schedule: ``start[s][w]`` / ``end[s][w]`` cycle arrays."""
+
+    stages: tuple
+    start: np.ndarray    # (n_stages, n_windows)
+    end: np.ndarray      # (n_stages, n_windows)
+
+    @property
+    def makespan(self) -> float:
+        return float(self.end.max())
+
+    def stage_span(self, stage_index: int) -> tuple:
+        """(first start, last end) of one stage."""
+        return (float(self.start[stage_index].min()),
+                float(self.end[stage_index].max()))
+
+
+class ChunkPipelineModel:
+    """Schedule a stage chain over ``n_windows`` chunk windows."""
+
+    def __init__(self, stages: Sequence[StreamStage]) -> None:
+        stages = list(stages)
+        if not stages:
+            raise ValidationError("need at least one stage")
+        self.stages = tuple(stages)
+
+    def schedule(self, n_windows: int,
+                 window_elements: int) -> StreamSchedule:
+        """Compute the streaming schedule.
+
+        ``window_elements`` is the element count of each window (the full
+        cloud size when ``n_windows == 1``).
+        """
+        if n_windows <= 0:
+            raise ValidationError("n_windows must be positive")
+        if window_elements <= 0:
+            raise ValidationError("window_elements must be positive")
+        n_stages = len(self.stages)
+        start = np.zeros((n_stages, n_windows))
+        end = np.zeros((n_stages, n_windows))
+        for s, stage in enumerate(self.stages):
+            duration = stage.work_per_element * window_elements
+            for w in range(n_windows):
+                earliest = 0.0
+                if s > 0:
+                    if stage.kind == "global":
+                        # Global consumer: whole producer window must exist.
+                        earliest = end[s - 1, w]
+                    else:
+                        # Local consumer: streams one cycle behind.
+                        earliest = start[s - 1, w] + 1.0
+                if w > 0:
+                    earliest = max(earliest, end[s, w - 1])
+                start[s, w] = earliest
+                end[s, w] = earliest + duration
+        return StreamSchedule(self.stages, start, end)
+
+    def makespan_unsplit(self, total_elements: int) -> float:
+        """Makespan of the original (one-window) pipeline."""
+        return self.schedule(1, total_elements).makespan
+
+    def makespan_split(self, n_windows: int,
+                       total_elements: int) -> float:
+        """Makespan with the cloud split into ``n_windows`` even windows."""
+        window = max(1, total_elements // n_windows)
+        return self.schedule(n_windows, window).makespan
+
+    def splitting_speedup(self, n_windows: int,
+                          total_elements: int) -> float:
+        """Fig. 8's headline: unsplit makespan / split makespan."""
+        return (self.makespan_unsplit(total_elements)
+                / self.makespan_split(n_windows, total_elements))
+
+
+def pointnet_fig8_pipeline() -> ChunkPipelineModel:
+    """The paper's Fig. 8 example: Scaling -> Range Search -> MLP."""
+    return ChunkPipelineModel([
+        StreamStage("scaling", "local"),
+        StreamStage("range_search", "global"),
+        StreamStage("mlp", "local"),
+    ])
+
+
+def peak_buffered_elements(schedule: StreamSchedule,
+                           window_elements: int) -> List[float]:
+    """Per line buffer, the peak element count implied by the schedule.
+
+    Producer stage *s* fills buffer *s* at one element per
+    ``work_per_element`` cycles; consumer *s+1* drains it likewise.  The
+    peak is evaluated at consumer window starts (the drain begins) and at
+    producer window ends — the same monotonicity argument the paper uses
+    to prune the ILP (Eqn. 8).
+    """
+    stages = schedule.stages
+    n_stages, n_windows = schedule.start.shape
+    peaks: List[float] = []
+    for s in range(n_stages - 1):
+        prod_rate = 1.0 / stages[s].work_per_element
+        cons_rate = 1.0 / stages[s + 1].work_per_element
+        peak = 0.0
+        # Candidate times: producer window ends and consumer window starts.
+        candidates = list(schedule.end[s]) + list(schedule.start[s + 1])
+        for t in candidates:
+            produced = 0.0
+            for w in range(n_windows):
+                begin, finish = schedule.start[s, w], schedule.end[s, w]
+                produced += prod_rate * float(
+                    np.clip(t - begin, 0.0, finish - begin))
+            consumed = 0.0
+            for w in range(n_windows):
+                begin, finish = (schedule.start[s + 1, w],
+                                 schedule.end[s + 1, w])
+                consumed += cons_rate * float(
+                    np.clip(t - begin, 0.0, finish - begin))
+            peak = max(peak, produced - consumed)
+        peaks.append(min(peak, float(n_windows * window_elements)))
+    return peaks

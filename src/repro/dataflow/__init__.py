@@ -1,0 +1,39 @@
+"""Abstract dataflow interface (paper Sec. 6) and graph analyses."""
+
+from repro.dataflow.analysis import (
+    AsapSchedule,
+    asap_schedule,
+    classify_edges,
+    communication_summary,
+    simulate_edge_occupancy,
+    unsplit_buffer_requirement,
+)
+from repro.dataflow.graph import DataflowGraph, Edge, InstantiatedGraph
+from repro.dataflow.ops import (
+    StageSpec,
+    elementwise,
+    global_op,
+    reduction,
+    sink,
+    source,
+    stencil,
+)
+
+__all__ = [
+    "AsapSchedule",
+    "asap_schedule",
+    "classify_edges",
+    "communication_summary",
+    "simulate_edge_occupancy",
+    "unsplit_buffer_requirement",
+    "DataflowGraph",
+    "Edge",
+    "InstantiatedGraph",
+    "StageSpec",
+    "elementwise",
+    "global_op",
+    "reduction",
+    "sink",
+    "source",
+    "stencil",
+]

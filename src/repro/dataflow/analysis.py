@@ -1,0 +1,186 @@
+"""Dependency and communication-pattern analysis of dataflow graphs.
+
+This module extracts what the optimizer needs from a user's graph
+(paper Fig. 1: "Comm. Patterns" and "Data Dependency" feed the ILP):
+
+* ASAP (as-soon-as-possible) schedules — the performance target the
+  buffer minimisation must preserve;
+* edge classification — local edges obey Eqn. 6, global edges Eqn. 7;
+* an occupancy simulator used to cross-check optimized buffer sizes
+  against the "dense" (unpruned) constraint set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.dataflow.graph import DataflowGraph, Edge, InstantiatedGraph
+from repro.errors import GraphError
+
+
+def classify_edges(graph: DataflowGraph) -> Dict[Edge, str]:
+    """Label each edge 'local' or 'global' by its *consumer*'s kind.
+
+    The dependency constraint form is chosen by whether the consumer needs
+    all producer output before starting (global) or can stream (local).
+    """
+    return {
+        edge: ("global" if graph.stage(edge.consumer).is_global
+               else "local")
+        for edge in graph.edges
+    }
+
+
+@dataclass
+class AsapSchedule:
+    """Earliest-start schedule: per-stage write-phase start cycles."""
+
+    write_start: Dict[str, float]
+    inst: InstantiatedGraph
+
+    def start(self, name: str) -> float:
+        """Stage start cycle (t_s = t_w - pipeline depth)."""
+        return self.write_start[name] - self.inst.graph.stage(name).stage
+
+    def write_end(self, name: str) -> float:
+        return self.write_start[name] + self.inst.write_duration(name)
+
+    def busy_end(self, name: str) -> float:
+        return self.write_start[name] + self.inst.busy_duration(name)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.busy_end(n) for n in self.write_start)
+
+
+def asap_schedule(inst: InstantiatedGraph) -> AsapSchedule:
+    """Compute the earliest feasible write-phase start of every stage.
+
+    Edge constraints (with ``t_w`` the write/consume phase start, ``D`` the
+    producer write duration, ``R`` the consumer read duration):
+
+    * local edge: ``t_w_c >= t_w_p`` and ``t_w_c >= t_w_p + D_p - R_c``
+      (the consumer may neither read ahead of production nor finish before
+      the producer finishes) — the endpoint form of Eqn. 6;
+    * global edge: ``t_w_c >= t_w_p + D_p`` (Eqn. 7).
+    """
+    graph = inst.graph
+    kinds = classify_edges(graph)
+    write_start: Dict[str, float] = {}
+    for name in graph.topological_order():
+        spec = graph.stage(name)
+        earliest = float(spec.stage)  # t_s >= 0 means t_w >= depth
+        for producer in graph.producers_of(name):
+            edge = Edge(producer, name)
+            d_p = inst.write_duration(producer)
+            if kinds[edge] == "global":
+                bound = write_start[producer] + d_p
+            else:
+                r_c = inst.read_duration(name)
+                bound = max(write_start[producer],
+                            write_start[producer] + d_p - r_c)
+            earliest = max(earliest, bound)
+        write_start[name] = earliest
+    return AsapSchedule(write_start, inst)
+
+
+def integer_asap_schedule(inst: InstantiatedGraph) -> AsapSchedule:
+    """ASAP schedule with write starts rounded up to whole cycles.
+
+    The rounded schedule satisfies every dependency constraint (rounding a
+    start upward only relaxes them), so its makespan is an
+    integer-feasible performance target for the ILP.
+    """
+    graph = inst.graph
+    kinds = classify_edges(graph)
+    write_start: Dict[str, float] = {}
+    for name in graph.topological_order():
+        spec = graph.stage(name)
+        earliest = float(spec.stage)
+        for producer in graph.producers_of(name):
+            edge = Edge(producer, name)
+            d_p = inst.write_duration(producer)
+            if kinds[edge] == "global":
+                bound = write_start[producer] + d_p
+            else:
+                r_c = inst.read_duration(name)
+                bound = max(write_start[producer],
+                            write_start[producer] + d_p - r_c)
+            earliest = max(earliest, bound)
+        write_start[name] = float(np.ceil(earliest - 1e-9))
+    return AsapSchedule(write_start, inst)
+
+
+def simulate_edge_occupancy(inst: InstantiatedGraph,
+                            write_start: Dict[str, float],
+                            overwrite_start: Dict[Edge, float],
+                            n_samples: int = 512) -> Dict[Edge, float]:
+    """Peak element occupancy of every edge buffer under a schedule.
+
+    Evaluates the *dense* occupancy form — production ramp clamped at the
+    total ``W_p`` minus the freed ramp — on a fine time grid plus all ramp
+    breakpoints.  This is the unpruned Eqn. 2 evaluated everywhere, used
+    to validate the pruned ILP (Eqn. 8) in tests.
+    """
+    if n_samples <= 1:
+        raise GraphError("n_samples must exceed 1")
+    graph = inst.graph
+    peaks: Dict[Edge, float] = {}
+    for edge in graph.edges:
+        producer, consumer = edge.producer, edge.consumer
+        tau_out = graph.stage(producer).tau_out
+        tau_in = graph.stage(consumer).tau_in
+        w_total = inst.w_out[producer]
+        t_w = write_start[producer]
+        t_e = t_w + inst.write_duration(producer)
+        t_o = overwrite_start[edge]
+        horizon = max(t_e, t_o + w_total / max(tau_in, 1e-12)) + 1.0
+        times = np.linspace(0.0, horizon, n_samples)
+        times = np.union1d(times, [t_w, t_e, t_o])
+        produced = np.clip((times - t_w) * tau_out, 0.0, w_total)
+        freed = np.clip((times - t_o) * tau_in, 0.0, w_total)
+        occupancy = np.maximum(produced - freed, 0.0)
+        peaks[edge] = float(occupancy.max())
+    return peaks
+
+
+def unsplit_buffer_requirement(inst: InstantiatedGraph) -> Dict[Edge, float]:
+    """Per-edge buffer elements of the **Base** line-buffer design.
+
+    Without compulsory splitting, a global consumer forces its input edge
+    to hold the producer's *entire* output (the paper's Sec. 3 argument
+    that global ops make line buffers unaffordable); local edges hold a
+    stencil-window-sized sliver (reuse factor x read shape).
+    """
+    graph = inst.graph
+    kinds = classify_edges(graph)
+    sizes: Dict[Edge, float] = {}
+    for edge in graph.edges:
+        if kinds[edge] == "global":
+            sizes[edge] = inst.w_out[edge.producer]
+        else:
+            spec = graph.stage(edge.consumer)
+            sizes[edge] = float(spec.i_shape[0] * spec.reuse_factor)
+    return sizes
+
+
+def communication_summary(inst: InstantiatedGraph) -> Dict[str, dict]:
+    """Per-stage communication pattern digest (rates, totals, durations)."""
+    graph = inst.graph
+    summary: Dict[str, dict] = {}
+    for name in graph.topological_order():
+        spec = graph.stage(name)
+        summary[name] = {
+            "kind": spec.kind,
+            "tau_in": spec.tau_in,
+            "tau_out": spec.tau_out,
+            "w_in": inst.w_in[name],
+            "w_out": inst.w_out[name],
+            "read_duration": inst.read_duration(name),
+            "write_duration": inst.write_duration(name),
+            "pipeline_depth": spec.stage,
+        }
+    return summary

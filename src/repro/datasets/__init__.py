@@ -1,0 +1,56 @@
+"""Procedural synthetic datasets for the four application domains."""
+
+from repro.datasets.gaussians import (
+    GaussianScene,
+    make_blob_scene,
+    make_layered_scene,
+    scene_by_name,
+)
+from repro.datasets.kitti import (
+    LidarSequence,
+    ScannerConfig,
+    World,
+    make_kitti_sequence,
+    make_lidar_cloud,
+    make_urban_world,
+    simulate_scan,
+    straight_trajectory,
+)
+from repro.datasets.modelnet import (
+    MODELNET10_CLASSES,
+    ClassificationDataset,
+    LabeledCloud,
+    make_modelnet,
+)
+from repro.datasets.shapenet import (
+    PART_NAMES,
+    SegmentationDataset,
+    SegmentedCloud,
+    make_shapenet,
+)
+from repro.datasets.shapes import SHAPE_SAMPLERS, sample_shape
+
+__all__ = [
+    "GaussianScene",
+    "make_blob_scene",
+    "make_layered_scene",
+    "scene_by_name",
+    "LidarSequence",
+    "ScannerConfig",
+    "World",
+    "make_kitti_sequence",
+    "make_lidar_cloud",
+    "make_urban_world",
+    "simulate_scan",
+    "straight_trajectory",
+    "MODELNET10_CLASSES",
+    "ClassificationDataset",
+    "LabeledCloud",
+    "make_modelnet",
+    "PART_NAMES",
+    "SegmentationDataset",
+    "SegmentedCloud",
+    "make_shapenet",
+    "SHAPE_SAMPLERS",
+    "sample_shape",
+]

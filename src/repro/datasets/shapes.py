@@ -1,0 +1,218 @@
+"""Parametric surface samplers used to build synthetic datasets.
+
+Each sampler draws ``n`` points from the surface of a canonical shape using
+an explicit :class:`numpy.random.Generator`, so datasets are reproducible.
+The shapes are distinguishable by geometry alone, which is what the
+classification experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.pointcloud.cloud import PointCloud
+
+
+def sample_sphere(n: int, rng: np.random.Generator,
+                  radius: float = 1.0) -> np.ndarray:
+    """Uniform points on a sphere surface."""
+    _check_n(n)
+    vec = rng.normal(size=(n, 3))
+    norms = np.linalg.norm(vec, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return radius * vec / norms
+
+
+def sample_box(n: int, rng: np.random.Generator,
+               half_extents=(1.0, 0.7, 0.5)) -> np.ndarray:
+    """Uniform points on the surface of an axis-aligned box."""
+    _check_n(n)
+    hx, hy, hz = half_extents
+    areas = np.array([hy * hz, hx * hz, hx * hy], dtype=np.float64)
+    face_axis = rng.choice(3, size=n, p=areas / areas.sum())
+    sign = rng.choice([-1.0, 1.0], size=n)
+    pts = rng.uniform(-1.0, 1.0, size=(n, 3)) * np.array([hx, hy, hz])
+    half = np.array([hx, hy, hz])
+    pts[np.arange(n), face_axis] = sign * half[face_axis]
+    return pts
+
+
+def sample_cylinder(n: int, rng: np.random.Generator, radius: float = 0.5,
+                    height: float = 2.0) -> np.ndarray:
+    """Points on a capped cylinder (side plus both end caps)."""
+    _check_n(n)
+    side_area = 2 * np.pi * radius * height
+    cap_area = np.pi * radius ** 2
+    total = side_area + 2 * cap_area
+    choices = rng.uniform(size=n)
+    pts = np.empty((n, 3))
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    on_side = choices < side_area / total
+    z_side = rng.uniform(-height / 2, height / 2, size=n)
+    pts[on_side, 0] = radius * np.cos(theta[on_side])
+    pts[on_side, 1] = radius * np.sin(theta[on_side])
+    pts[on_side, 2] = z_side[on_side]
+    on_cap = ~on_side
+    r_cap = radius * np.sqrt(rng.uniform(size=n))
+    cap_sign = np.where(choices > (side_area + cap_area) / total, 1.0, -1.0)
+    pts[on_cap, 0] = r_cap[on_cap] * np.cos(theta[on_cap])
+    pts[on_cap, 1] = r_cap[on_cap] * np.sin(theta[on_cap])
+    pts[on_cap, 2] = cap_sign[on_cap] * height / 2
+    return pts
+
+
+def sample_torus(n: int, rng: np.random.Generator, major: float = 1.0,
+                 minor: float = 0.3) -> np.ndarray:
+    """Points on a torus via rejection sampling for area-uniformity."""
+    _check_n(n)
+    pts = np.empty((n, 3))
+    filled = 0
+    while filled < n:
+        batch = max(n - filled, 64)
+        u = rng.uniform(0, 2 * np.pi, size=batch)
+        v = rng.uniform(0, 2 * np.pi, size=batch)
+        accept = rng.uniform(size=batch) < (
+            (major + minor * np.cos(v)) / (major + minor))
+        u, v = u[accept], v[accept]
+        take = min(len(u), n - filled)
+        u, v = u[:take], v[:take]
+        pts[filled:filled + take, 0] = (major + minor * np.cos(v)) * np.cos(u)
+        pts[filled:filled + take, 1] = (major + minor * np.cos(v)) * np.sin(u)
+        pts[filled:filled + take, 2] = minor * np.sin(v)
+        filled += take
+    return pts
+
+
+def sample_cone(n: int, rng: np.random.Generator, radius: float = 0.8,
+                height: float = 1.6) -> np.ndarray:
+    """Points on a cone surface (lateral surface plus base disc)."""
+    _check_n(n)
+    slant = float(np.hypot(radius, height))
+    lateral_area = np.pi * radius * slant
+    base_area = np.pi * radius ** 2
+    on_lateral = rng.uniform(size=n) < lateral_area / (lateral_area + base_area)
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    pts = np.empty((n, 3))
+    # Lateral surface: radius grows linearly from apex; sqrt for uniformity.
+    frac = np.sqrt(rng.uniform(size=n))
+    pts[on_lateral, 0] = radius * frac[on_lateral] * np.cos(theta[on_lateral])
+    pts[on_lateral, 1] = radius * frac[on_lateral] * np.sin(theta[on_lateral])
+    pts[on_lateral, 2] = height * (1.0 - frac[on_lateral]) - height / 2
+    base = ~on_lateral
+    r_base = radius * np.sqrt(rng.uniform(size=n))
+    pts[base, 0] = r_base[base] * np.cos(theta[base])
+    pts[base, 1] = r_base[base] * np.sin(theta[base])
+    pts[base, 2] = -height / 2
+    return pts
+
+
+def sample_plane(n: int, rng: np.random.Generator,
+                 half_extent: float = 1.2) -> np.ndarray:
+    """Points on a thin square plate in the XY plane."""
+    _check_n(n)
+    pts = np.empty((n, 3))
+    pts[:, :2] = rng.uniform(-half_extent, half_extent, size=(n, 2))
+    pts[:, 2] = rng.normal(0.0, 0.01, size=n)
+    return pts
+
+
+def sample_helix(n: int, rng: np.random.Generator, radius: float = 0.8,
+                 pitch: float = 0.35, turns: float = 3.0) -> np.ndarray:
+    """Points scattered along a helical tube."""
+    _check_n(n)
+    t = rng.uniform(0, turns * 2 * np.pi, size=n)
+    tube = rng.normal(0.0, 0.05, size=(n, 3))
+    pts = np.stack([radius * np.cos(t), radius * np.sin(t),
+                    pitch * t / (2 * np.pi) - pitch * turns / 2], axis=1)
+    return pts + tube
+
+
+def sample_cross(n: int, rng: np.random.Generator,
+                 arm: float = 1.0, thickness: float = 0.18) -> np.ndarray:
+    """Points on a 3D plus-sign made of three orthogonal bars."""
+    _check_n(n)
+    axis = rng.choice(3, size=n)
+    pts = rng.uniform(-thickness, thickness, size=(n, 3))
+    along = rng.uniform(-arm, arm, size=n)
+    pts[np.arange(n), axis] = along
+    return pts
+
+
+def sample_pyramid(n: int, rng: np.random.Generator,
+                   base: float = 1.0, height: float = 1.4) -> np.ndarray:
+    """Points on a square pyramid (four triangular faces plus base)."""
+    _check_n(n)
+    pts = np.empty((n, 3))
+    face = rng.choice(5, size=n)
+    u = rng.uniform(size=n)
+    v = rng.uniform(size=n)
+    # Map (u, v) into each triangle via the standard fold.
+    fold = u + v > 1.0
+    u[fold], v[fold] = 1.0 - u[fold], 1.0 - v[fold]
+    apex = np.array([0.0, 0.0, height / 2])
+    corners = np.array([[base, base, -height / 2], [base, -base, -height / 2],
+                        [-base, -base, -height / 2], [-base, base, -height / 2]])
+    for f in range(4):
+        mask = face == f
+        a, b = corners[f], corners[(f + 1) % 4]
+        pts[mask] = (apex + u[mask, None] * (a - apex)
+                     + v[mask, None] * (b - apex))
+    mask = face == 4
+    pts[mask, 0] = rng.uniform(-base, base, size=mask.sum())
+    pts[mask, 1] = rng.uniform(-base, base, size=mask.sum())
+    pts[mask, 2] = -height / 2
+    return pts
+
+
+def sample_saddle(n: int, rng: np.random.Generator,
+                  half_extent: float = 1.0) -> np.ndarray:
+    """Points on a hyperbolic paraboloid z = x^2 - y^2."""
+    _check_n(n)
+    xy = rng.uniform(-half_extent, half_extent, size=(n, 2))
+    z = xy[:, 0] ** 2 - xy[:, 1] ** 2
+    return np.column_stack([xy, z])
+
+
+def sample_two_spheres(n: int, rng: np.random.Generator,
+                       separation: float = 1.4) -> np.ndarray:
+    """Two disjoint spheres: a bimodal geometry class."""
+    _check_n(n)
+    pts = sample_sphere(n, rng, radius=0.5)
+    offset = np.where(rng.uniform(size=n) < 0.5, -separation / 2,
+                      separation / 2)
+    pts[:, 0] += offset
+    return pts
+
+
+SHAPE_SAMPLERS: Dict[str, Callable[..., np.ndarray]] = {
+    "sphere": sample_sphere,
+    "box": sample_box,
+    "cylinder": sample_cylinder,
+    "torus": sample_torus,
+    "cone": sample_cone,
+    "plane": sample_plane,
+    "helix": sample_helix,
+    "cross": sample_cross,
+    "pyramid": sample_pyramid,
+    "saddle": sample_saddle,
+    "two_spheres": sample_two_spheres,
+}
+
+
+def sample_shape(name: str, n: int, rng: np.random.Generator) -> PointCloud:
+    """Sample *n* points from the named shape as a :class:`PointCloud`."""
+    try:
+        sampler = SHAPE_SAMPLERS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown shape {name!r}; available: {sorted(SHAPE_SAMPLERS)}"
+        ) from None
+    return PointCloud(sampler(n, rng))
+
+
+def _check_n(n: int) -> None:
+    if n <= 0:
+        raise DatasetError(f"number of points must be positive, got {n}")

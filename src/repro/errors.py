@@ -1,0 +1,31 @@
+"""Exception hierarchy for the StreamGrid reproduction.
+
+All library errors derive from :class:`StreamGridError` so callers can catch
+everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class StreamGridError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(StreamGridError, ValueError):
+    """An input value violates a documented precondition."""
+
+
+class GraphError(StreamGridError):
+    """A dataflow graph is malformed (cycles, dangling edges, bad params)."""
+
+
+class OptimizationError(StreamGridError):
+    """The line-buffer ILP is infeasible or the solver failed."""
+
+
+class SimulationError(StreamGridError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class DatasetError(StreamGridError):
+    """A synthetic dataset request cannot be satisfied."""

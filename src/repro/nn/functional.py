@@ -1,0 +1,53 @@
+"""Composite differentiable functions built on the Tensor engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn.tensor import Tensor
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along *axis*."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along *axis*."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of ``(N, C)`` logits against integer targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValidationError("logits must be (N, C)")
+    n, n_classes = logits.shape
+    if targets.shape != (n,):
+        raise ValidationError(
+            f"targets must have shape ({n},), got {targets.shape}"
+        )
+    if targets.size and (targets.min() < 0 or targets.max() >= n_classes):
+        raise ValidationError("target labels out of range")
+    log_probs = log_softmax(logits, axis=-1)
+    one_hot = np.zeros((n, n_classes))
+    one_hot[np.arange(n), targets] = 1.0
+    picked = log_probs * Tensor(one_hot)
+    return -picked.sum() * (1.0 / max(1, n))
+
+
+def accuracy_from_logits(logits: Tensor, targets: np.ndarray) -> float:
+    """Classification accuracy of ``(N, C)`` logits."""
+    predicted = np.argmax(logits.data, axis=-1)
+    targets = np.asarray(targets)
+    return float(np.mean(predicted == targets))
+
+
+def max_pool_groups(features: Tensor) -> Tensor:
+    """Max over the neighbour axis of ``(M, K, F)`` grouped features."""
+    if features.ndim != 3:
+        raise ValidationError("grouped features must be (M, K, F)")
+    return features.max(axis=1)

@@ -1,0 +1,173 @@
+"""Neural-network layers over the autograd Tensor."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class: parameter discovery and train/eval mode switching."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all trainable tensors, recursing into sub-modules."""
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Kaiming-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValidationError("feature counts must be positive")
+        rng = rng or np.random.default_rng(0)
+        bound = float(np.sqrt(6.0 / in_features))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class BatchNorm(Module):
+    """Normalisation over all axes but the last, with running stats.
+
+    With our batch-of-one training over point sets, normalising across
+    points plays the role PyTorch's BatchNorm1d plays in PointNet++.
+    """
+
+    def __init__(self, n_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        if n_features <= 0:
+            raise ValidationError("n_features must be positive")
+        if not 0.0 < momentum < 1.0:
+            raise ValidationError("momentum must lie in (0, 1)")
+        self.gamma = Tensor(np.ones(n_features), requires_grad=True)
+        self.beta = Tensor(np.zeros(n_features), requires_grad=True)
+        self.running_mean = np.zeros(n_features)
+        self.running_var = np.ones(n_features)
+        self.momentum = momentum
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.gamma.shape[0]:
+            raise ValidationError(
+                f"expected {self.gamma.shape[0]} features, got {x.shape[-1]}"
+            )
+        axes = tuple(range(x.ndim - 1))
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalised = (x - Tensor(mean)) * Tensor(inv_std)
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout (identity in eval mode)."""
+
+    def __init__(self, p: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValidationError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self.rng.uniform(size=x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, modules: Sequence[Module]) -> None:
+        super().__init__()
+        self.modules: List[Module] = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+def mlp(dims: Sequence[int], rng: Optional[np.random.Generator] = None,
+        batch_norm: bool = True, final_activation: bool = False
+        ) -> Sequential:
+    """Build ``Linear(+BN)+ReLU`` stacks from a dimension list."""
+    if len(dims) < 2:
+        raise ValidationError("mlp needs at least input and output dims")
+    rng = rng or np.random.default_rng(0)
+    modules: List[Module] = []
+    for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+        modules.append(Linear(d_in, d_out, rng=rng))
+        last = i == len(dims) - 2
+        if not last or final_activation:
+            if batch_norm:
+                modules.append(BatchNorm(d_out))
+            modules.append(ReLU())
+    return Sequential(modules)

@@ -1,0 +1,282 @@
+"""PointNet++-style networks whose grouping honours StreamGrid configs.
+
+The paper evaluates PointNet++(c) and PointNet++(s); both are hierarchies
+of *set abstraction* (SA) levels — farthest-point sampling, ball-query
+grouping, per-group MLP, max pooling — plus, for segmentation, *feature
+propagation* (FP) levels that interpolate coarse features back onto dense
+points via kNN.
+
+The ball queries and kNN are the global-dependent operations the paper
+modifies, so they run through :class:`~repro.core.cotraining.GroupingContext`,
+which applies compulsory splitting and deterministic termination exactly
+as configured.  Because the searches only produce integer indices, the
+*plan* of a forward pass (centroids, group indices, interpolation weights)
+is a pure function of (positions, config): planning is done once per cloud
+(:func:`plan_classifier`, :func:`plan_segmenter`) and reused across
+epochs, which is also how gradients bypass the non-differentiable ops
+(Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import StreamGridConfig
+from repro.core.cotraining import GroupingContext
+from repro.errors import ValidationError
+from repro.nn.functional import max_pool_groups
+from repro.nn.layers import Dropout, Linear, Module, mlp
+from repro.nn.tensor import Tensor, concat
+from repro.pointcloud.transforms import farthest_point_sample
+
+
+# ----------------------------------------------------------------------
+# Layer specs and plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SALevelSpec:
+    """Geometry of one set-abstraction level."""
+
+    n_centroids: int
+    radius: float
+    n_neighbors: int
+
+    def __post_init__(self) -> None:
+        if self.n_centroids <= 0 or self.n_neighbors <= 0:
+            raise ValidationError("centroid/neighbour counts must be > 0")
+        if self.radius <= 0:
+            raise ValidationError("radius must be positive")
+
+
+@dataclass
+class SAPlan:
+    """Precomputed grouping of one SA level for one cloud."""
+
+    centroid_indices: np.ndarray     # (M,)
+    group_indices: np.ndarray        # (M, K) into the level's input points
+    centroid_positions: np.ndarray   # (M, 3)
+    input_positions: np.ndarray      # (N_in, 3)
+
+
+@dataclass
+class FPPlan:
+    """Precomputed interpolation of one feature-propagation level."""
+
+    neighbor_indices: np.ndarray     # (N_dense, 3) into sparse points
+    weights: np.ndarray              # (N_dense, 3) inverse-distance weights
+
+
+def plan_sa_level(positions: np.ndarray, spec: SALevelSpec,
+                  config: StreamGridConfig) -> SAPlan:
+    """Sample centroids and ball-group under the StreamGrid config."""
+    positions = np.asarray(positions, dtype=np.float64)
+    n = len(positions)
+    n_centroids = min(spec.n_centroids, n)
+    centroid_idx = farthest_point_sample(positions, n_centroids)
+    centroids = positions[centroid_idx]
+    context = GroupingContext(positions, config,
+                              calibration_k=spec.n_neighbors)
+    groups = context.ball_group(centroids, spec.radius, spec.n_neighbors)
+    return SAPlan(centroid_idx, np.stack(groups), centroids, positions)
+
+
+def plan_fp_level(dense_positions: np.ndarray,
+                  sparse_positions: np.ndarray,
+                  config: StreamGridConfig, k: int = 3) -> FPPlan:
+    """kNN interpolation weights from sparse centroids to dense points."""
+    dense_positions = np.asarray(dense_positions, dtype=np.float64)
+    sparse_positions = np.asarray(sparse_positions, dtype=np.float64)
+    k = min(k, len(sparse_positions))
+    context = GroupingContext(sparse_positions, config, calibration_k=k)
+    groups = context.knn_group(dense_positions, k)
+    indices = np.stack(groups)
+    diffs = sparse_positions[indices] - dense_positions[:, None, :]
+    dists = np.linalg.norm(diffs, axis=-1)
+    inv = 1.0 / np.maximum(dists, 1e-8)
+    weights = inv / inv.sum(axis=1, keepdims=True)
+    return FPPlan(indices, weights)
+
+
+# ----------------------------------------------------------------------
+# Differentiable layers
+# ----------------------------------------------------------------------
+class SetAbstraction(Module):
+    """Grouping + shared MLP + max pooling for one SA level."""
+
+    def __init__(self, in_features: int, mlp_dims: List[int],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        # +3 for the relative coordinates concatenated to every neighbour.
+        self.mlp = mlp([in_features + 3] + list(mlp_dims), rng=rng,
+                       final_activation=True)
+
+    def forward(self, features: Optional[Tensor], plan: SAPlan) -> Tensor:
+        rel = (plan.input_positions[plan.group_indices]
+               - plan.centroid_positions[:, None, :])
+        rel_t = Tensor(rel)
+        if features is None:
+            # First level: absolute coordinates act as the input features
+            # (PointNet++'s use_xyz convention).
+            features = Tensor(plan.input_positions)
+        gathered = features.gather_rows(plan.group_indices)
+        grouped = concat([gathered, rel_t], axis=-1)
+        return max_pool_groups(self.mlp(grouped))
+
+
+class FeaturePropagation(Module):
+    """kNN interpolation + unit MLP for one FP level."""
+
+    def __init__(self, in_features: int, mlp_dims: List[int],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        # No BatchNorm here: normalising the concatenated skip features
+        # washes out the raw-coordinate channel the decoder relies on.
+        self.mlp = mlp([in_features] + list(mlp_dims), rng=rng,
+                       batch_norm=False, final_activation=True)
+
+    def forward(self, sparse_features: Tensor,
+                skip_features: Optional[Tensor], plan: FPPlan) -> Tensor:
+        gathered = sparse_features.gather_rows(plan.neighbor_indices)
+        weights = Tensor(plan.weights[:, :, None])
+        interpolated = (gathered * weights).sum(axis=1)
+        if skip_features is not None:
+            interpolated = concat([interpolated, skip_features], axis=-1)
+        return self.mlp(interpolated)
+
+
+# ----------------------------------------------------------------------
+# Classification model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClassifierSpec:
+    """Architecture of the PointNet++(c) reproduction."""
+
+    sa1: SALevelSpec = SALevelSpec(32, 0.35, 16)
+    sa2: SALevelSpec = SALevelSpec(8, 0.8, 8)
+    sa1_dims: tuple = (32, 32)
+    sa2_dims: tuple = (64, 64)
+    head_dims: tuple = (32,)
+    dropout: float = 0.2
+
+
+@dataclass
+class ClassifierPlan:
+    """All groupings of one cloud under one StreamGrid config."""
+
+    sa1: SAPlan
+    sa2: SAPlan
+
+
+def plan_classifier(positions: np.ndarray, config: StreamGridConfig,
+                    spec: Optional[ClassifierSpec] = None
+                    ) -> ClassifierPlan:
+    """Plan both SA levels for one cloud."""
+    spec = spec or ClassifierSpec()
+    sa1 = plan_sa_level(positions, spec.sa1, config)
+    sa2 = plan_sa_level(sa1.centroid_positions, spec.sa2, config)
+    return ClassifierPlan(sa1, sa2)
+
+
+class PointNet2Classifier(Module):
+    """Two SA levels, global max pool, MLP head -> class logits."""
+
+    def __init__(self, n_classes: int,
+                 spec: Optional[ClassifierSpec] = None,
+                 seed: int = 0) -> None:
+        super().__init__()
+        if n_classes <= 0:
+            raise ValidationError("n_classes must be positive")
+        self.spec = spec or ClassifierSpec()
+        rng = np.random.default_rng(seed)
+        self.sa1 = SetAbstraction(3, list(self.spec.sa1_dims), rng=rng)
+        self.sa2 = SetAbstraction(self.spec.sa1_dims[-1],
+                                  list(self.spec.sa2_dims), rng=rng)
+        self.dropout = Dropout(self.spec.dropout,
+                               rng=np.random.default_rng(seed + 1))
+        head_in = self.spec.sa2_dims[-1]
+        # The pooled global feature is a single row: BatchNorm over a
+        # batch of one would zero it, so the head runs without BN.
+        self.head = mlp([head_in] + list(self.spec.head_dims), rng=rng,
+                        batch_norm=False, final_activation=True)
+        self.logits = Linear(self.spec.head_dims[-1], n_classes, rng=rng)
+
+    def forward(self, plan: ClassifierPlan) -> Tensor:
+        f1 = self.sa1(None, plan.sa1)
+        f2 = self.sa2(f1, plan.sa2)
+        pooled = f2.max(axis=0, keepdims=True)
+        hidden = self.dropout(self.head(pooled))
+        return self.logits(hidden)
+
+
+# ----------------------------------------------------------------------
+# Segmentation model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SegmenterSpec:
+    """Architecture of the PointNet++(s) reproduction."""
+
+    sa1: SALevelSpec = SALevelSpec(48, 0.3, 12)
+    sa2: SALevelSpec = SALevelSpec(12, 0.7, 8)
+    sa1_dims: tuple = (32, 32)
+    sa2_dims: tuple = (64, 64)
+    fp2_dims: tuple = (64,)
+    fp1_dims: tuple = (32,)
+    interp_k: int = 3
+
+
+@dataclass
+class SegmenterPlan:
+    """All groupings/interpolations of one cloud under one config."""
+
+    sa1: SAPlan
+    sa2: SAPlan
+    fp2: FPPlan
+    fp1: FPPlan
+    positions: np.ndarray
+
+
+def plan_segmenter(positions: np.ndarray, config: StreamGridConfig,
+                   spec: Optional[SegmenterSpec] = None) -> SegmenterPlan:
+    """Plan both SA and both FP levels for one cloud."""
+    spec = spec or SegmenterSpec()
+    positions = np.asarray(positions, dtype=np.float64)
+    sa1 = plan_sa_level(positions, spec.sa1, config)
+    sa2 = plan_sa_level(sa1.centroid_positions, spec.sa2, config)
+    fp2 = plan_fp_level(sa1.centroid_positions, sa2.centroid_positions,
+                        config, k=spec.interp_k)
+    fp1 = plan_fp_level(positions, sa1.centroid_positions, config,
+                        k=spec.interp_k)
+    return SegmenterPlan(sa1, sa2, fp2, fp1, positions)
+
+
+class PointNet2Segmenter(Module):
+    """SA encoder + FP decoder -> per-point part logits."""
+
+    def __init__(self, n_parts: int,
+                 spec: Optional[SegmenterSpec] = None,
+                 seed: int = 0) -> None:
+        super().__init__()
+        if n_parts <= 0:
+            raise ValidationError("n_parts must be positive")
+        self.spec = spec or SegmenterSpec()
+        rng = np.random.default_rng(seed)
+        self.sa1 = SetAbstraction(3, list(self.spec.sa1_dims), rng=rng)
+        self.sa2 = SetAbstraction(self.spec.sa1_dims[-1],
+                                  list(self.spec.sa2_dims), rng=rng)
+        fp2_in = self.spec.sa2_dims[-1] + self.spec.sa1_dims[-1]
+        self.fp2 = FeaturePropagation(fp2_in, list(self.spec.fp2_dims),
+                                      rng=rng)
+        fp1_in = self.spec.fp2_dims[-1] + 3
+        self.fp1 = FeaturePropagation(fp1_in, list(self.spec.fp1_dims),
+                                      rng=rng)
+        self.logits = Linear(self.spec.fp1_dims[-1], n_parts, rng=rng)
+
+    def forward(self, plan: SegmenterPlan) -> Tensor:
+        f1 = self.sa1(None, plan.sa1)
+        f2 = self.sa2(f1, plan.sa2)
+        up2 = self.fp2(f2, f1, plan.fp2)
+        up1 = self.fp1(up2, Tensor(plan.positions), plan.fp1)
+        return self.logits(up1)

@@ -1,0 +1,353 @@
+"""A small reverse-mode autograd engine over NumPy arrays.
+
+Implements exactly the operator set PointNet++-style networks need:
+broadcasting arithmetic, matmul, ReLU/exp/log, axis reductions (sum, mean,
+max), reshape/transpose, row gathering (for neighbourhood grouping), and
+concatenation.  Gradients flow through these *local* operations only — the
+neighbour searches of :mod:`repro.core.cotraining` produce plain integer
+indices, which is how the paper sidesteps the non-differentiability of its
+two techniques (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum *grad* down to *shape*, inverting NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An array node in the autograd graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (do not mutate)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Reverse-mode sweep from this node."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValidationError(
+                    "backward() without a gradient requires a scalar"
+                )
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        grads = {id(self): np.asarray(grad, dtype=np.float64)}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if parent_grad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
+              backward) -> "Tensor":
+        out = Tensor(data)
+        if any(p.requires_grad or p._parents for p in parents):
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def _coerce(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad):
+            return [(self, _unbroadcast(grad, self.shape)),
+                    (other, _unbroadcast(grad, other.shape))]
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            return [(self, -grad)]
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad):
+            return [(self, _unbroadcast(grad * other.data, self.shape)),
+                    (other, _unbroadcast(grad * self.data, other.shape))]
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+
+        def backward(grad):
+            return [
+                (self, _unbroadcast(grad / other.data, self.shape)),
+                (other, _unbroadcast(-grad * self.data / other.data ** 2,
+                                     other.shape)),
+            ]
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+
+        def backward(grad):
+            return [(self,
+                     grad * exponent * self.data ** (exponent - 1.0))]
+
+        return self._make(self.data ** exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        if other.ndim != 2:
+            raise ValidationError("matmul right operand must be 2D")
+
+        def backward(grad):
+            grad_self = grad @ other.data.T
+            left = self.data.reshape(-1, self.data.shape[-1])
+            grad_other = left.T @ grad.reshape(-1, grad.shape[-1])
+            return [(self, grad_self), (other, grad_other)]
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Nonlinearities / elementwise
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad):
+            return [(self, grad * mask)]
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            return [(self, grad * out_data)]
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad):
+            return [(self, grad / self.data)]
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            return [(self, grad * (1.0 - out_data ** 2))]
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return [(self, np.broadcast_to(g, self.data.shape).copy())]
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        expanded = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == expanded
+        # Split ties evenly so the gradient stays well-defined.
+        mask = mask / mask.sum(axis=axis, keepdims=True)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            return [(self, mask * g)]
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape / indexing
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad):
+            return [(self, grad.reshape(original))]
+
+        return self._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            return [(self, grad.transpose(inverse))]
+
+        return self._make(self.data.transpose(axes), (self,), backward)
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Index rows along axis 0 with an integer array of any shape.
+
+        ``out[..., :] = self[indices[...], :]`` — the grouping gather of
+        PointNet++; the backward scatters gradients back with accumulation.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if self.ndim != 2:
+            raise ValidationError("gather_rows requires a 2D tensor")
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= self.shape[0]):
+            raise ValidationError("gather indices out of range")
+        out_data = self.data[indices]
+
+        def backward(grad):
+            grad_self = np.zeros_like(self.data)
+            flat_idx = indices.reshape(-1)
+            flat_grad = grad.reshape(-1, self.shape[1])
+            np.add.at(grad_self, flat_idx, flat_grad)
+            return [(self, grad_self)]
+
+        return self._make(out_data, (self,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along *axis* with gradient routing."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    if not tensors:
+        raise ValidationError("concat needs at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad):
+        pieces = np.split(grad, splits, axis=axis)
+        return list(zip(tensors, pieces))
+
+    out = Tensor(data)
+    if any(t.requires_grad or t._parents for t in tensors):
+        out._parents = tuple(tensors)
+        out._backward = backward
+    return out
+
+
+def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
+    """Stack 1D/2D tensors along a new axis 0."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.stack([t.data for t in tensors])
+
+    def backward(grad):
+        return [(t, grad[i]) for i, t in enumerate(tensors)]
+
+    out = Tensor(data)
+    if any(t.requires_grad or t._parents for t in tensors):
+        out._parents = tuple(tensors)
+        out._backward = backward
+    return out

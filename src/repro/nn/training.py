@@ -1,0 +1,209 @@
+"""Training loops with integrated co-training (paper Sec. 4.3, Fig. 16).
+
+``train_classifier`` / ``train_segmenter`` train the PointNet++ models with
+grouping plans generated under a *training* StreamGrid config; evaluation
+functions re-plan under an arbitrary *deployment* config.  Co-training is
+then simply: train-config == deploy-config.  The Fig. 16 study trains with
+the Base config ("w/o co-training") or the deployment config ("w/
+co-training") and evaluates both under increasing chunk counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import StreamGridConfig
+from repro.datasets.modelnet import ClassificationDataset
+from repro.datasets.shapenet import SegmentationDataset
+from repro.errors import ValidationError
+from repro.nn.functional import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.pointnet2 import (
+    ClassifierSpec,
+    PointNet2Classifier,
+    PointNet2Segmenter,
+    SegmenterSpec,
+    plan_classifier,
+    plan_segmenter,
+)
+from repro.pointcloud.metrics import mean_iou, overall_accuracy
+
+
+@dataclass
+class TrainHistory:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_metric: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ClassifierRun:
+    """A trained classifier plus its training history."""
+
+    model: PointNet2Classifier
+    history: TrainHistory
+    train_config: StreamGridConfig
+
+
+@dataclass
+class SegmenterRun:
+    """A trained segmenter plus its training history."""
+
+    model: PointNet2Segmenter
+    history: TrainHistory
+    train_config: StreamGridConfig
+
+
+def train_classifier(dataset: ClassificationDataset,
+                     config: StreamGridConfig,
+                     epochs: int = 20,
+                     lr: float = 0.01,
+                     seed: int = 0,
+                     spec: Optional[ClassifierSpec] = None
+                     ) -> ClassifierRun:
+    """Train PointNet++(c) with grouping plans under *config*.
+
+    Plans are computed once per sample (they depend only on positions and
+    the config) and reused across epochs.
+    """
+    if epochs <= 0:
+        raise ValidationError("epochs must be positive")
+    if len(dataset) == 0:
+        raise ValidationError("empty dataset")
+    spec = spec or ClassifierSpec()
+    model = PointNet2Classifier(dataset.n_classes, spec=spec, seed=seed)
+    plans = [plan_classifier(s.cloud.positions, config, spec)
+             for s in dataset.samples]
+    labels = dataset.labels()
+    optimizer = Adam(model.parameters(), lr=lr)
+    rng = np.random.default_rng(seed)
+    history = TrainHistory()
+    model.train()
+    for _ in range(epochs):
+        order = rng.permutation(len(dataset))
+        epoch_loss = 0.0
+        correct = 0
+        for idx in order:
+            optimizer.zero_grad()
+            logits = model(plans[idx])
+            loss = cross_entropy(logits, np.array([labels[idx]]))
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            if int(np.argmax(logits.data)) == labels[idx]:
+                correct += 1
+        history.losses.append(epoch_loss / len(dataset))
+        history.train_metric.append(correct / len(dataset))
+    return ClassifierRun(model, history, config)
+
+
+def evaluate_classifier(run: ClassifierRun,
+                        dataset: ClassificationDataset,
+                        config: Optional[StreamGridConfig] = None
+                        ) -> float:
+    """Overall accuracy under a deployment *config* (default: trained)."""
+    if len(dataset) == 0:
+        raise ValidationError("empty dataset")
+    config = config or run.train_config
+    run.model.eval()
+    predictions = np.empty(len(dataset), dtype=np.int64)
+    for i, sample in enumerate(dataset.samples):
+        plan = plan_classifier(sample.cloud.positions, config,
+                               run.model.spec)
+        logits = run.model(plan)
+        predictions[i] = int(np.argmax(logits.data))
+    run.model.train()
+    return overall_accuracy(predictions, dataset.labels())
+
+
+def train_segmenter(dataset: SegmentationDataset,
+                    config: StreamGridConfig,
+                    epochs: int = 20,
+                    lr: float = 0.01,
+                    seed: int = 0,
+                    spec: Optional[SegmenterSpec] = None) -> SegmenterRun:
+    """Train PointNet++(s) with grouping plans under *config*."""
+    if epochs <= 0:
+        raise ValidationError("epochs must be positive")
+    if len(dataset) == 0:
+        raise ValidationError("empty dataset")
+    spec = spec or SegmenterSpec()
+    model = PointNet2Segmenter(dataset.n_parts, spec=spec, seed=seed)
+    plans = [plan_segmenter(s.cloud.positions, config, spec)
+             for s in dataset.samples]
+    optimizer = Adam(model.parameters(), lr=lr)
+    rng = np.random.default_rng(seed)
+    history = TrainHistory()
+    model.train()
+    for _ in range(epochs):
+        order = rng.permutation(len(dataset))
+        epoch_loss = 0.0
+        ious: List[float] = []
+        for idx in order:
+            sample = dataset.samples[idx]
+            optimizer.zero_grad()
+            logits = model(plans[idx])
+            loss = cross_entropy(logits, sample.labels)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            predicted = np.argmax(logits.data, axis=-1)
+            ious.append(mean_iou(predicted, sample.labels,
+                                 dataset.n_parts))
+        history.losses.append(epoch_loss / len(dataset))
+        history.train_metric.append(float(np.mean(ious)))
+    return SegmenterRun(model, history, config)
+
+
+def evaluate_segmenter(run: SegmenterRun, dataset: SegmentationDataset,
+                       config: Optional[StreamGridConfig] = None) -> float:
+    """Mean IoU under a deployment *config* (default: trained config)."""
+    if len(dataset) == 0:
+        raise ValidationError("empty dataset")
+    config = config or run.train_config
+    run.model.eval()
+    ious: List[float] = []
+    for sample in dataset.samples:
+        plan = plan_segmenter(sample.cloud.positions, config,
+                              run.model.spec)
+        logits = run.model(plan)
+        predicted = np.argmax(logits.data, axis=-1)
+        ious.append(mean_iou(predicted, sample.labels, dataset.n_parts))
+    run.model.train()
+    return float(np.mean(ious))
+
+
+def cotraining_study(train_ds: ClassificationDataset,
+                     test_ds: ClassificationDataset,
+                     chunk_counts,
+                     make_config,
+                     epochs: int = 15,
+                     seed: int = 0) -> Dict[int, Dict[str, float]]:
+    """The Fig. 16 experiment over classification.
+
+    ``make_config(n_chunks)`` builds the deployment config for each chunk
+    count.  For each count we evaluate a model trained *without*
+    co-training (Base plans) and one trained *with* co-training
+    (deployment plans); returns ``{n_chunks: {"with": acc, "without":
+    acc}}``.
+    """
+    from repro.core.cotraining import baseline_config
+
+    chunk_counts = list(chunk_counts)
+    if not chunk_counts:
+        raise ValidationError("need at least one chunk count")
+    base_run = train_classifier(train_ds, baseline_config(),
+                                epochs=epochs, seed=seed)
+    results: Dict[int, Dict[str, float]] = {}
+    for n_chunks in chunk_counts:
+        deploy = make_config(n_chunks)
+        without = evaluate_classifier(base_run, test_ds, deploy)
+        cotrained = train_classifier(train_ds, deploy, epochs=epochs,
+                                     seed=seed)
+        with_ct = evaluate_classifier(cotrained, test_ds, deploy)
+        results[n_chunks] = {"with": with_ct, "without": without}
+    return results

@@ -1,0 +1,39 @@
+"""Line-buffer ILP optimizer (paper Sec. 5)."""
+
+from repro.optimizer.constraints import (
+    BufferProblem,
+    LinearConstraint,
+    ProblemLayout,
+    build_problem,
+    constraints_to_matrix,
+    count_dense_constraints,
+    count_pruned_constraints,
+)
+from repro.optimizer.ilp import (
+    optimize_buffers,
+    solve_chain_analytic,
+    solve_milp,
+)
+from repro.optimizer.schedule import (
+    BYTES_PER_VALUE,
+    BufferSchedule,
+    MultiChunkSchedule,
+    extend_to_chunks,
+)
+
+__all__ = [
+    "BufferProblem",
+    "LinearConstraint",
+    "ProblemLayout",
+    "build_problem",
+    "constraints_to_matrix",
+    "count_dense_constraints",
+    "count_pruned_constraints",
+    "optimize_buffers",
+    "solve_chain_analytic",
+    "solve_milp",
+    "BYTES_PER_VALUE",
+    "BufferSchedule",
+    "MultiChunkSchedule",
+    "extend_to_chunks",
+]

@@ -1,0 +1,249 @@
+"""ILP constraint formulation for line-buffer minimisation (paper Sec. 5.2).
+
+Variables (per instantiated graph):
+
+* ``t_w[i]`` — write/consume-phase start of stage *i* (integer cycles;
+  ``t_s = t_w - stage_depth``, so ``t_w >= stage_depth``),
+* ``t_o[e]`` — overwrite start of edge *e*'s buffer (Eqn. 5),
+* ``LB[e]`` — edge *e*'s buffer size in elements (the minimised quantity).
+
+Constraint families:
+
+* **data dependency** — local edges get the two pruned endpoints of
+  Eqn. 6; global edges get Eqn. 7;
+* **overwrite timing** — ``t_o >= t_w_c`` (local consumer) or
+  ``t_o >= t_w_c + R_c`` (global consumer), per Eqn. 5;
+* **buffer size** — the two arms of the pruned Eqn. 8 lower-bound each
+  ``LB``; global edges additionally require full buffering
+  (``LB >= W_p``);
+* **performance target** — every stage finishes by the target makespan,
+  so buffer minimisation cannot trade away throughput.
+
+The *constraint pruning* of the paper is structural here: instead of one
+constraint per timestamp (Eqn. 2/6 quantify over ``t``, >100K constraints
+for PointNet++), monotonicity reduces each family to its interval
+endpoints.  ``count_dense_constraints`` reports how many constraints the
+unpruned formulation would need, which the pruning benchmark compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dataflow.analysis import (
+    classify_edges,
+    integer_asap_schedule,
+)
+from repro.dataflow.graph import Edge, InstantiatedGraph
+from repro.errors import OptimizationError
+
+
+@dataclass
+class LinearConstraint:
+    """``lower <= coeffs . x <= upper`` over the flat variable vector."""
+
+    coeffs: Dict[int, float]
+    lower: float
+    upper: float
+    label: str = ""
+
+
+@dataclass
+class ProblemLayout:
+    """Index bookkeeping for the flat variable vector."""
+
+    stage_names: List[str]
+    edges: List[Edge]
+
+    def __post_init__(self) -> None:
+        self._t_w = {name: i for i, name in enumerate(self.stage_names)}
+        base = len(self.stage_names)
+        self._t_o = {edge: base + i for i, edge in enumerate(self.edges)}
+        base += len(self.edges)
+        self._lb = {edge: base + i for i, edge in enumerate(self.edges)}
+        self.n_variables = base + len(self.edges)
+
+    def t_w(self, name: str) -> int:
+        return self._t_w[name]
+
+    def t_o(self, edge: Edge) -> int:
+        return self._t_o[edge]
+
+    def lb(self, edge: Edge) -> int:
+        return self._lb[edge]
+
+
+@dataclass
+class BufferProblem:
+    """A fully formed line-buffer minimisation problem."""
+
+    inst: InstantiatedGraph
+    layout: ProblemLayout
+    constraints: List[LinearConstraint]
+    objective: np.ndarray              # minimise objective . x
+    lower_bounds: np.ndarray
+    upper_bounds: np.ndarray
+    integrality: np.ndarray            # 1 where integer-constrained
+    target_makespan: float
+    edge_widths: Dict[Edge, int] = field(default_factory=dict)
+
+
+def build_problem(inst: InstantiatedGraph,
+                  slack: float = 1.0) -> BufferProblem:
+    """Formulate the pruned ILP for one instantiated graph.
+
+    ``slack`` scales the ASAP makespan into the performance target
+    (1.0 = the paper's "highest throughput" requirement).
+    """
+    if slack < 1.0:
+        raise OptimizationError("slack must be >= 1.0")
+    graph = inst.graph
+    graph.validate()
+    kinds = classify_edges(graph)
+    asap = integer_asap_schedule(inst)
+    target = float(np.ceil(asap.makespan * slack))
+    names = graph.topological_order()
+    layout = ProblemLayout(names, graph.edges)
+    n = layout.n_variables
+    lower = np.zeros(n)
+    upper = np.full(n, np.inf)
+    integrality = np.zeros(n)
+    horizon = target + 1.0
+    for name in names:
+        idx = layout.t_w(name)
+        lower[idx] = float(graph.stage(name).stage)   # t_s >= 0
+        upper[idx] = horizon
+        integrality[idx] = 1
+    constraints: List[LinearConstraint] = []
+
+    # Data dependency constraints (Eqns. 6 and 7, endpoint-pruned).
+    for edge in graph.edges:
+        p, c = edge.producer, edge.consumer
+        d_p = inst.write_duration(p)
+        tw_p, tw_c = layout.t_w(p), layout.t_w(c)
+        if kinds[edge] == "global":
+            constraints.append(LinearConstraint(
+                {tw_c: 1.0, tw_p: -1.0}, d_p, np.inf,
+                label=f"dep-global:{p}->{c}"))
+        else:
+            r_c = inst.read_duration(c)
+            constraints.append(LinearConstraint(
+                {tw_c: 1.0, tw_p: -1.0}, 0.0, np.inf,
+                label=f"dep-local-start:{p}->{c}"))
+            constraints.append(LinearConstraint(
+                {tw_c: 1.0, tw_p: -1.0}, d_p - r_c, np.inf,
+                label=f"dep-local-end:{p}->{c}"))
+
+    # Overwrite-start constraints (Eqn. 5).
+    for edge in graph.edges:
+        c = edge.consumer
+        to_e, tw_c = layout.t_o(edge), layout.t_w(c)
+        if kinds[edge] == "global":
+            r_c = inst.read_duration(c)
+            constraints.append(LinearConstraint(
+                {to_e: 1.0, tw_c: -1.0}, r_c, np.inf,
+                label=f"overwrite-global:{edge.producer}->{c}"))
+        else:
+            constraints.append(LinearConstraint(
+                {to_e: 1.0, tw_c: -1.0}, 0.0, np.inf,
+                label=f"overwrite-local:{edge.producer}->{c}"))
+
+    # Buffer size constraints (Eqn. 8, two arms), plus full buffering on
+    # global edges.
+    for edge in graph.edges:
+        p, c = edge.producer, edge.consumer
+        tau_out = graph.stage(p).tau_out
+        tau_in = graph.stage(c).tau_in
+        w_p = inst.w_out[p]
+        d_p = inst.write_duration(p)
+        lb_e, to_e, tw_p = layout.lb(edge), layout.t_o(edge), layout.t_w(p)
+        if kinds[edge] == "global":
+            constraints.append(LinearConstraint(
+                {lb_e: 1.0}, w_p, np.inf,
+                label=f"lb-full:{p}->{c}"))
+            continue
+        # Working-set floor: the consumer's read window must be resident
+        # (e.g. Fig. 3's stencil needs its kernel rows in the buffer).
+        spec_c = graph.stage(c)
+        floor = float(spec_c.i_shape[0] * spec_c.reuse_factor)
+        constraints.append(LinearConstraint(
+            {lb_e: 1.0}, floor, np.inf,
+            label=f"lb-floor:{p}->{c}"))
+        # Arm 1: occupancy when overwriting starts,
+        # LB >= (t_o - t_w_p) * tau_out.
+        constraints.append(LinearConstraint(
+            {lb_e: 1.0, to_e: -tau_out, tw_p: tau_out}, 0.0, np.inf,
+            label=f"lb-arm1:{p}->{c}"))
+        # Arm 2: occupancy at the producer's write end,
+        # LB >= W_p - (t_w_p + D_p - t_o) * tau_in.
+        constraints.append(LinearConstraint(
+            {lb_e: 1.0, tw_p: tau_in, to_e: -tau_in},
+            w_p - tau_in * d_p, np.inf,
+            label=f"lb-arm2:{p}->{c}"))
+
+    # Performance target: every stage finishes by the target makespan.
+    for name in names:
+        busy = inst.busy_duration(name)
+        constraints.append(LinearConstraint(
+            {layout.t_w(name): 1.0}, -np.inf, target - busy,
+            label=f"makespan:{name}"))
+
+    # Objective: total buffered values (elements weighted by their width).
+    objective = np.zeros(n)
+    widths: Dict[Edge, int] = {}
+    for edge in graph.edges:
+        width = graph.stage(edge.producer).element_width_out
+        widths[edge] = width
+        objective[layout.lb(edge)] = float(width)
+
+    return BufferProblem(inst, layout, constraints, objective, lower,
+                         upper, integrality, target, widths)
+
+
+def count_dense_constraints(inst: InstantiatedGraph) -> int:
+    """Constraint count of the *unpruned* formulation.
+
+    The dense form instantiates Eqn. 2 and Eqn. 6 at every integer cycle
+    of each edge's active interval (the paper reports >100K constraints
+    for PointNet++ before pruning).
+    """
+    graph = inst.graph
+    total = 0
+    kinds = classify_edges(graph)
+    for edge in graph.edges:
+        horizon = (inst.write_duration(edge.producer)
+                   + inst.read_duration(edge.consumer))
+        per_cycle = max(1, int(np.ceil(horizon)))
+        # One buffer-size constraint per cycle, plus one dependency
+        # constraint per cycle on local edges.
+        total += per_cycle
+        if kinds[edge] == "local":
+            total += per_cycle
+        else:
+            total += 1
+    total += len(graph.stages)  # makespan constraints
+    return total
+
+
+def count_pruned_constraints(problem: BufferProblem) -> int:
+    """Constraint count after monotonicity pruning (this formulation)."""
+    return len(problem.constraints)
+
+
+def constraints_to_matrix(problem: BufferProblem
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense (A, lower, upper) matrices for scipy's LinearConstraint."""
+    n_rows = len(problem.constraints)
+    n_cols = problem.layout.n_variables
+    matrix = np.zeros((n_rows, n_cols))
+    lower = np.empty(n_rows)
+    upper = np.empty(n_rows)
+    for row, constraint in enumerate(problem.constraints):
+        for col, coeff in constraint.coeffs.items():
+            matrix[row, col] = coeff
+        lower[row] = constraint.lower
+        upper[row] = constraint.upper
+    return matrix, lower, upper

@@ -1,0 +1,148 @@
+"""ILP solvers for line-buffer minimisation.
+
+Two backends solve the :class:`~repro.optimizer.constraints.BufferProblem`:
+
+* :func:`solve_milp` — exact mixed-integer solve with ``scipy.optimize.milp``
+  (HiGHS), standing in for the paper's OR-Tools;
+* :func:`solve_chain_analytic` — closed-form solution for *chain* graphs:
+  schedule every stage as soon as its dependency constraints allow and
+  start overwriting as early as Eqn. 5 permits.  Every Eqn. 8 arm is
+  increasing in the start/overwrite times, so the earliest feasible
+  assignment minimises each buffer independently — this serves both as a
+  fast fallback and as an independent oracle for the MILP tests.
+
+``optimize_buffers`` is the public entry point: formulate, solve (MILP
+with analytic fallback), validate against the dense occupancy simulation,
+and return a :class:`~repro.optimizer.schedule.BufferSchedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dataflow.analysis import classify_edges, integer_asap_schedule
+from repro.dataflow.graph import Edge, InstantiatedGraph
+from repro.errors import OptimizationError
+from repro.optimizer.constraints import (
+    BufferProblem,
+    build_problem,
+    constraints_to_matrix,
+)
+from repro.optimizer.schedule import BufferSchedule
+
+try:  # pragma: no cover - exercised implicitly by backend selection
+    from scipy.optimize import LinearConstraint as _ScipyLinearConstraint
+    from scipy.optimize import Bounds as _ScipyBounds
+    from scipy.optimize import milp as _scipy_milp
+    _HAVE_SCIPY_MILP = True
+except ImportError:  # pragma: no cover
+    _HAVE_SCIPY_MILP = False
+
+
+def solve_milp(problem: BufferProblem) -> BufferSchedule:
+    """Solve the pruned ILP exactly with scipy's HiGHS MILP backend."""
+    if not _HAVE_SCIPY_MILP:
+        raise OptimizationError("scipy.optimize.milp is unavailable")
+    matrix, lower, upper = constraints_to_matrix(problem)
+    bounds = _ScipyBounds(problem.lower_bounds, problem.upper_bounds)
+    result = _scipy_milp(
+        c=problem.objective,
+        constraints=_ScipyLinearConstraint(matrix, lower, upper),
+        bounds=bounds,
+        integrality=problem.integrality,
+    )
+    if not result.success:
+        raise OptimizationError(
+            f"MILP solve failed: {result.message}"
+        )
+    return _extract_schedule(problem, result.x, solver="milp")
+
+
+def solve_chain_analytic(problem: BufferProblem) -> BufferSchedule:
+    """Closed-form optimum for chain graphs (every stage <=1 in, <=1 out).
+
+    Assign ASAP write starts, earliest overwrite starts, and evaluate the
+    two Eqn. 8 arms directly.  Raises on non-chain graphs.
+    """
+    inst = problem.inst
+    graph = inst.graph
+    for name in graph.stages:
+        if (len(graph.producers_of(name)) > 1
+                or len(graph.consumers_of(name)) > 1):
+            raise OptimizationError(
+                "analytic solver only supports chain graphs"
+            )
+    kinds = classify_edges(graph)
+    asap = integer_asap_schedule(inst)
+    write_start = dict(asap.write_start)
+    overwrite_start: Dict[Edge, float] = {}
+    buffer_elements: Dict[Edge, float] = {}
+    for edge in graph.edges:
+        p, c = edge.producer, edge.consumer
+        tau_out = graph.stage(p).tau_out
+        tau_in = graph.stage(c).tau_in
+        w_p = inst.w_out[p]
+        d_p = inst.write_duration(p)
+        if kinds[edge] == "global":
+            overwrite_start[edge] = (write_start[c]
+                                     + inst.read_duration(c))
+            buffer_elements[edge] = w_p
+            continue
+        t_o = write_start[c]
+        overwrite_start[edge] = t_o
+        arm1 = (t_o - write_start[p]) * tau_out
+        arm2 = w_p - (write_start[p] + d_p - t_o) * tau_in
+        spec_c = graph.stage(c)
+        floor = float(spec_c.i_shape[0] * spec_c.reuse_factor)
+        buffer_elements[edge] = max(floor, arm1, arm2)
+    return BufferSchedule(inst, write_start, overwrite_start,
+                          buffer_elements, problem.target_makespan,
+                          solver="analytic",
+                          edge_widths=dict(problem.edge_widths))
+
+
+def _extract_schedule(problem: BufferProblem, x: np.ndarray,
+                      solver: str) -> BufferSchedule:
+    layout = problem.layout
+    write_start = {name: float(x[layout.t_w(name)])
+                   for name in layout.stage_names}
+    overwrite_start = {edge: float(x[layout.t_o(edge)])
+                       for edge in layout.edges}
+    buffer_elements = {edge: float(x[layout.lb(edge)])
+                       for edge in layout.edges}
+    return BufferSchedule(problem.inst, write_start, overwrite_start,
+                          buffer_elements, problem.target_makespan,
+                          solver=solver,
+                          edge_widths=dict(problem.edge_widths))
+
+
+def optimize_buffers(inst: InstantiatedGraph, slack: float = 1.0,
+                     backend: Optional[str] = None,
+                     validate: bool = True) -> BufferSchedule:
+    """Formulate and solve the line-buffer minimisation for one chunk.
+
+    ``backend`` forces ``"milp"`` or ``"analytic"``; the default tries
+    MILP and falls back to the analytic solver for chains.  When
+    ``validate`` is set, the result is cross-checked against the dense
+    occupancy simulation (raising if any buffer is undersized).
+    """
+    problem = build_problem(inst, slack=slack)
+    schedule: Optional[BufferSchedule] = None
+    if backend == "analytic":
+        schedule = solve_chain_analytic(problem)
+    elif backend == "milp":
+        schedule = solve_milp(problem)
+    elif backend is None:
+        if _HAVE_SCIPY_MILP:
+            schedule = solve_milp(problem)
+        else:
+            schedule = solve_chain_analytic(problem)
+    else:
+        raise OptimizationError(
+            f"unknown backend {backend!r}; use 'milp' or 'analytic'"
+        )
+    if validate:
+        schedule.validate()
+    return schedule

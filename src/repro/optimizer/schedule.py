@@ -1,0 +1,170 @@
+"""Optimized schedules and the multi-chunk (bubble) extension (Fig. 11).
+
+A :class:`BufferSchedule` is the optimizer's output for one chunk: stage
+start cycles and per-edge line-buffer sizes.  ``extend_to_chunks`` reuses
+those buffer sizes for an ``n_chunks``-deep pipeline by inserting *bubbles*
+at the start of under-utilised stages so the steady-state initiation
+interval matches the slowest stage — the paper's observation that naively
+collapsing chunks back-to-back inflates buffers without improving
+performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dataflow.analysis import simulate_edge_occupancy
+from repro.dataflow.graph import Edge, InstantiatedGraph
+from repro.errors import OptimizationError
+
+#: Bytes per buffered value (fp32 attributes), used for byte reporting.
+BYTES_PER_VALUE = 4
+
+
+@dataclass
+class BufferSchedule:
+    """A solved single-chunk schedule."""
+
+    inst: InstantiatedGraph
+    write_start: Dict[str, float]             # t_w per stage
+    overwrite_start: Dict[Edge, float]        # t_o per edge
+    buffer_elements: Dict[Edge, float]        # LB per edge (elements)
+    target_makespan: float
+    solver: str = "milp"
+    edge_widths: Dict[Edge, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        return max(self.write_start[name] + self.inst.busy_duration(name)
+                   for name in self.write_start)
+
+    @property
+    def total_buffer_values(self) -> float:
+        """Total buffered values = Σ elements × element width."""
+        return sum(self.buffer_elements[e] * self.edge_widths.get(e, 1)
+                   for e in self.buffer_elements)
+
+    @property
+    def total_buffer_bytes(self) -> float:
+        return self.total_buffer_values * BYTES_PER_VALUE
+
+    def start(self, name: str) -> float:
+        """Stage start cycle t_s = t_w - pipeline depth."""
+        return self.write_start[name] - self.inst.graph.stage(name).stage
+
+    def buffer_bytes(self, edge: Edge) -> float:
+        return (self.buffer_elements[edge] * self.edge_widths.get(edge, 1)
+                * BYTES_PER_VALUE)
+
+    # ------------------------------------------------------------------
+    def validate(self, tolerance: float = 1e-6) -> None:
+        """Cross-check buffers against the dense occupancy simulation.
+
+        Raises :class:`OptimizationError` when any optimized buffer is
+        smaller than the simulated peak occupancy — i.e. when the pruned
+        constraints would have under-provisioned a line buffer.
+        """
+        peaks = simulate_edge_occupancy(self.inst, self.write_start,
+                                        self.overwrite_start)
+        for edge, peak in peaks.items():
+            size = self.buffer_elements[edge]
+            if size + tolerance < peak:
+                raise OptimizationError(
+                    f"buffer on {edge.producer}->{edge.consumer} "
+                    f"undersized: {size:.2f} < simulated peak {peak:.2f}"
+                )
+
+    def summary(self) -> str:
+        """Human-readable multi-line description."""
+        lines = [f"schedule ({self.solver}), makespan "
+                 f"{self.makespan:.0f} cycles (target "
+                 f"{self.target_makespan:.0f})"]
+        for name in self.inst.graph.topological_order():
+            lines.append(f"  stage {name}: start {self.start(name):.0f}")
+        for edge, elements in self.buffer_elements.items():
+            lines.append(
+                f"  LB {edge.producer}->{edge.consumer}: "
+                f"{elements:.0f} elements "
+                f"({self.buffer_bytes(edge) / 1024:.2f} KiB)")
+        lines.append(f"  total: {self.total_buffer_bytes / 1024:.2f} KiB")
+        return "\n".join(lines)
+
+
+@dataclass
+class MultiChunkSchedule:
+    """A single-chunk schedule replayed over many chunks with bubbles."""
+
+    base: BufferSchedule
+    n_chunks: int
+    initiation_interval: float
+    bubbles: Dict[str, float]         # idle cycles inserted per stage
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end cycles to stream all chunks."""
+        return (self.base.makespan
+                + (self.n_chunks - 1) * self.initiation_interval)
+
+    @property
+    def total_buffer_bytes(self) -> float:
+        """Unchanged from the single-chunk optimum — the point of Fig. 11."""
+        return self.base.total_buffer_bytes
+
+    @property
+    def throughput_elements_per_cycle(self) -> float:
+        """Steady-state input elements consumed per cycle."""
+        sources = self.base.inst.graph.sources()
+        per_chunk = sum(self.base.inst.w_out[s] for s in sources)
+        return per_chunk * self.n_chunks / self.makespan
+
+
+def steady_interval(schedule: BufferSchedule) -> float:
+    """Minimal chunk initiation interval preserving single-chunk buffers.
+
+    Conditions (all from Fig. 11's bubble argument):
+
+    * every stage must finish chunk ``c`` before admitting ``c+1``
+      (``II >= busy``);
+    * a producer may not start writing chunk ``c+1`` into a buffer before
+      chunk ``c``'s overwrite window opened — otherwise two chunks are
+      resident at once and the buffer doubles
+      (``II >= t_o - t_w_producer`` per edge);
+    * when the producer outpaces the consumer (``tau_out > tau_in``) the
+      overlap itself grows occupancy, so chunk ``c+1``'s writes must wait
+      for chunk ``c``'s buffer to drain completely
+      (``II >= t_o + W/tau_in - t_w_producer``).
+    """
+    inst = schedule.inst
+    graph = inst.graph
+    interval = max(inst.busy_duration(name)
+                   for name in schedule.write_start)
+    for edge, t_o in schedule.overwrite_start.items():
+        tau_out = graph.stage(edge.producer).tau_out
+        tau_in = graph.stage(edge.consumer).tau_in
+        bound = t_o - schedule.write_start[edge.producer]
+        if tau_out > tau_in + 1e-12:
+            bound += inst.w_out[edge.producer] / tau_in
+        interval = max(interval, bound)
+    return interval
+
+
+def extend_to_chunks(schedule: BufferSchedule,
+                     n_chunks: int) -> MultiChunkSchedule:
+    """Replay a single-chunk schedule over ``n_chunks`` chunks.
+
+    Every stage admits chunk ``c`` exactly ``c * II`` cycles after
+    chunk 0 with ``II = steady_interval(schedule)``, so relative stage
+    offsets — and therefore every buffer occupancy profile — repeat per
+    chunk.  Stages faster than the interval receive a *bubble* of idle
+    cycles between chunks (paper Fig. 11), which is what keeps the
+    single-chunk buffer sizes sufficient.
+    """
+    if n_chunks <= 0:
+        raise OptimizationError("n_chunks must be positive")
+    inst = schedule.inst
+    interval = steady_interval(schedule)
+    bubbles = {name: interval - inst.busy_duration(name)
+               for name in schedule.write_start}
+    return MultiChunkSchedule(schedule, n_chunks, interval, bubbles)

@@ -1,0 +1,15 @@
+"""Application pipelines (Tbl. 2): graphs + measured workloads."""
+
+from repro.pipelines.registry import (
+    PipelineSpec,
+    available_pipelines,
+    build_pipeline,
+    intermediate_values_of,
+)
+
+__all__ = [
+    "PipelineSpec",
+    "available_pipelines",
+    "build_pipeline",
+    "intermediate_values_of",
+]

@@ -1,0 +1,85 @@
+"""3D Gaussian Splatting pipeline (Tbl. 2 row 4).
+
+Dataflow: reader -> frustum cull / project (local) -> depth sort (global)
+-> rasterise (stencil over sorted splats) -> sink.  The sort is the only
+global-dependent operation and it is deterministic, so DT does not apply
+(paper Sec. 8.1); CS swaps the global bitonic sort for the hierarchical
+chunk sort measured by :func:`repro.sim.workload.profile_sort`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SplittingConfig, TerminationConfig
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.ops import (
+    elementwise,
+    global_op,
+    sink,
+    source,
+    stencil,
+)
+from repro.datasets.gaussians import make_blob_scene
+from repro.pipelines.registry import (
+    PipelineSpec,
+    intermediate_values_of,
+    register_builder,
+)
+from repro.sim.workload import WorkloadProfile, profile_sort
+from repro.spatial.grid import ChunkGrid
+from repro.splatting.camera import PinholeCamera
+
+#: The paper uses a dense 80x60x75 grid for 3DGS; scaled to our scenes.
+GS_SPLITTING = SplittingConfig(shape=(8, 6, 8), kernel=(1, 1, 1))
+GS_TERMINATION = TerminationConfig(deadline_fraction=1.0,
+                                   profile_queries=8)
+
+#: Average rasterisation work per Gaussian (footprint pixels x blend ops).
+RASTER_MACS_PER_GAUSSIAN = 220.0
+
+
+def rendering_graph() -> DataflowGraph:
+    """The abstract stage chain of the 3DGS renderer."""
+    return DataflowGraph.chain([
+        source("reader", o_shape=(1, 10)),          # pos+scale+color+alpha
+        elementwise("project", i_shape=(1, 10), o_shape=(1, 8), stage=6),
+        global_op("depth_sort", i_shape=(1, 8), o_shape=(1, 8),
+                  i_freq=1, o_freq=1, reuse=(1, 1), stage=10),
+        stencil("rasterize", i_shape=(1, 8), o_shape=(1, 3), stage=6,
+                reuse=(4, 1)),
+        sink("drain", i_shape=(1, 3)),
+    ])
+
+
+def build_rendering(n_gaussians: int = 4096, seed: int = 0,
+                    splitting: SplittingConfig = GS_SPLITTING,
+                    image_pixels: int = 64 * 64) -> PipelineSpec:
+    """Measure and assemble the rendering pipeline.
+
+    The sort profile runs the real bitonic/hierarchical sorters over the
+    camera depths of a synthetic scene chunked by the splitting grid.
+    """
+    scene = make_blob_scene(n_gaussians, seed=seed)
+    camera = PinholeCamera()
+    _, depths, _ = camera.project(scene.positions)
+    grid = ChunkGrid.fit(scene.positions, splitting.shape)
+    keys = grid.assign(scene.positions)
+    sort = profile_sort(depths, keys)
+    graph = rendering_graph()
+    workload = WorkloadProfile(
+        name="rendering",
+        n_points=n_gaussians,
+        point_value_width=10,
+        n_windows=splitting.n_windows,
+        window_points=max(1, int(np.bincount(keys).max())),
+        macs=float(n_gaussians * RASTER_MACS_PER_GAUSSIAN),
+        intermediate_values=intermediate_values_of(graph, n_gaussians),
+        output_values=float(image_pixels * 3),
+        sort=sort,
+    )
+    return PipelineSpec("rendering", "rendering", graph, workload,
+                        ("GSCore",))
+
+
+register_builder("rendering", build_rendering)

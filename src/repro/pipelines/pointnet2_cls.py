@@ -1,0 +1,121 @@
+"""PointNet++(c) classification pipeline (Tbl. 2 row 1).
+
+Dataflow: reader -> normalise -> [SA1: range search, per-point MLP, max
+reduction] -> [SA2: same] -> head MLP -> sink.  The two range searches are
+the global-dependent operations; everything else is local.
+
+The workload profile measures the real substrate on a synthetic ModelNet
+cloud: kd-tree step counts for the ball queries under full, windowed, and
+capped search, plus the model's MAC count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SplittingConfig, TerminationConfig
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.ops import (
+    elementwise,
+    global_op,
+    reduction,
+    sink,
+    source,
+)
+from repro.datasets.modelnet import make_modelnet
+from repro.pipelines.registry import (
+    PipelineSpec,
+    intermediate_values_of,
+    register_builder,
+)
+from repro.sim.workload import WorkloadProfile, profile_search
+
+#: Default splitting for classification: 3x3x1 chunks, 2x2 kernel
+#: ("equivalent to partitioning the point cloud into 4 chunks").
+CLS_SPLITTING = SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1))
+CLS_TERMINATION = TerminationConfig(deadline_fraction=0.25,
+                                    profile_queries=32)
+
+
+def classification_graph() -> DataflowGraph:
+    """The abstract stage chain of PointNet++(c).
+
+    Element widths follow the published PointNet++ SSG dims (64/128/256
+    features), so intermediate volumes — and therefore line-buffer sizes
+    and Base DRAM traffic — are at the paper's scale.
+    """
+    return DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        elementwise("normalize", i_shape=(1, 3), o_shape=(1, 3), stage=2),
+        global_op("sa1_search", i_shape=(1, 3), o_shape=(16, 67),
+                  i_freq=1, o_freq=8, reuse=(1, 1), stage=8),
+        elementwise("sa1_mlp", i_shape=(1, 67), o_shape=(1, 128), stage=4),
+        reduction("sa1_pool", i_shape=(16, 128), o_shape=(1, 128),
+                  stage=2, o_freq=16),
+        global_op("sa2_search", i_shape=(1, 128), o_shape=(8, 131),
+                  i_freq=1, o_freq=8, reuse=(1, 1), stage=8),
+        elementwise("sa2_mlp", i_shape=(1, 131), o_shape=(1, 256),
+                    stage=4),
+        reduction("sa2_pool", i_shape=(8, 256), o_shape=(1, 256),
+                  stage=2, o_freq=8),
+        elementwise("head", i_shape=(1, 256), o_shape=(1, 40), stage=4),
+        sink("drain", i_shape=(1, 40)),
+    ])
+
+
+def classification_macs(n_points: int) -> float:
+    """MAC count of PointNet++(c) SSG at the published layer widths.
+
+    SA level MACs = centroids x neighbours x per-layer matmuls, with
+    centroid counts scaling with the cloud as in the original network
+    (512/128 centroids at 1024 points).
+    """
+    m1, k1 = max(8, n_points // 2), 32
+    m2, k2 = max(4, n_points // 8), 64
+    sa1 = m1 * k1 * (3 * 64 + 64 * 64 + 64 * 128)
+    sa2 = m2 * k2 * (131 * 128 + 128 * 128 + 128 * 256)
+    sa3 = m2 * (259 * 256 + 256 * 512 + 512 * 1024)
+    head = 1024 * 512 + 512 * 256 + 256 * 40
+    return float(sa1 + sa2 + sa3 + head)
+
+
+def build_classification(n_points: int = 1024, seed: int = 0,
+                         splitting: SplittingConfig = CLS_SPLITTING,
+                         termination: TerminationConfig = CLS_TERMINATION
+                         ) -> PipelineSpec:
+    """Measure and assemble the classification pipeline."""
+    dataset = make_modelnet(1, n_points=n_points,
+                            class_names=("sphere", "box", "torus"),
+                            seed=seed)
+    positions = dataset.samples[0].cloud.positions
+    rng = np.random.default_rng(seed)
+    n_queries = max(16, n_points // 4)
+    query_idx = rng.choice(n_points, size=min(n_queries, n_points),
+                           replace=False)
+    search = profile_search(positions, positions[query_idx], k=16,
+                            splitting=splitting, termination=termination,
+                            rng=rng)
+    graph = classification_graph()
+    workload = WorkloadProfile(
+        name="classification",
+        n_points=n_points,
+        point_value_width=3,
+        n_windows=splitting.n_windows,
+        window_points=_window_points(positions, splitting),
+        macs=classification_macs(n_points),
+        intermediate_values=intermediate_values_of(graph, n_points),
+        output_values=16.0,
+        search=search,
+    )
+    return PipelineSpec("classification", "classification", graph,
+                        workload, ("PointAcc", "Mesorasi"))
+
+
+def _window_points(positions: np.ndarray,
+                   splitting: SplittingConfig) -> int:
+    from repro.core.splitting import CompulsorySplitter
+
+    return CompulsorySplitter(positions, splitting).max_window_points()
+
+
+register_builder("classification", build_classification)

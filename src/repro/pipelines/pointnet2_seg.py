@@ -1,0 +1,115 @@
+"""PointNet++(s) segmentation pipeline (Tbl. 2 row 2).
+
+Same encoder as classification plus the feature-propagation decoder whose
+per-point kNN interpolation makes the search phase much heavier (every
+point is a query), which is why segmentation shows the same trends with
+larger search-bound effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SplittingConfig, TerminationConfig
+from repro.dataflow.graph import DataflowGraph
+from repro.dataflow.ops import (
+    elementwise,
+    global_op,
+    reduction,
+    sink,
+    source,
+)
+from repro.datasets.shapenet import make_shapenet
+from repro.pipelines.registry import (
+    PipelineSpec,
+    intermediate_values_of,
+    register_builder,
+)
+from repro.sim.workload import WorkloadProfile, profile_search
+
+SEG_SPLITTING = SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1))
+SEG_TERMINATION = TerminationConfig(deadline_fraction=0.25,
+                                    profile_queries=32)
+
+
+def segmentation_graph() -> DataflowGraph:
+    """Encoder + FP decoder as an abstract stage chain."""
+    return DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        elementwise("normalize", i_shape=(1, 3), o_shape=(1, 3), stage=2),
+        global_op("sa1_search", i_shape=(1, 3), o_shape=(12, 67),
+                  i_freq=1, o_freq=6, reuse=(1, 1), stage=8),
+        elementwise("sa1_mlp", i_shape=(1, 67), o_shape=(1, 128), stage=4),
+        reduction("sa1_pool", i_shape=(12, 128), o_shape=(1, 128),
+                  stage=2, o_freq=12),
+        global_op("sa2_search", i_shape=(1, 128), o_shape=(8, 131),
+                  i_freq=1, o_freq=8, reuse=(1, 1), stage=8),
+        elementwise("sa2_mlp", i_shape=(1, 131), o_shape=(1, 256),
+                    stage=4),
+        reduction("sa2_pool", i_shape=(8, 256), o_shape=(1, 256),
+                  stage=2, o_freq=8),
+        global_op("fp_interp", i_shape=(1, 256), o_shape=(3, 384),
+                  i_freq=1, o_freq=2, reuse=(1, 1), stage=8),
+        elementwise("fp_mlp", i_shape=(1, 384), o_shape=(1, 128), stage=4),
+        elementwise("seg_head", i_shape=(1, 128), o_shape=(1, 50),
+                    stage=2),
+        sink("drain", i_shape=(1, 50)),
+    ])
+
+
+def segmentation_macs(n_points: int) -> float:
+    """MAC count of PointNet++(s) at the published layer widths."""
+    m1, k1 = max(8, n_points // 2), 32
+    m2, k2 = max(4, n_points // 8), 64
+    sa1 = m1 * k1 * (3 * 64 + 64 * 64 + 64 * 128)
+    sa2 = m2 * k2 * (131 * 128 + 128 * 128 + 128 * 256)
+    fp2 = m1 * (384 * 256 + 256 * 128)
+    fp1 = n_points * (131 * 128 + 128 * 128)
+    head = n_points * 128 * 50
+    return float(sa1 + sa2 + fp2 + fp1 + head)
+
+
+def build_segmentation(n_points: int = 1024, seed: int = 0,
+                       splitting: SplittingConfig = SEG_SPLITTING,
+                       termination: TerminationConfig = SEG_TERMINATION
+                       ) -> PipelineSpec:
+    """Measure and assemble the segmentation pipeline.
+
+    Every point queries the FP interpolation search, so the profile uses
+    per-point queries (subsampled for tractability, scaled back up in
+    ``n_queries``).
+    """
+    dataset = make_shapenet(1, n_points=n_points, seed=seed)
+    positions = dataset.samples[0].cloud.positions
+    rng = np.random.default_rng(seed)
+    n_sample = min(n_points, 256)
+    query_idx = rng.choice(n_points, size=n_sample, replace=False)
+    search = profile_search(positions, positions[query_idx], k=12,
+                            splitting=splitting, termination=termination,
+                            rng=rng)
+    # FP searches are per point: scale the measured query count up.
+    search.n_queries = n_points
+    graph = segmentation_graph()
+    workload = WorkloadProfile(
+        name="segmentation",
+        n_points=n_points,
+        point_value_width=3,
+        n_windows=splitting.n_windows,
+        window_points=_window_points(positions, splitting),
+        macs=segmentation_macs(n_points),
+        intermediate_values=intermediate_values_of(graph, n_points),
+        output_values=float(n_points * 4),
+        search=search,
+    )
+    return PipelineSpec("segmentation", "segmentation", graph, workload,
+                        ("PointAcc", "Mesorasi"))
+
+
+def _window_points(positions: np.ndarray,
+                   splitting: SplittingConfig) -> int:
+    from repro.core.splitting import CompulsorySplitter
+
+    return CompulsorySplitter(positions, splitting).max_window_points()
+
+
+register_builder("segmentation", build_segmentation)

@@ -1,0 +1,82 @@
+"""Application pipeline registry: dataflow graph + measured workload.
+
+A :class:`PipelineSpec` is everything the evaluation needs about one
+application (Tbl. 2 row): the abstract dataflow graph (for the buffer
+optimizer) and the measured :class:`~repro.sim.workload.WorkloadProfile`
+(for the performance/energy models).  Builders for the four domains live
+in the sibling modules; :func:`build_pipeline` dispatches by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.dataflow.graph import DataflowGraph
+from repro.errors import ValidationError
+from repro.sim.workload import WorkloadProfile
+
+
+@dataclass
+class PipelineSpec:
+    """One benchmark application, ready for optimizer and simulator."""
+
+    name: str
+    domain: str
+    graph: DataflowGraph
+    workload: WorkloadProfile
+    hardware_baselines: tuple
+
+    def __post_init__(self) -> None:
+        self.graph.validate()
+
+
+def intermediate_values_of(graph: DataflowGraph, n_points: int) -> float:
+    """Total values crossing internal stage boundaries per run.
+
+    Computed from the instantiated graph: the sum over non-source edges of
+    the producer's output volume times its element width — exactly what a
+    double-buffered design round-trips through DRAM.
+    """
+    inst = graph.instantiate(n_points)
+    total = 0.0
+    for edge in graph.edges:
+        if graph.stage(edge.producer).kind == "source":
+            continue
+        width = graph.stage(edge.producer).element_width_out
+        total += inst.w_out[edge.producer] * width
+    return total
+
+
+_BUILDERS: Dict[str, Callable[..., PipelineSpec]] = {}
+
+
+def register_builder(name: str, builder) -> None:
+    """Register a pipeline builder under *name* (module import hook)."""
+    if name in _BUILDERS:
+        raise ValidationError(f"pipeline {name!r} already registered")
+    _BUILDERS[name] = builder
+
+
+def build_pipeline(name: str, **kwargs) -> PipelineSpec:
+    """Build a registered pipeline ('classification', 'segmentation',
+    'registration', 'rendering')."""
+    _ensure_loaded()
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown pipeline {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)
+
+
+def available_pipelines() -> tuple:
+    """Names of all registered pipelines."""
+    _ensure_loaded()
+    return tuple(sorted(_BUILDERS))
+
+
+def _ensure_loaded() -> None:
+    # Import the builder modules lazily to avoid circular imports.
+    from repro.pipelines import aloam, gs3d, pointnet2_cls, pointnet2_seg  # noqa: F401

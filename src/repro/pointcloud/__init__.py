@@ -1,0 +1,48 @@
+"""Point-cloud container, transforms, metrics, and I/O."""
+
+from repro.pointcloud.cloud import PointCloud, concat_clouds
+from repro.pointcloud.metrics import (
+    mean_iou,
+    overall_accuracy,
+    psnr,
+    recall_at_k,
+    rotation_error,
+    trajectory_errors,
+    translation_error,
+)
+from repro.pointcloud.transforms import (
+    apply_rigid,
+    farthest_point_sample,
+    jitter,
+    normalize_unit_sphere,
+    random_downsample,
+    rotate,
+    rotation_matrix,
+    scale,
+    threshold_by_distance,
+    translate,
+    voxel_downsample,
+)
+
+__all__ = [
+    "PointCloud",
+    "concat_clouds",
+    "overall_accuracy",
+    "mean_iou",
+    "translation_error",
+    "rotation_error",
+    "trajectory_errors",
+    "psnr",
+    "recall_at_k",
+    "normalize_unit_sphere",
+    "translate",
+    "scale",
+    "rotate",
+    "rotation_matrix",
+    "apply_rigid",
+    "jitter",
+    "threshold_by_distance",
+    "random_downsample",
+    "farthest_point_sample",
+    "voxel_downsample",
+]

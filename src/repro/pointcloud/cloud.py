@@ -1,0 +1,202 @@
+"""Core point-cloud container.
+
+A :class:`PointCloud` wraps an ``(N, 3)`` float array of positions plus an
+optional dictionary of per-point attribute arrays (features, labels, colors,
+intensities...).  Every attribute array has ``N`` rows.  The container is
+deliberately thin: spatial queries live in :mod:`repro.spatial` and
+algorithmic transforms in :mod:`repro.pointcloud.transforms`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class PointCloud:
+    """An immutable-by-convention set of 3D points with named attributes.
+
+    Parameters
+    ----------
+    positions:
+        Array-like of shape ``(N, 3)``.  Copied and cast to ``float64``.
+    attributes:
+        Optional mapping from attribute name to an array whose first
+        dimension is ``N``.
+
+    Examples
+    --------
+    >>> cloud = PointCloud([[0, 0, 0], [1, 1, 1]], {"intensity": [0.5, 0.9]})
+    >>> len(cloud)
+    2
+    >>> cloud.attribute("intensity").tolist()
+    [0.5, 0.9]
+    """
+
+    __slots__ = ("_positions", "_attributes")
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        attributes: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> None:
+        pos = np.asarray(positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValidationError(
+                f"positions must have shape (N, 3), got {pos.shape}"
+            )
+        if not np.isfinite(pos).all():
+            raise ValidationError("positions must be finite (no NaN/inf)")
+        self._positions = pos
+        self._attributes: Dict[str, np.ndarray] = {}
+        for name, values in (attributes or {}).items():
+            arr = np.asarray(values)
+            if arr.shape[0] != len(pos):
+                raise ValidationError(
+                    f"attribute {name!r} has {arr.shape[0]} rows, "
+                    f"expected {len(pos)}"
+                )
+            self._attributes[name] = arr
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._positions.shape[0]
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self._attributes)) or "none"
+        return f"PointCloud(n={len(self)}, attributes=[{names}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointCloud):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        if set(self._attributes) != set(other._attributes):
+            return False
+        if not np.array_equal(self._positions, other._positions):
+            return False
+        return all(
+            np.array_equal(arr, other._attributes[name])
+            for name, arr in self._attributes.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """The ``(N, 3)`` position array (do not mutate)."""
+        return self._positions
+
+    @property
+    def attribute_names(self) -> tuple:
+        """Sorted tuple of attribute names."""
+        return tuple(sorted(self._attributes))
+
+    def has_attribute(self, name: str) -> bool:
+        """Return ``True`` when attribute *name* is present."""
+        return name in self._attributes
+
+    def attribute(self, name: str) -> np.ndarray:
+        """Return attribute *name*, raising ``ValidationError`` if absent."""
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown attribute {name!r}; available: "
+                f"{list(self.attribute_names)}"
+            ) from None
+
+    def attributes_dict(self) -> Dict[str, np.ndarray]:
+        """Return a shallow copy of the attribute mapping."""
+        return dict(self._attributes)
+
+    # ------------------------------------------------------------------
+    # Derived clouds
+    # ------------------------------------------------------------------
+    def with_attribute(self, name: str, values: np.ndarray) -> "PointCloud":
+        """Return a new cloud with attribute *name* added or replaced."""
+        attrs = dict(self._attributes)
+        attrs[name] = np.asarray(values)
+        return PointCloud(self._positions, attrs)
+
+    def without_attribute(self, name: str) -> "PointCloud":
+        """Return a new cloud lacking attribute *name* (must exist)."""
+        if name not in self._attributes:
+            raise ValidationError(f"unknown attribute {name!r}")
+        attrs = {k: v for k, v in self._attributes.items() if k != name}
+        return PointCloud(self._positions, attrs)
+
+    def select(self, indices: np.ndarray) -> "PointCloud":
+        """Return the sub-cloud at *indices* (any fancy-index expression)."""
+        idx = np.asarray(indices)
+        attrs = {name: arr[idx] for name, arr in self._attributes.items()}
+        return PointCloud(self._positions[idx], attrs)
+
+    def split_by(self, assignment: np.ndarray, n_groups: int) -> list:
+        """Split into ``n_groups`` sub-clouds by per-point group id.
+
+        Points whose assignment is outside ``[0, n_groups)`` are dropped.
+        """
+        assignment = np.asarray(assignment)
+        if assignment.shape != (len(self),):
+            raise ValidationError(
+                f"assignment must have shape ({len(self)},), "
+                f"got {assignment.shape}"
+            )
+        return [self.select(np.nonzero(assignment == g)[0])
+                for g in range(n_groups)]
+
+    def concat(self, other: "PointCloud") -> "PointCloud":
+        """Concatenate two clouds sharing the same attribute names."""
+        if set(self._attributes) != set(other._attributes):
+            raise ValidationError(
+                "cannot concat clouds with different attributes: "
+                f"{self.attribute_names} vs {other.attribute_names}"
+            )
+        positions = np.concatenate([self._positions, other._positions])
+        attrs = {
+            name: np.concatenate([arr, other._attributes[name]])
+            for name, arr in self._attributes.items()
+        }
+        return PointCloud(positions, attrs)
+
+    # ------------------------------------------------------------------
+    # Geometry summaries
+    # ------------------------------------------------------------------
+    def bounds(self) -> tuple:
+        """Return ``(min_xyz, max_xyz)`` arrays; raises on empty cloud."""
+        if len(self) == 0:
+            raise ValidationError("empty cloud has no bounds")
+        return self._positions.min(axis=0), self._positions.max(axis=0)
+
+    def centroid(self) -> np.ndarray:
+        """Return the mean position; raises on empty cloud."""
+        if len(self) == 0:
+            raise ValidationError("empty cloud has no centroid")
+        return self._positions.mean(axis=0)
+
+    def extent(self) -> np.ndarray:
+        """Return per-axis bounding-box edge lengths."""
+        lo, hi = self.bounds()
+        return hi - lo
+
+    def iter_points(self) -> Iterator[np.ndarray]:
+        """Iterate over individual position rows."""
+        return iter(self._positions)
+
+
+def concat_clouds(clouds) -> PointCloud:
+    """Concatenate a non-empty sequence of compatible clouds."""
+    clouds = list(clouds)
+    if not clouds:
+        raise ValidationError("need at least one cloud to concatenate")
+    result = clouds[0]
+    for cloud in clouds[1:]:
+        result = result.concat(cloud)
+    return result

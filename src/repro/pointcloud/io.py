@@ -1,0 +1,42 @@
+"""Saving and loading point clouds as ``.npz`` archives.
+
+The format is intentionally simple: one array named ``positions`` plus one
+array per attribute under its own name.  Attribute names may not collide
+with ``positions``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.pointcloud.cloud import PointCloud
+
+_POSITIONS_KEY = "positions"
+
+
+def save_npz(cloud: PointCloud, path: str) -> None:
+    """Serialise *cloud* to *path* (parent directory must exist)."""
+    if _POSITIONS_KEY in cloud.attribute_names:
+        raise ValidationError(
+            f"attribute name {_POSITIONS_KEY!r} is reserved"
+        )
+    arrays = {_POSITIONS_KEY: cloud.positions}
+    arrays.update(cloud.attributes_dict())
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: str) -> PointCloud:
+    """Load a cloud previously written by :func:`save_npz`."""
+    if not os.path.exists(path):
+        raise ValidationError(f"no such file: {path}")
+    with np.load(path) as data:
+        if _POSITIONS_KEY not in data:
+            raise ValidationError(
+                f"{path} does not contain a {_POSITIONS_KEY!r} array"
+            )
+        positions = data[_POSITIONS_KEY]
+        attrs = {k: data[k] for k in data.files if k != _POSITIONS_KEY}
+    return PointCloud(positions, attrs)

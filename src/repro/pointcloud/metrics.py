@@ -1,0 +1,160 @@
+"""Accuracy metrics used by the paper's four application domains.
+
+* classification — overall accuracy (Fig. 13, ModelNet metric)
+* segmentation   — mean Intersection-over-Union (Fig. 13, ShapeNet metric)
+* registration   — translational / rotational error (Fig. 14, KITTI metric)
+* rendering      — Peak Signal-to-Noise Ratio (Fig. 15)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def overall_accuracy(predicted, target) -> float:
+    """Fraction of samples whose predicted class equals the target class."""
+    predicted = np.asarray(predicted)
+    target = np.asarray(target)
+    if predicted.shape != target.shape:
+        raise ValidationError(
+            f"shape mismatch: {predicted.shape} vs {target.shape}"
+        )
+    if predicted.size == 0:
+        raise ValidationError("cannot compute accuracy of zero samples")
+    return float(np.mean(predicted == target))
+
+
+def mean_iou(predicted, target, n_classes: int) -> float:
+    """Mean Intersection-over-Union over classes present in the target.
+
+    Classes absent from both prediction and target are skipped, matching the
+    standard ShapeNet part-segmentation protocol.
+    """
+    predicted = np.asarray(predicted)
+    target = np.asarray(target)
+    if predicted.shape != target.shape:
+        raise ValidationError(
+            f"shape mismatch: {predicted.shape} vs {target.shape}"
+        )
+    if n_classes <= 0:
+        raise ValidationError("n_classes must be positive")
+    ious = []
+    for cls in range(n_classes):
+        pred_mask = predicted == cls
+        targ_mask = target == cls
+        union = np.logical_or(pred_mask, targ_mask).sum()
+        if union == 0:
+            continue
+        intersection = np.logical_and(pred_mask, targ_mask).sum()
+        ious.append(intersection / union)
+    if not ious:
+        raise ValidationError("no classes present in prediction or target")
+    return float(np.mean(ious))
+
+
+def translation_error(pose_a: np.ndarray, pose_b: np.ndarray) -> float:
+    """Euclidean distance between the translation parts of two 4x4 poses."""
+    pose_a = _check_pose(pose_a)
+    pose_b = _check_pose(pose_b)
+    return float(np.linalg.norm(pose_a[:3, 3] - pose_b[:3, 3]))
+
+
+def rotation_error(pose_a: np.ndarray, pose_b: np.ndarray) -> float:
+    """Geodesic angle (radians) between the rotation parts of two poses."""
+    pose_a = _check_pose(pose_a)
+    pose_b = _check_pose(pose_b)
+    relative = pose_a[:3, :3].T @ pose_b[:3, :3]
+    cos_angle = (np.trace(relative) - 1.0) / 2.0
+    return float(np.arccos(np.clip(cos_angle, -1.0, 1.0)))
+
+
+def trajectory_errors(estimated, ground_truth) -> dict:
+    """KITTI-style aggregate errors over two pose lists.
+
+    Returns a dict with mean/max translational error (absolute units) and
+    mean/max rotational error (radians), plus relative translational drift:
+    final translation error divided by trajectory length.
+    """
+    estimated = list(estimated)
+    ground_truth = list(ground_truth)
+    if len(estimated) != len(ground_truth):
+        raise ValidationError(
+            f"trajectory lengths differ: {len(estimated)} vs "
+            f"{len(ground_truth)}"
+        )
+    if not estimated:
+        raise ValidationError("empty trajectories")
+    t_errs = [translation_error(a, b) for a, b in zip(estimated, ground_truth)]
+    r_errs = [rotation_error(a, b) for a, b in zip(estimated, ground_truth)]
+    length = _trajectory_length(ground_truth)
+    drift = t_errs[-1] / length if length > 0 else 0.0
+    return {
+        "mean_translation_error": float(np.mean(t_errs)),
+        "max_translation_error": float(np.max(t_errs)),
+        "mean_rotation_error": float(np.mean(r_errs)),
+        "max_rotation_error": float(np.max(r_errs)),
+        "relative_drift": float(drift),
+        "trajectory_length": float(length),
+    }
+
+
+def psnr(image: np.ndarray, reference: np.ndarray,
+         data_range: float = 1.0) -> float:
+    """Peak Signal-to-Noise Ratio in dB between two images.
+
+    Identical images yield ``inf``.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if image.shape != reference.shape:
+        raise ValidationError(
+            f"image shapes differ: {image.shape} vs {reference.shape}"
+        )
+    if data_range <= 0:
+        raise ValidationError("data_range must be positive")
+    mse = float(np.mean((image - reference) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range ** 2 / mse))
+
+
+def recall_at_k(found_neighbors, true_neighbors) -> float:
+    """Fraction of true neighbours recovered, averaged over queries.
+
+    Both arguments are sequences (one entry per query) of index collections.
+    This measures how much quality kNN loses under compulsory splitting or
+    deterministic termination.
+    """
+    found_neighbors = list(found_neighbors)
+    true_neighbors = list(true_neighbors)
+    if len(found_neighbors) != len(true_neighbors):
+        raise ValidationError("query counts differ")
+    if not true_neighbors:
+        raise ValidationError("no queries")
+    recalls = []
+    for found, true in zip(found_neighbors, true_neighbors):
+        true_set = set(int(i) for i in true)
+        if not true_set:
+            continue
+        hit = len(true_set.intersection(int(i) for i in found))
+        recalls.append(hit / len(true_set))
+    if not recalls:
+        raise ValidationError("all queries had empty ground truth")
+    return float(np.mean(recalls))
+
+
+def _check_pose(pose: np.ndarray) -> np.ndarray:
+    pose = np.asarray(pose, dtype=np.float64)
+    if pose.shape != (4, 4):
+        raise ValidationError(f"pose must be 4x4, got {pose.shape}")
+    return pose
+
+
+def _trajectory_length(poses) -> float:
+    total = 0.0
+    for prev, cur in zip(poses[:-1], poses[1:]):
+        total += float(np.linalg.norm(
+            np.asarray(cur)[:3, 3] - np.asarray(prev)[:3, 3]))
+    return total

@@ -1,0 +1,167 @@
+"""Geometric transforms over :class:`~repro.pointcloud.cloud.PointCloud`.
+
+These are the "local-dependent operations" of the paper's taxonomy
+(Sec. 2.1): each output point depends on one input point (elementwise) or a
+small fixed neighbourhood, never on the whole cloud.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.pointcloud.cloud import PointCloud
+
+
+def normalize_unit_sphere(cloud: PointCloud) -> PointCloud:
+    """Center the cloud and scale it into the unit sphere.
+
+    This is the canonical ModelNet preprocessing: subtract the centroid and
+    divide by the maximum point radius.
+    """
+    if len(cloud) == 0:
+        raise ValidationError("cannot normalize an empty cloud")
+    centered = cloud.positions - cloud.centroid()
+    radius = float(np.linalg.norm(centered, axis=1).max())
+    if radius == 0.0:
+        scaled = centered
+    else:
+        scaled = centered / radius
+    return PointCloud(scaled, cloud.attributes_dict())
+
+
+def translate(cloud: PointCloud, offset) -> PointCloud:
+    """Translate every point by *offset* (length-3)."""
+    offset = np.asarray(offset, dtype=np.float64)
+    if offset.shape != (3,):
+        raise ValidationError(f"offset must have shape (3,), got {offset.shape}")
+    return PointCloud(cloud.positions + offset, cloud.attributes_dict())
+
+
+def scale(cloud: PointCloud, factor: float) -> PointCloud:
+    """Uniformly scale positions about the origin."""
+    if factor == 0:
+        raise ValidationError("scale factor must be non-zero")
+    return PointCloud(cloud.positions * float(factor), cloud.attributes_dict())
+
+
+def rotation_matrix(axis: str, angle: float) -> np.ndarray:
+    """Return the 3x3 rotation matrix about a principal *axis* ('x'/'y'/'z')."""
+    c, s = float(np.cos(angle)), float(np.sin(angle))
+    if axis == "x":
+        return np.array([[1, 0, 0], [0, c, -s], [0, s, c]], dtype=np.float64)
+    if axis == "y":
+        return np.array([[c, 0, s], [0, 1, 0], [-s, 0, c]], dtype=np.float64)
+    if axis == "z":
+        return np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]], dtype=np.float64)
+    raise ValidationError(f"axis must be one of 'x', 'y', 'z', got {axis!r}")
+
+
+def rotate(cloud: PointCloud, axis: str, angle: float) -> PointCloud:
+    """Rotate the cloud about a principal axis by *angle* radians."""
+    rot = rotation_matrix(axis, angle)
+    return PointCloud(cloud.positions @ rot.T, cloud.attributes_dict())
+
+
+def apply_rigid(cloud: PointCloud, rotation: np.ndarray,
+                translation: np.ndarray) -> PointCloud:
+    """Apply the rigid transform ``x -> R x + t`` to every point."""
+    rotation = np.asarray(rotation, dtype=np.float64)
+    translation = np.asarray(translation, dtype=np.float64)
+    if rotation.shape != (3, 3):
+        raise ValidationError("rotation must be a 3x3 matrix")
+    if translation.shape != (3,):
+        raise ValidationError("translation must have shape (3,)")
+    return PointCloud(cloud.positions @ rotation.T + translation,
+                      cloud.attributes_dict())
+
+
+def jitter(cloud: PointCloud, sigma: float,
+           rng: Optional[np.random.Generator] = None,
+           clip: Optional[float] = None) -> PointCloud:
+    """Add zero-mean Gaussian noise to every coordinate.
+
+    ``clip`` bounds the absolute perturbation per axis, matching the
+    standard PointNet++ augmentation.
+    """
+    if sigma < 0:
+        raise ValidationError("sigma must be non-negative")
+    rng = rng or np.random.default_rng(0)
+    noise = rng.normal(0.0, sigma, size=cloud.positions.shape)
+    if clip is not None:
+        noise = np.clip(noise, -abs(clip), abs(clip))
+    return PointCloud(cloud.positions + noise, cloud.attributes_dict())
+
+
+def threshold_by_distance(cloud: PointCloud, max_radius: float) -> PointCloud:
+    """Keep points within *max_radius* of the origin (LiDAR range filter)."""
+    if max_radius <= 0:
+        raise ValidationError("max_radius must be positive")
+    dist = np.linalg.norm(cloud.positions, axis=1)
+    return cloud.select(np.nonzero(dist <= max_radius)[0])
+
+
+def random_downsample(cloud: PointCloud, n_points: int,
+                      rng: Optional[np.random.Generator] = None) -> PointCloud:
+    """Uniformly sample *n_points* without replacement (N must be >= n)."""
+    if n_points < 0:
+        raise ValidationError("n_points must be non-negative")
+    if n_points > len(cloud):
+        raise ValidationError(
+            f"cannot sample {n_points} from a cloud of {len(cloud)}"
+        )
+    rng = rng or np.random.default_rng(0)
+    idx = rng.choice(len(cloud), size=n_points, replace=False)
+    return cloud.select(np.sort(idx))
+
+
+def farthest_point_sample(positions: np.ndarray, n_samples: int,
+                          start_index: int = 0) -> np.ndarray:
+    """Greedy farthest-point sampling; returns the chosen indices.
+
+    This is the sampling stage of PointNet++ set abstraction.  Determinism:
+    ties broken by lowest index, seeded by *start_index*.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    if n_samples <= 0:
+        raise ValidationError("n_samples must be positive")
+    if n_samples > n:
+        raise ValidationError(f"cannot FPS-sample {n_samples} of {n} points")
+    if not 0 <= start_index < n:
+        raise ValidationError("start_index out of range")
+    chosen = np.empty(n_samples, dtype=np.int64)
+    chosen[0] = start_index
+    dist = np.linalg.norm(positions - positions[start_index], axis=1)
+    for i in range(1, n_samples):
+        nxt = int(np.argmax(dist))
+        chosen[i] = nxt
+        dist = np.minimum(dist, np.linalg.norm(positions - positions[nxt], axis=1))
+    return chosen
+
+
+def voxel_downsample(cloud: PointCloud, voxel_size: float) -> PointCloud:
+    """Replace all points in each voxel with their centroid.
+
+    Attributes are dropped (the centroid has no well-defined label); this
+    mirrors the voxel-grid filter used by LOAM map maintenance.
+    """
+    if voxel_size <= 0:
+        raise ValidationError("voxel_size must be positive")
+    if len(cloud) == 0:
+        return PointCloud(np.zeros((0, 3)))
+    keys = np.floor(cloud.positions / voxel_size).astype(np.int64)
+    # Group points by voxel key using lexicographic sort.
+    order = np.lexsort((keys[:, 2], keys[:, 1], keys[:, 0]))
+    sorted_keys = keys[order]
+    boundaries = np.ones(len(order), dtype=bool)
+    boundaries[1:] = np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1)
+    group_ids = np.cumsum(boundaries) - 1
+    n_groups = int(group_ids[-1]) + 1
+    sums = np.zeros((n_groups, 3))
+    counts = np.zeros(n_groups)
+    np.add.at(sums, group_ids, cloud.positions[order])
+    np.add.at(counts, group_ids, 1.0)
+    return PointCloud(sums / counts[:, None])

@@ -1,0 +1,39 @@
+"""A-LOAM-style LiDAR odometry substrate."""
+
+from repro.registration.evaluation import (
+    compare_registration_variants,
+    registration_configs,
+)
+from repro.registration.features import (
+    FeatureConfig,
+    extract_features,
+    ring_curvature,
+)
+from repro.registration.icp import (
+    ICPResult,
+    gauss_newton_align,
+    plane_from_points,
+    point_to_line_residual,
+    rotation_from_euler,
+)
+from repro.registration.odometry import (
+    OdometryResult,
+    feature_clouds_summary,
+    run_odometry,
+)
+
+__all__ = [
+    "compare_registration_variants",
+    "registration_configs",
+    "FeatureConfig",
+    "extract_features",
+    "ring_curvature",
+    "ICPResult",
+    "gauss_newton_align",
+    "plane_from_points",
+    "point_to_line_residual",
+    "rotation_from_euler",
+    "OdometryResult",
+    "feature_clouds_summary",
+    "run_odometry",
+]

@@ -1,0 +1,100 @@
+"""LOAM-style feature extraction: edge and planar points by curvature.
+
+A-LOAM classifies each LiDAR return by the local curvature of its scan
+ring: points whose neighbourhood bends sharply are *edge* features, locally
+flat points are *planar* features.  This is a textbook local-dependent
+stencil operation (the paper's Fig. 2a computes curvature with a 1x3
+stencil); the global-dependent work — correspondence search — happens later
+in :mod:`repro.registration.icp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.pointcloud.cloud import PointCloud
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Curvature-extraction parameters (A-LOAM defaults, scaled down)."""
+
+    half_window: int = 5        # neighbours on each side along the ring
+    n_edge_per_ring: int = 6
+    n_planar_per_ring: int = 12
+
+    def __post_init__(self) -> None:
+        if self.half_window <= 0:
+            raise ValidationError("half_window must be positive")
+        if self.n_edge_per_ring <= 0 or self.n_planar_per_ring <= 0:
+            raise ValidationError("feature counts must be positive")
+
+
+def ring_curvature(points: np.ndarray, half_window: int) -> np.ndarray:
+    """LOAM curvature of an ordered ring of points.
+
+    ``c_i = || sum_{j in window} (p_j - p_i) ||^2 / (2w * ||p_i||)^2`` —
+    large for corners/edges, near zero on smooth surfaces.  Border points
+    (incomplete windows) get infinite curvature so they are never selected
+    as planar features and never selected as edges either (they are
+    filtered out explicitly).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n == 0:
+        return np.zeros(0)
+    curvature = np.full(n, np.inf)
+    w = half_window
+    if n < 2 * w + 1:
+        return curvature
+    # Sliding-window sum via cumulative sums per coordinate.
+    cumsum = np.vstack([np.zeros(3), np.cumsum(points, axis=0)])
+    for i in range(w, n - w):
+        window_sum = cumsum[i + w + 1] - cumsum[i - w]
+        diff = window_sum - (2 * w + 1) * points[i]
+        norm = np.linalg.norm(points[i])
+        curvature[i] = float(np.dot(diff, diff)) / max(
+            (2 * w * norm) ** 2, 1e-12)
+    return curvature
+
+
+def extract_features(scan: PointCloud,
+                     config: FeatureConfig = FeatureConfig()
+                     ) -> Tuple[PointCloud, PointCloud]:
+    """Split a scan into (edge_features, planar_features).
+
+    The scan must carry the ``ring`` and ``azimuth_step`` attributes
+    produced by the simulated scanner; each ring is processed in azimuth
+    order like a real LOAM frontend.
+    """
+    if not scan.has_attribute("ring"):
+        raise ValidationError("scan must carry a 'ring' attribute")
+    if not scan.has_attribute("azimuth_step"):
+        raise ValidationError("scan must carry an 'azimuth_step' attribute")
+    rings = scan.attribute("ring")
+    steps = scan.attribute("azimuth_step")
+    edge_indices = []
+    planar_indices = []
+    for ring in np.unique(rings):
+        members = np.nonzero(rings == ring)[0]
+        members = members[np.argsort(steps[members], kind="stable")]
+        pts = scan.positions[members]
+        curvature = ring_curvature(pts, config.half_window)
+        finite = np.isfinite(curvature)
+        candidates = members[finite]
+        curv = curvature[finite]
+        if len(candidates) == 0:
+            continue
+        order = np.argsort(curv, kind="stable")
+        n_planar = min(config.n_planar_per_ring, len(candidates))
+        planar_indices.extend(candidates[order[:n_planar]])
+        n_edge = min(config.n_edge_per_ring, len(candidates))
+        edge_indices.extend(candidates[order[::-1][:n_edge]])
+    if not edge_indices or not planar_indices:
+        raise ValidationError("scan yielded no features; too few returns")
+    return (scan.select(np.array(sorted(edge_indices))),
+            scan.select(np.array(sorted(planar_indices))))

@@ -1,0 +1,180 @@
+"""Point-to-line / point-to-plane ICP via Gauss-Newton (A-LOAM core).
+
+Each iteration finds correspondences with kNN — the global-dependent,
+non-deterministic operation StreamGrid modifies — then linearises the
+residuals around the current pose and solves the normal equations.  The
+search runs through a caller-supplied ``knn_fn(query, k) -> indices`` so
+Base / CS / CS+DT behaviour is injected by
+:mod:`repro.registration.odometry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+KnnFn = Callable[[np.ndarray, int], np.ndarray]
+
+
+@dataclass
+class ICPResult:
+    """Outcome of one scan-to-scan alignment."""
+
+    transform: np.ndarray     # 4x4 source -> target
+    iterations: int
+    final_cost: float
+    converged: bool
+
+
+def rotation_from_euler(rx: float, ry: float, rz: float) -> np.ndarray:
+    """XYZ Euler rotation matrix."""
+    cx, sx = np.cos(rx), np.sin(rx)
+    cy, sy = np.cos(ry), np.sin(ry)
+    cz, sz = np.cos(rz), np.sin(rz)
+    rot_x = np.array([[1, 0, 0], [0, cx, -sx], [0, sx, cx]])
+    rot_y = np.array([[cy, 0, sy], [0, 1, 0], [-sy, 0, cy]])
+    rot_z = np.array([[cz, -sz, 0], [sz, cz, 0], [0, 0, 1]])
+    return rot_z @ rot_y @ rot_x
+
+
+def _pose_matrix(params: np.ndarray) -> np.ndarray:
+    pose = np.eye(4)
+    pose[:3, :3] = rotation_from_euler(*params[:3])
+    pose[:3, 3] = params[3:]
+    return pose
+
+
+def point_to_line_residual(point: np.ndarray, line_a: np.ndarray,
+                           line_b: np.ndarray) -> tuple:
+    """(residual, unit normal) of *point* against segment line (a, b)."""
+    direction = line_b - line_a
+    norm = np.linalg.norm(direction)
+    if norm < 1e-9:
+        # Degenerate line: fall back to point-to-point.
+        diff = point - line_a
+        dist = np.linalg.norm(diff)
+        normal = diff / dist if dist > 1e-12 else np.array([1.0, 0, 0])
+        return dist, normal
+    direction = direction / norm
+    diff = point - line_a
+    perpendicular = diff - np.dot(diff, direction) * direction
+    dist = np.linalg.norm(perpendicular)
+    normal = (perpendicular / dist if dist > 1e-12
+              else np.array([1.0, 0, 0]))
+    return dist, normal
+
+
+def plane_from_points(points: np.ndarray) -> tuple:
+    """Least-squares plane (unit normal, offset) through >=3 points."""
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) < 3:
+        raise ValidationError("a plane needs at least three points")
+    centroid = points.mean(axis=0)
+    centered = points - centroid
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    normal = vt[-1]
+    return normal, -float(np.dot(normal, centroid))
+
+
+def gauss_newton_align(
+    source_edges: np.ndarray,
+    source_planes: np.ndarray,
+    target_edges: np.ndarray,
+    target_planes: np.ndarray,
+    edge_knn: KnnFn,
+    plane_knn: KnnFn,
+    initial: Optional[np.ndarray] = None,
+    max_iterations: int = 8,
+    tolerance: float = 1e-6,
+    damping: float = 1e-4,
+    max_residual: float = 0.5,
+) -> ICPResult:
+    """Align source features to target features.
+
+    ``edge_knn`` / ``plane_knn`` query the *target* feature clouds; edge
+    residuals use the two nearest target edges as a line, planar residuals
+    use the three nearest target planars as a plane.  Correspondences with
+    residuals above ``max_residual`` are rejected each iteration (A-LOAM's
+    outlier gate), which keeps viewpoint-dependent silhouette edges from
+    dragging the solve.
+    """
+    params = np.zeros(6)
+    if initial is not None:
+        initial = np.asarray(initial, dtype=np.float64)
+        if initial.shape != (4, 4):
+            raise ValidationError("initial must be a 4x4 pose")
+        params[3:] = initial[:3, 3]
+        rot = initial[:3, :3]
+        params[0] = np.arctan2(rot[2, 1], rot[2, 2])
+        params[1] = -np.arcsin(np.clip(rot[2, 0], -1.0, 1.0))
+        params[2] = np.arctan2(rot[1, 0], rot[0, 0])
+    cost = np.inf
+    iteration = 0
+    converged = False
+    for iteration in range(1, max_iterations + 1):
+        rot = rotation_from_euler(*params[:3])
+        trans = params[3:]
+        rows, residuals = [], []
+        moved_edges = source_edges @ rot.T + trans
+        for src, moved in zip(source_edges, moved_edges):
+            neighbors = edge_knn(moved, 2)
+            if len(neighbors) < 2:
+                continue
+            dist, normal = point_to_line_residual(
+                moved, target_edges[neighbors[0]],
+                target_edges[neighbors[1]])
+            if abs(dist) > max_residual:
+                continue
+            rows.append(_jacobian_row(src, params, normal))
+            residuals.append(dist)
+        moved_planes = source_planes @ rot.T + trans
+        for src, moved in zip(source_planes, moved_planes):
+            neighbors = plane_knn(moved, 3)
+            if len(neighbors) < 3:
+                continue
+            normal, offset = plane_from_points(target_planes[neighbors])
+            dist = float(np.dot(normal, moved) + offset)
+            if abs(dist) > max_residual:
+                continue
+            rows.append(_jacobian_row(src, params, normal))
+            residuals.append(dist)
+        if len(residuals) < 6:
+            break
+        jac = np.array(rows)
+        res = np.array(residuals)
+        new_cost = float(np.mean(res ** 2))
+        hessian = jac.T @ jac + damping * np.eye(6)
+        try:
+            delta = np.linalg.solve(hessian, -jac.T @ res)
+        except np.linalg.LinAlgError:
+            break
+        params = params + delta
+        if abs(cost - new_cost) < tolerance:
+            cost = new_cost
+            converged = True
+            break
+        cost = new_cost
+    return ICPResult(_pose_matrix(params), iteration, float(cost),
+                     converged)
+
+
+def _jacobian_row(source_point: np.ndarray, params: np.ndarray,
+                  normal: np.ndarray) -> np.ndarray:
+    """d(residual)/d(rx, ry, rz, tx, ty, tz) via numeric differentiation
+    of the rotation part (exact for translation)."""
+    row = np.empty(6)
+    eps = 1e-6
+    rot = rotation_from_euler(*params[:3])
+    base = rot @ source_point
+    for axis in range(3):
+        bumped = params[:3].copy()
+        bumped[axis] += eps
+        rot_b = rotation_from_euler(*bumped)
+        row[axis] = float(np.dot(normal,
+                                 (rot_b @ source_point - base))) / eps
+    row[3:] = normal
+    return row

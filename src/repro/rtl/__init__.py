@@ -1,0 +1,17 @@
+"""System-level RTL code generation from optimized schedules."""
+
+from repro.rtl.codegen import (
+    buffer_depths,
+    generate_system,
+    line_buffer_module,
+    lint_verilog,
+    stage_module,
+)
+
+__all__ = [
+    "buffer_depths",
+    "generate_system",
+    "line_buffer_module",
+    "lint_verilog",
+    "stage_module",
+]

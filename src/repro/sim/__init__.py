@@ -1,0 +1,71 @@
+"""Cycle-level simulator: memory, energy, variants, prior accelerators."""
+
+from repro.sim.accelerators import (
+    PRIOR_DESIGNS,
+    AcceleratorReport,
+    evaluate_accelerator,
+    evaluate_accelerators,
+)
+from repro.sim.energy import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.sim.memory import (
+    BankConflictReport,
+    BankedSRAM,
+    CacheReport,
+    DRAMChannel,
+    FullyAssociativeCache,
+    LineBuffer,
+    traces_to_groups,
+)
+from repro.sim.pipeline_sim import (
+    StreamingReport,
+    double_buffered_cycles,
+    simulate_streaming,
+)
+from repro.sim.variants import (
+    VARIANTS,
+    HardwareConfig,
+    VariantReport,
+    base_buffer_bytes,
+    evaluate_all_variants,
+    evaluate_variant,
+    streaming_buffer_bytes,
+)
+from repro.sim.workload import (
+    SearchProfile,
+    SortProfile,
+    WorkloadProfile,
+    profile_search,
+    profile_sort,
+)
+
+__all__ = [
+    "PRIOR_DESIGNS",
+    "AcceleratorReport",
+    "evaluate_accelerator",
+    "evaluate_accelerators",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+    "BankConflictReport",
+    "BankedSRAM",
+    "CacheReport",
+    "DRAMChannel",
+    "FullyAssociativeCache",
+    "LineBuffer",
+    "traces_to_groups",
+    "StreamingReport",
+    "double_buffered_cycles",
+    "simulate_streaming",
+    "VARIANTS",
+    "HardwareConfig",
+    "VariantReport",
+    "base_buffer_bytes",
+    "evaluate_all_variants",
+    "evaluate_variant",
+    "streaming_buffer_bytes",
+    "SearchProfile",
+    "SortProfile",
+    "WorkloadProfile",
+    "profile_search",
+    "profile_sort",
+]

@@ -1,0 +1,174 @@
+"""Analytic cost models of the five prior accelerators (Fig. 18).
+
+The paper compares StreamGrid against PointAcc, Mesorasi (classification /
+segmentation), QuickNN, Tigris (registration), and GSCore (rendering),
+all provisioned with 256 PEs and comparable on-chip buffers.  Those designs
+cannot be re-synthesised here, so each gets a *structural* analytic model:
+its published dataflow decides where time and DRAM traffic go, driven by
+the same measured :class:`~repro.sim.workload.WorkloadProfile` that drives
+our variants.  Constants encode each design's published efficiency
+characteristics and are documented inline; the reproduction targets the
+*relative ordering and rough factors* of Fig. 18, not absolute cycles.
+
+Structural behaviours encoded:
+
+* **PointAcc** (MICRO'21) — dedicated mapping units make neighbour search
+  far cheaper than naive traversal, DNN on a systolic array; intermediate
+  feature maps still round-trip DRAM with double buffering.
+* **Mesorasi** (MICRO'20) — delayed aggregation cuts DNN MACs but the
+  search runs unaccelerated and all intermediates go off-chip (the
+  normalisation baseline of Fig. 18a/b).
+* **QuickNN** (HPCA'20) — kd-tree kNN engine: full traversals per query,
+  tree streamed from DRAM with modest caching.
+* **Tigris** (MICRO'19) — two-phase hierarchical search, slightly better
+  traversal efficiency than QuickNN but the same full-precision search.
+* **GSCore** (ASPLOS'24) — 3DGS renderer: global depth sort plus tiled
+  rasterisation, Gaussian payloads fetched from DRAM per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.sim.energy import EnergyBreakdown, EnergyModel
+from repro.sim.variants import HardwareConfig
+from repro.sim.workload import WorkloadProfile
+
+
+@dataclass
+class AcceleratorReport:
+    """Modelled performance/energy of one prior design on one workload."""
+
+    name: str
+    cycles: float
+    energy: EnergyBreakdown
+    sram_bytes: float
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+
+@dataclass(frozen=True)
+class _DesignParams:
+    """Structural constants of one prior design (documented above)."""
+
+    name: str
+    search_step_efficiency: float   # fraction of naive traversal steps paid
+    dnn_mac_scale: float            # MAC count multiplier (delayed agg. <1)
+    intermediate_dram_scale: float  # fraction of intermediates hitting DRAM
+    tree_dram_refetches: float      # times the cloud is re-read per run
+    sram_bytes: float
+    sort_efficiency: float = 1.0    # fraction of bitonic comparators paid
+    search_stall_factor: float = 1.0  # cycles/step inflation (DRAM tree)
+    pe_utilization: float = 1.0     # effective fraction of PEs kept busy
+
+
+#: PointAcc's mapping units retire a neighbour-search step every cycle
+#: across a merged sorting pipeline — roughly 3x fewer effective steps
+#: than naive traversal; features still round-trip DRAM once.
+POINTACC = _DesignParams("PointAcc", search_step_efficiency=0.30,
+                         dnn_mac_scale=1.0, intermediate_dram_scale=1.0,
+                         tree_dram_refetches=1.0, sram_bytes=257e3,
+                         pe_utilization=0.75)
+
+#: Mesorasi reduces aggregation MACs (delayed aggregation, ~40% less DNN
+#: work) but searches at naive cost and spills everything off-chip.
+MESORASI = _DesignParams("Mesorasi", search_step_efficiency=1.0,
+                         dnn_mac_scale=0.62, intermediate_dram_scale=2.0,
+                         tree_dram_refetches=1.5, sram_bytes=256e3,
+                         search_stall_factor=1.4, pe_utilization=0.40)
+
+#: QuickNN pays full traversals against a kd-tree streamed from DRAM,
+#: stalling traversal steps on tree-node fetches.
+QUICKNN = _DesignParams("QuickNN", search_step_efficiency=1.0,
+                        dnn_mac_scale=1.0, intermediate_dram_scale=1.0,
+                        tree_dram_refetches=4.0, sram_bytes=320e3,
+                        search_stall_factor=4.0, pe_utilization=0.9)
+
+#: Tigris' two-phase search trims some traversal work vs QuickNN but
+#: still walks full-precision trees with off-chip backing.
+TIGRIS = _DesignParams("Tigris", search_step_efficiency=0.95,
+                       dnn_mac_scale=1.0, intermediate_dram_scale=1.0,
+                       tree_dram_refetches=3.0, sram_bytes=300e3,
+                       search_stall_factor=3.9, pe_utilization=0.9)
+
+#: GSCore has dedicated (efficient) sorting units but still sorts
+#: globally and re-fetches Gaussian payloads per tile pass.
+GSCORE = _DesignParams("GSCore", search_step_efficiency=1.0,
+                       dnn_mac_scale=1.0, intermediate_dram_scale=0.5,
+                       tree_dram_refetches=1.2, sram_bytes=512e3,
+                       sort_efficiency=0.25, pe_utilization=0.7)
+
+PRIOR_DESIGNS: Dict[str, _DesignParams] = {
+    p.name: p for p in (POINTACC, MESORASI, QUICKNN, TIGRIS, GSCORE)
+}
+
+
+def evaluate_accelerator(design: str, workload: WorkloadProfile,
+                         hw: Optional[HardwareConfig] = None,
+                         energy_model: Optional[EnergyModel] = None
+                         ) -> AcceleratorReport:
+    """Model one prior accelerator on one workload."""
+    try:
+        params = PRIOR_DESIGNS[design]
+    except KeyError:
+        raise SimulationError(
+            f"unknown accelerator {design!r}; options: "
+            f"{sorted(PRIOR_DESIGNS)}"
+        ) from None
+    hw = hw or HardwareConfig()
+    energy_model = energy_model or EnergyModel()
+
+    search_steps_total = 0.0
+    cycles = 0.0
+    if workload.search is not None:
+        search = workload.search
+        search_steps_total = (search.n_queries * search.mean_steps_full
+                              * params.search_step_efficiency)
+        cycles += (search_steps_total * params.search_stall_factor
+                   / (hw.n_pes * params.pe_utilization))
+    macs = workload.macs * params.dnn_mac_scale
+    cycles += macs / (hw.n_pes * params.pe_utilization)
+    comparators = 0.0
+    if workload.sort is not None:
+        comparators = (workload.sort.comparators_global
+                       * params.sort_efficiency)
+        cycles += comparators / (hw.n_pes * params.pe_utilization)
+
+    # DRAM: input fetched (possibly repeatedly for tree traversal),
+    # intermediates scaled by the design's spill behaviour.
+    dram_bytes = workload.input_bytes * params.tree_dram_refetches
+    dram_bytes += (2.0 * workload.intermediate_bytes
+                   * params.intermediate_dram_scale)
+    dram_bytes += workload.output_bytes
+    transfer_cycles = dram_bytes / hw.dram_bytes_per_cycle
+    # Double buffering overlaps transfer with compute per phase.
+    cycles = max(cycles, transfer_cycles) + 0.15 * min(cycles,
+                                                       transfer_cycles)
+
+    sram_traffic_values = (2.0 * workload.intermediate_values
+                           + macs / workload.mac_operand_reuse
+                           + search_steps_total
+                           * workload.point_value_width
+                           + 2.0 * comparators)
+    energy = EnergyBreakdown()
+    energy.sram_pj = energy_model.sram_energy(params.sram_bytes,
+                                              sram_traffic_values * 4.0)
+    energy.dram_pj = energy_model.dram_energy(dram_bytes)
+    energy.pe_pj = energy_model.mac_energy(macs)
+    energy.pe_pj += energy_model.compare_energy(search_steps_total * 4.0)
+    energy.pe_pj += energy_model.compare_energy(comparators)
+    return AcceleratorReport(params.name, cycles, energy,
+                             params.sram_bytes)
+
+
+def evaluate_accelerators(designs, workload: WorkloadProfile,
+                          hw: Optional[HardwareConfig] = None,
+                          energy_model: Optional[EnergyModel] = None
+                          ) -> Dict[str, AcceleratorReport]:
+    """Model several prior designs on the same workload."""
+    return {d: evaluate_accelerator(d, workload, hw, energy_model)
+            for d in designs}

@@ -1,0 +1,123 @@
+"""Parametric energy model for the simulated accelerator.
+
+The paper derives energy from post-synthesis ASIC results (TSMC 16nm, Arm
+memory compiler SRAMs, Micron LPDDR3-1600 DRAM).  None of that flow exists
+here, so this module keeps *documented constants* with the structure that
+drives the paper's conclusions:
+
+* DRAM access energy is orders of magnitude above SRAM's (Sec. 1) — we use
+  LPDDR3-class ~20 pJ/bit => 160 pJ/byte [Micron LPDDR3 datasheet class;
+  see also Gao et al., TETRIS, ASPLOS'17 for the DRAM >> SRAM ratio].
+* SRAM dynamic energy grows roughly with the square root of capacity
+  (CACTI-style scaling): ``E_access(pJ) = a + b * sqrt(KiB)`` per 4-byte
+  word, a=0.15, b=0.20 — ~0.6 pJ/word at 8 KiB, ~2 pJ/word at 64 KiB,
+  placing a 2 MiB buffer read at ~7 pJ/word (1.8 pJ/byte), two orders of
+  magnitude below DRAM.
+* A 16nm MAC (fp16-class) costs ~0.5 pJ; a distance/compare op ~0.3 pJ.
+
+Experiments report energy *ratios*, which depend on these constants only
+through DRAM/SRAM/PE ordering — the same robustness argument the paper's
+normalised figures rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Tunable constants of the energy model (defaults documented above)."""
+
+    dram_pj_per_byte: float = 160.0
+    sram_base_pj_per_word: float = 0.15
+    sram_sqrt_pj_per_word: float = 0.20
+    mac_pj: float = 0.5
+    compare_pj: float = 0.3
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        values = (self.dram_pj_per_byte, self.sram_base_pj_per_word,
+                  self.sram_sqrt_pj_per_word, self.mac_pj, self.compare_pj)
+        if any(v <= 0 for v in values):
+            raise ValidationError("all energy constants must be positive")
+        if self.word_bytes <= 0:
+            raise ValidationError("word_bytes must be positive")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Accumulated energy by component, in picojoules."""
+
+    sram_pj: float = 0.0
+    dram_pj: float = 0.0
+    pe_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.sram_pj + self.dram_pj + self.pe_pj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj * 1e-6
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        if not isinstance(other, EnergyBreakdown):
+            return NotImplemented
+        return EnergyBreakdown(self.sram_pj + other.sram_pj,
+                               self.dram_pj + other.dram_pj,
+                               self.pe_pj + other.pe_pj)
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(self.sram_pj * factor,
+                               self.dram_pj * factor,
+                               self.pe_pj * factor)
+
+    def as_dict(self) -> dict:
+        return {"sram_pj": self.sram_pj, "dram_pj": self.dram_pj,
+                "pe_pj": self.pe_pj, "total_pj": self.total_pj}
+
+
+@dataclass
+class EnergyModel:
+    """Energy accounting against a fixed set of constants."""
+
+    params: EnergyParams = field(default_factory=EnergyParams)
+
+    def sram_word_energy(self, capacity_bytes: float) -> float:
+        """Energy (pJ) of one word access to an SRAM of given capacity."""
+        if capacity_bytes < 0:
+            raise ValidationError("capacity must be non-negative")
+        kib = max(capacity_bytes, 1.0) / 1024.0
+        return (self.params.sram_base_pj_per_word
+                + self.params.sram_sqrt_pj_per_word * float(np.sqrt(kib)))
+
+    def sram_energy(self, capacity_bytes: float, accessed_bytes: float
+                    ) -> float:
+        """Energy (pJ) of moving *accessed_bytes* through one SRAM."""
+        if accessed_bytes < 0:
+            raise ValidationError("accessed_bytes must be non-negative")
+        words = accessed_bytes / self.params.word_bytes
+        return words * self.sram_word_energy(capacity_bytes)
+
+    def dram_energy(self, transferred_bytes: float) -> float:
+        """Energy (pJ) of moving *transferred_bytes* to/from DRAM."""
+        if transferred_bytes < 0:
+            raise ValidationError("transferred_bytes must be non-negative")
+        return transferred_bytes * self.params.dram_pj_per_byte
+
+    def mac_energy(self, n_macs: float) -> float:
+        """Energy (pJ) of *n_macs* multiply-accumulate operations."""
+        if n_macs < 0:
+            raise ValidationError("n_macs must be non-negative")
+        return n_macs * self.params.mac_pj
+
+    def compare_energy(self, n_compares: float) -> float:
+        """Energy (pJ) of *n_compares* compare/distance operations."""
+        if n_compares < 0:
+            raise ValidationError("n_compares must be non-negative")
+        return n_compares * self.params.compare_pj

@@ -1,0 +1,250 @@
+"""On-chip and off-chip memory structures for the cycle-level simulator.
+
+* :class:`LineBuffer` — bounded FIFO-with-overwrite; tracks occupancy,
+  peak, and access counts.  Overflow raises, mirroring the paper's
+  requirement that a correctly sized pipeline never stalls on memory.
+* :class:`BankedSRAM` — word-interleaved banks; replays an address trace
+  and reports conflict stalls, or applies Crescent-style *conflict
+  elision* (the paper's Sec. 4.2 adoption) where conflicting requests
+  beyond the first are dropped instead of serialised.
+* :class:`FullyAssociativeCache` — LRU cache backing the **Base+$**
+  variant.
+* :class:`DRAMChannel` — bandwidth/latency model after LPDDR3-1600 x4
+  channels; counts bytes for the energy model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError, ValidationError
+
+
+class LineBuffer:
+    """A capacity-bounded element buffer between two pipeline stages."""
+
+    def __init__(self, capacity: float, name: str = "lb") -> None:
+        if capacity <= 0:
+            raise ValidationError("line buffer capacity must be positive")
+        self.capacity = float(capacity)
+        self.name = name
+        self.occupancy = 0.0
+        self.peak_occupancy = 0.0
+        self.writes = 0.0
+        self.reads = 0.0
+
+    def push(self, n_elements: float) -> None:
+        """Producer writes *n_elements*; overflow is a simulation error."""
+        if n_elements < 0:
+            raise ValidationError("cannot push a negative element count")
+        self.occupancy += n_elements
+        self.writes += n_elements
+        if self.occupancy > self.capacity + 1e-9:
+            raise SimulationError(
+                f"line buffer {self.name!r} overflow: "
+                f"{self.occupancy:.2f} > capacity {self.capacity:.2f}"
+            )
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+
+    def pop(self, n_elements: float) -> None:
+        """Consumer frees *n_elements*; underflow is a simulation error."""
+        if n_elements < 0:
+            raise ValidationError("cannot pop a negative element count")
+        if n_elements > self.occupancy + 1e-9:
+            raise SimulationError(
+                f"line buffer {self.name!r} underflow: need "
+                f"{n_elements:.2f}, have {self.occupancy:.2f}"
+            )
+        self.occupancy = max(0.0, self.occupancy - n_elements)
+        self.reads += n_elements
+
+    def can_push(self, n_elements: float) -> bool:
+        return self.occupancy + n_elements <= self.capacity + 1e-9
+
+    def can_pop(self, n_elements: float) -> bool:
+        return self.occupancy + 1e-9 >= n_elements
+
+
+@dataclass
+class BankConflictReport:
+    """Outcome of replaying an access trace against banked SRAM."""
+
+    n_requests: int
+    cycles: int
+    stall_cycles: int
+    conflicts: int
+    elided: int
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stall_cycles / max(1, self.cycles)
+
+
+class BankedSRAM:
+    """Word-interleaved SRAM banks serving parallel PE requests.
+
+    Each cycle, ``n_ports`` requests arrive (one per PE).  Requests mapping
+    to distinct banks are served together; same-bank requests either
+    serialise (extra cycles — the Fig. 4 stall behaviour) or, under
+    *conflict elision*, all but one are dropped.
+    """
+
+    def __init__(self, n_banks: int, conflict_elision: bool = False) -> None:
+        if n_banks <= 0:
+            raise ValidationError("n_banks must be positive")
+        self.n_banks = n_banks
+        self.conflict_elision = conflict_elision
+
+    def bank_of(self, addresses: np.ndarray) -> np.ndarray:
+        return np.asarray(addresses, dtype=np.int64) % self.n_banks
+
+    def replay(self, trace: Sequence[Sequence[int]]) -> BankConflictReport:
+        """Replay a trace of per-cycle request groups.
+
+        ``trace[t]`` lists the addresses requested at cycle *t* (one entry
+        per active PE).  Returns cycle and conflict accounting.
+        """
+        cycles = 0
+        stalls = 0
+        conflicts = 0
+        elided = 0
+        n_requests = 0
+        for group in trace:
+            group = list(group)
+            n_requests += len(group)
+            if not group:
+                cycles += 1
+                continue
+            banks = self.bank_of(np.array(group))
+            _, counts = np.unique(banks, return_counts=True)
+            over = counts[counts > 1]
+            group_conflicts = int((over - 1).sum())
+            conflicts += group_conflicts
+            if self.conflict_elision:
+                # Drop all but one request per conflicted bank: single
+                # cycle regardless (the elided requests skip their work).
+                elided += group_conflicts
+                cycles += 1
+            else:
+                # Serialise: the worst bank's queue dictates extra cycles.
+                extra = int(counts.max()) - 1
+                stalls += extra
+                cycles += 1 + extra
+        return BankConflictReport(n_requests, cycles, stalls, conflicts,
+                                  elided)
+
+
+@dataclass
+class CacheReport:
+    """Hit/miss accounting of a cache run."""
+
+    accesses: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / max(1, self.accesses)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / max(1, self.accesses)
+
+
+class FullyAssociativeCache:
+    """LRU fully-associative cache over fixed-size lines (Base+$)."""
+
+    def __init__(self, capacity_bytes: float, line_bytes: int = 64) -> None:
+        if capacity_bytes <= 0:
+            raise ValidationError("capacity_bytes must be positive")
+        if line_bytes <= 0:
+            raise ValidationError("line_bytes must be positive")
+        self.capacity_lines = max(1, int(capacity_bytes // line_bytes))
+        self.line_bytes = line_bytes
+        self._lines: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        line = int(address) // self.line_bytes
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lines[line] = True
+        if len(self._lines) > self.capacity_lines:
+            self._lines.popitem(last=False)
+        return False
+
+    def access_range(self, start: int, n_bytes: int) -> CacheReport:
+        """Access a contiguous byte range, line by line."""
+        if n_bytes < 0:
+            raise ValidationError("n_bytes must be non-negative")
+        first = int(start) // self.line_bytes
+        last = int(start + max(0, n_bytes - 1)) // self.line_bytes
+        hits_before, misses_before = self.hits, self.misses
+        for line in range(first, last + 1):
+            self.access(line * self.line_bytes)
+        return CacheReport(
+            accesses=last - first + 1,
+            hits=self.hits - hits_before,
+            misses=self.misses - misses_before,
+        )
+
+    def report(self) -> CacheReport:
+        return CacheReport(self.hits + self.misses, self.hits, self.misses)
+
+
+class DRAMChannel:
+    """Bandwidth/latency DRAM model (LPDDR3-1600, four channels).
+
+    LPDDR3-1600 moves 1600 MT/s x 4 bytes per channel; with four channels
+    and an accelerator clock near 1 GHz that is ~25.6 bytes per cycle.
+    """
+
+    def __init__(self, bytes_per_cycle: float = 25.6,
+                 latency_cycles: int = 100) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValidationError("bytes_per_cycle must be positive")
+        if latency_cycles < 0:
+            raise ValidationError("latency_cycles must be non-negative")
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency_cycles = latency_cycles
+        self.bytes_transferred = 0.0
+        self.transfers = 0
+
+    def transfer_cycles(self, n_bytes: float) -> float:
+        """Cycles to move *n_bytes* (latency + bandwidth term)."""
+        if n_bytes < 0:
+            raise ValidationError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        self.bytes_transferred += n_bytes
+        self.transfers += 1
+        return self.latency_cycles + n_bytes / self.bytes_per_cycle
+
+
+def traces_to_groups(traces: Iterable[Sequence[int]],
+                     n_ports: int) -> List[List[int]]:
+    """Zip per-PE address traces into per-cycle request groups.
+
+    ``traces`` holds one address list per query/PE job; jobs are issued
+    round-robin over ``n_ports`` PEs, so cycle *t* carries the *t*-th
+    address of each of the ``n_ports`` jobs currently resident.
+    """
+    if n_ports <= 0:
+        raise ValidationError("n_ports must be positive")
+    traces = [list(t) for t in traces]
+    groups: List[List[int]] = []
+    for batch_start in range(0, len(traces), n_ports):
+        batch = traces[batch_start:batch_start + n_ports]
+        depth = max((len(t) for t in batch), default=0)
+        for step in range(depth):
+            groups.append([t[step] for t in batch if step < len(t)])
+    return groups

@@ -1,0 +1,407 @@
+"""Evaluation of the paper's four variants: Base, Base+$, CS, CS+DT.
+
+Sec. 7 defines the variants:
+
+* **Base** — line buffers without either technique: global-dependent
+  operations force full-cloud on-chip buffering (Fig. 17's baseline), and
+  the execution falls back to double-buffered off-chip round-trips between
+  globally separated stages.
+* **Base+$** — Base with the line buffers replaced by a fully-associative
+  cache; intermediate traffic becomes cache misses + stalls.
+* **CS** — compulsory splitting only: windowed global ops stream, but the
+  remaining non-determinism forces worst-case buffer sizing on the edges
+  a non-deterministic stage feeds, and bank conflicts stall the search PEs.
+* **CS+DT** — the full design: deterministic stage timing, ILP-minimal
+  buffers, conflict elision.
+
+Every number is derived from a measured :class:`WorkloadProfile` plus the
+application's dataflow graph; the hardware constants live in
+:class:`HardwareConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dataflow.graph import DataflowGraph
+from repro.errors import SimulationError
+from repro.optimizer.ilp import optimize_buffers
+from repro.sim.energy import EnergyBreakdown, EnergyModel
+from repro.sim.memory import BankedSRAM, traces_to_groups
+from repro.sim.workload import WorkloadProfile
+
+VARIANTS = ("Base", "Base+$", "CS", "CS+DT")
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Shared hardware provisioning (paper Sec. 8.3: 256 PEs)."""
+
+    n_pes: int = 256
+    n_banks: int = 16
+    replay_ports: int = 8              # PEs sharing one SRAM in the replay
+    cache_bytes: float = 256.0 * 1024
+    base_tile_sram_bytes: float = 256.0 * 1024
+    dram_bytes_per_cycle: float = 25.6
+    dram_latency_cycles: int = 100
+    miss_stall_exposure: float = 0.3   # fraction of miss latency not hidden
+    max_onchip_bytes: float = 8.0 * 1024 * 1024  # mobile-SoC SRAM ceiling
+
+
+@dataclass
+class VariantReport:
+    """Performance/energy/buffer outcome of one variant on one workload."""
+
+    variant: str
+    cycles: float
+    energy: EnergyBreakdown
+    buffer_bytes: float
+    dram_bytes: float
+    buffer_feasible: bool = True
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+
+# ----------------------------------------------------------------------
+# Compute-phase cycle models
+# ----------------------------------------------------------------------
+def search_conflict_factor(workload: WorkloadProfile, use_splitting: bool,
+                           elision: bool, hw: HardwareConfig) -> float:
+    """Slowdown of the search phase from SRAM bank conflicts.
+
+    Measured by replaying sampled traversal traces against the banked
+    SRAM; with conflict elision the factor is 1 (dropped requests cost
+    nothing — and their accuracy effect is part of the co-trained model).
+    """
+    search = workload.search
+    if search is None:
+        return 1.0
+    traces = (search.sample_traces_windowed if use_splitting
+              else search.sample_traces_full)
+    traces = [t for t in traces if t]
+    if not traces or elision:
+        return 1.0
+    groups = traces_to_groups(traces, hw.replay_ports)
+    if not groups:
+        return 1.0
+    report = BankedSRAM(hw.n_banks, conflict_elision=False).replay(groups)
+    return report.cycles / max(1, len(groups))
+
+
+def search_cycles(workload: WorkloadProfile, use_splitting: bool,
+                  use_termination: bool, hw: HardwareConfig) -> float:
+    """Cycles of the kNN/range-search phase (one query per PE)."""
+    search = workload.search
+    if search is None:
+        return 0.0
+    steps = search.steps_for_variant(use_splitting, use_termination)
+    factor = search_conflict_factor(workload, use_splitting,
+                                    use_termination, hw)
+    return search.n_queries * steps * factor / hw.n_pes
+
+
+def dnn_cycles(workload: WorkloadProfile, hw: HardwareConfig) -> float:
+    """Cycles of the MLP/convolution phase."""
+    return workload.macs / hw.n_pes
+
+
+def sort_cycles(workload: WorkloadProfile, use_splitting: bool,
+                hw: HardwareConfig) -> float:
+    """Cycles of the (bitonic / hierarchical) sorting phase."""
+    sort = workload.sort
+    if sort is None:
+        return 0.0
+    comparators = (sort.comparators_chunked if use_splitting
+                   else sort.comparators_global)
+    return comparators / hw.n_pes
+
+
+def _phase_cycles(workload: WorkloadProfile, use_splitting: bool,
+                  use_termination: bool, hw: HardwareConfig
+                  ) -> Dict[str, float]:
+    phases = {}
+    if workload.search is not None:
+        phases["search"] = search_cycles(workload, use_splitting,
+                                         use_termination, hw)
+    if workload.macs > 0:
+        phases["dnn"] = dnn_cycles(workload, hw)
+    if workload.sort is not None:
+        phases["sort"] = sort_cycles(workload, use_splitting, hw)
+    if not phases:
+        raise SimulationError(
+            f"workload {workload.name!r} has no compute phases"
+        )
+    return phases
+
+
+# ----------------------------------------------------------------------
+# Buffer sizing per variant
+# ----------------------------------------------------------------------
+def pipeline_buffer_bytes(graph: DataflowGraph,
+                          workload: WorkloadProfile,
+                          use_splitting: bool,
+                          use_termination: bool) -> float:
+    """On-chip line-buffer bytes of a variant (Fig. 17a's quantity).
+
+    All variants are sized by the same ILP so the comparison is
+    apples-to-apples:
+
+    * without splitting the ILP runs on the *full cloud* (global edges
+      buffer everything — the paper's Sec. 3 infeasibility argument);
+    * with splitting it runs on one chunk window;
+    * without termination the edges written by a non-deterministic search
+      must hold the worst-case backlog, so they scale by the measured
+      max/mean traversal-step ratio (buffer sizes cannot be fixed offline
+      otherwise — the paper's second Sec. 3 challenge);
+    * the sorting workload adds its sorter's live elements (global bitonic
+      vs per-chunk hierarchical).
+    """
+    n_elements = (workload.window_points if use_splitting
+                  else workload.n_points)
+    inst = graph.instantiate(n_elements)
+    schedule = optimize_buffers(inst)
+    variability = 1.0
+    if not use_termination and workload.search is not None:
+        if use_splitting:
+            mean = max(1.0, workload.search.mean_steps_windowed)
+            worst = float(workload.search.max_steps_windowed)
+        else:
+            mean = max(1.0, workload.search.mean_steps_full)
+            worst = float(workload.search.max_steps_full)
+        variability = max(1.0, worst / mean)
+    total = 0.0
+    for edge in schedule.buffer_elements:
+        bytes_e = schedule.buffer_bytes(edge)
+        if graph.stage(edge.producer).is_global and variability > 1.0:
+            bytes_e *= variability
+        total += bytes_e
+    if workload.sort is not None:
+        live = (workload.sort.peak_buffer_chunked if use_splitting
+                else workload.sort.peak_buffer_global)
+        total += float(live) * 4.0
+    return total
+
+
+def base_buffer_bytes(graph: DataflowGraph,
+                      workload: WorkloadProfile) -> float:
+    """Buffer bytes of the Base line-buffer design (no CS, no DT)."""
+    return pipeline_buffer_bytes(graph, workload, use_splitting=False,
+                                 use_termination=False)
+
+
+def streaming_buffer_bytes(graph: DataflowGraph,
+                           workload: WorkloadProfile,
+                           deterministic: bool) -> float:
+    """Buffer bytes under splitting (CS when ``deterministic`` is False,
+    CS+DT when True)."""
+    return pipeline_buffer_bytes(graph, workload, use_splitting=True,
+                                 use_termination=deterministic)
+
+
+# ----------------------------------------------------------------------
+# Variant evaluation
+# ----------------------------------------------------------------------
+def evaluate_variant(variant: str, graph: DataflowGraph,
+                     workload: WorkloadProfile,
+                     hw: Optional[HardwareConfig] = None,
+                     energy_model: Optional[EnergyModel] = None
+                     ) -> VariantReport:
+    """Evaluate one variant on one application workload."""
+    if variant not in VARIANTS:
+        raise SimulationError(
+            f"unknown variant {variant!r}; options: {VARIANTS}"
+        )
+    hw = hw or HardwareConfig()
+    energy_model = energy_model or EnergyModel()
+    use_splitting = variant in ("CS", "CS+DT")
+    use_termination = variant == "CS+DT"
+    phases = _phase_cycles(workload, use_splitting, use_termination, hw)
+    compute = sum(phases.values())
+    details: Dict[str, float] = {f"cycles_{k}": v for k, v in phases.items()}
+
+    if use_splitting:
+        cycles, dram_bytes = _streaming_timing(phases, workload, hw)
+        buffer_bytes = streaming_buffer_bytes(graph, workload,
+                                              use_termination)
+        sram_traffic = _streaming_sram_values(workload, use_splitting,
+                                              use_termination)
+        feasible = True
+    elif variant == "Base+$":
+        cycles, dram_bytes, sram_traffic = _cached_timing(
+            phases, workload, hw)
+        buffer_bytes = hw.cache_bytes
+        feasible = True
+    else:  # Base
+        cycles, dram_bytes = _double_buffered_timing(phases, workload, hw)
+        buffer_bytes = base_buffer_bytes(graph, workload)
+        sram_traffic = _streaming_sram_values(workload, False, False)
+        feasible = buffer_bytes <= hw.max_onchip_bytes
+
+    # Energy: SRAM traffic at the variant's buffer capacity, DRAM bytes,
+    # PE work (MACs + search distance ops + sort comparators).
+    sram_capacity = buffer_bytes if feasible else hw.base_tile_sram_bytes
+    energy = EnergyBreakdown()
+    energy.sram_pj = energy_model.sram_energy(sram_capacity,
+                                              sram_traffic * 4.0)
+    energy.dram_pj = energy_model.dram_energy(dram_bytes)
+    energy.pe_pj = energy_model.mac_energy(workload.macs)
+    if workload.search is not None:
+        steps = workload.search.steps_for_variant(use_splitting,
+                                                  use_termination)
+        # Each traversal step costs a 3D distance (3 MAC-ish) + compare.
+        energy.pe_pj += energy_model.compare_energy(
+            workload.search.n_queries * steps * 4.0)
+    if workload.sort is not None:
+        comparators = (workload.sort.comparators_chunked if use_splitting
+                       else workload.sort.comparators_global)
+        energy.pe_pj += energy_model.compare_energy(float(comparators))
+
+    details["compute_cycles"] = compute
+    return VariantReport(variant, cycles, energy, buffer_bytes, dram_bytes,
+                         feasible, details)
+
+
+def evaluate_streaming_design(variant: str, graph: DataflowGraph,
+                              workload: WorkloadProfile,
+                              hw: Optional[HardwareConfig] = None,
+                              energy_model: Optional[EnergyModel] = None
+                              ) -> VariantReport:
+    """Fig. 17's comparison: line-buffered designs at equal throughput.
+
+    Sec. 8.2 compares StreamGrid against a line-buffered baseline *without*
+    the two techniques: both stream (no intermediate DRAM traffic), both
+    hit the same throughput target, and "the only difference is the buffer
+    size" — so the energy delta comes from SRAM capacity (each access to a
+    larger SRAM costs more) plus the search work DT trims.
+    """
+    if variant not in VARIANTS:
+        raise SimulationError(
+            f"unknown variant {variant!r}; options: {VARIANTS}"
+        )
+    if variant == "Base+$":
+        raise SimulationError(
+            "Base+$ is not a line-buffered design; use evaluate_variant"
+        )
+    hw = hw or HardwareConfig()
+    energy_model = energy_model or EnergyModel()
+    use_splitting = variant in ("CS", "CS+DT")
+    use_termination = variant == "CS+DT"
+    phases = _phase_cycles(workload, use_splitting, use_termination, hw)
+    cycles = sum(phases.values())
+    buffer_bytes = pipeline_buffer_bytes(graph, workload, use_splitting,
+                                         use_termination)
+    sram_traffic = _streaming_sram_values(workload, use_splitting,
+                                          use_termination)
+    dram_bytes = workload.input_bytes + workload.output_bytes
+    energy = EnergyBreakdown()
+    energy.sram_pj = energy_model.sram_energy(buffer_bytes,
+                                              sram_traffic * 4.0)
+    energy.dram_pj = energy_model.dram_energy(dram_bytes)
+    energy.pe_pj = energy_model.mac_energy(workload.macs)
+    if workload.search is not None:
+        steps = workload.search.steps_for_variant(use_splitting,
+                                                  use_termination)
+        energy.pe_pj += energy_model.compare_energy(
+            workload.search.n_queries * steps * 4.0)
+    if workload.sort is not None:
+        comparators = (workload.sort.comparators_chunked if use_splitting
+                       else workload.sort.comparators_global)
+        energy.pe_pj += energy_model.compare_energy(float(comparators))
+    feasible = buffer_bytes <= hw.max_onchip_bytes
+    return VariantReport(variant, cycles, energy, buffer_bytes,
+                         dram_bytes, feasible,
+                         {f"cycles_{k}": v for k, v in phases.items()})
+
+
+def evaluate_all_variants(graph: DataflowGraph, workload: WorkloadProfile,
+                          hw: Optional[HardwareConfig] = None,
+                          energy_model: Optional[EnergyModel] = None
+                          ) -> Dict[str, VariantReport]:
+    """Evaluate Base, Base+$, CS, and CS+DT on one workload."""
+    return {v: evaluate_variant(v, graph, workload, hw, energy_model)
+            for v in VARIANTS}
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+def _double_buffered_timing(phases: Dict[str, float],
+                            workload: WorkloadProfile,
+                            hw: HardwareConfig):
+    """Base: sequential phases, intermediates round-trip through DRAM."""
+    n_boundaries = max(1, len(phases) - 1)
+    inter_bytes = workload.intermediate_bytes
+    per_boundary = 2.0 * inter_bytes / n_boundaries  # write + read back
+    cycles = 0.0
+    names = list(phases)
+    for i, name in enumerate(names):
+        transfer = per_boundary / hw.dram_bytes_per_cycle
+        if i == 0:
+            transfer += workload.input_bytes / hw.dram_bytes_per_cycle
+        cycles += max(phases[name], transfer)
+    cycles += workload.output_bytes / hw.dram_bytes_per_cycle
+    dram_bytes = (workload.input_bytes + 2.0 * inter_bytes
+                  + workload.output_bytes)
+    return cycles, dram_bytes
+
+
+def _cached_timing(phases: Dict[str, float], workload: WorkloadProfile,
+                   hw: HardwareConfig):
+    """Base+$: intermediates filtered by a fully-associative cache."""
+    inter_bytes = workload.intermediate_bytes
+    working_set = max(inter_bytes, 1.0)
+    hit_rate = min(1.0, hw.cache_bytes / working_set)
+    miss_bytes = (1.0 - hit_rate) * 2.0 * inter_bytes
+    misses = miss_bytes / 64.0
+    stall = misses * hw.dram_latency_cycles * hw.miss_stall_exposure
+    cycles = 0.0
+    names = list(phases)
+    per_boundary = miss_bytes / max(1, len(phases) - 1)
+    for i, name in enumerate(names):
+        transfer = per_boundary / hw.dram_bytes_per_cycle
+        if i == 0:
+            transfer += workload.input_bytes / hw.dram_bytes_per_cycle
+        cycles += max(phases[name], transfer)
+    cycles += stall + workload.output_bytes / hw.dram_bytes_per_cycle
+    dram_bytes = (workload.input_bytes + miss_bytes
+                  + workload.output_bytes)
+    sram_traffic = _streaming_sram_values(workload, False, False)
+    return cycles, dram_bytes, sram_traffic
+
+
+def _streaming_timing(phases: Dict[str, float],
+                      workload: WorkloadProfile, hw: HardwareConfig):
+    """CS / CS+DT: chunk windows pipeline through all phases."""
+    n_windows = workload.n_windows
+    per_window = {name: c / n_windows for name, c in phases.items()}
+    stream_in = (workload.input_bytes / hw.dram_bytes_per_cycle
+                 / n_windows)
+    interval = max(max(per_window.values()), stream_in)
+    fill = sum(per_window.values())
+    cycles = fill + (n_windows - 1) * interval
+    cycles += workload.output_bytes / hw.dram_bytes_per_cycle / n_windows
+    dram_bytes = workload.input_bytes + workload.output_bytes
+    return cycles, dram_bytes
+
+
+def _streaming_sram_values(workload: WorkloadProfile, use_splitting: bool,
+                           use_termination: bool) -> float:
+    """On-chip values moved: intermediates (write+read), MAC operand
+    fetches, search node fetches, sort element traffic."""
+    traffic = 2.0 * workload.intermediate_values
+    traffic += 2.0 * workload.n_points * workload.point_value_width
+    traffic += workload.macs / workload.mac_operand_reuse
+    if workload.search is not None:
+        steps = workload.search.steps_for_variant(use_splitting,
+                                                  use_termination)
+        traffic += (workload.search.n_queries * steps
+                    * workload.point_value_width)
+    if workload.sort is not None:
+        comparators = (workload.sort.comparators_chunked if use_splitting
+                       else workload.sort.comparators_global)
+        traffic += 2.0 * comparators
+    return traffic

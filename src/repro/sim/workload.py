@@ -1,0 +1,192 @@
+"""Measured workload profiles feeding the performance/energy models.
+
+A :class:`WorkloadProfile` captures what one application actually does to
+the memory system, *measured* by running the real substrate code (kd-tree
+traversals, sorting networks, MLP shapes) on the synthetic datasets:
+
+* search behaviour under each variant — full-cloud traversal steps (Base),
+  windowed traversal steps (CS), and the capped deadline (CS+DT) — plus
+  sampled node traces that drive the bank-conflict replay;
+* sorting comparator counts (3DGS), global vs. hierarchical;
+* DNN multiply-accumulate totals;
+* intermediate tensor footprints (the Base variant's DRAM traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SplittingConfig, TerminationConfig
+from repro.core.splitting import CompulsorySplitter
+from repro.core.termination import TerminationPolicy
+from repro.errors import ValidationError
+from repro.spatial.kdtree import KDTree
+
+
+@dataclass
+class SearchProfile:
+    """Traversal-step statistics of one search operation under variants."""
+
+    n_queries: int
+    k: int
+    mean_steps_full: float
+    std_steps_full: float
+    max_steps_full: int
+    mean_steps_windowed: float
+    max_steps_windowed: int
+    deadline_steps: int
+    sample_traces_full: List[List[int]] = field(default_factory=list)
+    sample_traces_windowed: List[List[int]] = field(default_factory=list)
+
+    def steps_for_variant(self, use_splitting: bool,
+                          use_termination: bool) -> float:
+        """Mean per-query steps the variant pays."""
+        if use_termination:
+            capped = float(self.deadline_steps)
+            base = (self.mean_steps_windowed if use_splitting
+                    else self.mean_steps_full)
+            return min(base, capped)
+        return (self.mean_steps_windowed if use_splitting
+                else self.mean_steps_full)
+
+    def worst_steps_for_variant(self, use_splitting: bool,
+                                use_termination: bool) -> float:
+        """Worst-case per-query steps (sizes non-DT buffers)."""
+        if use_termination:
+            return float(self.deadline_steps)
+        return float(self.max_steps_windowed if use_splitting
+                     else self.max_steps_full)
+
+
+@dataclass
+class SortProfile:
+    """Comparator counts of the global vs. hierarchical sort (3DGS)."""
+
+    n_elements: int
+    comparators_global: int
+    comparators_chunked: int
+    peak_buffer_global: int
+    peak_buffer_chunked: int
+
+
+@dataclass
+class WorkloadProfile:
+    """Everything the variant evaluator needs about one application run."""
+
+    name: str
+    n_points: int
+    point_value_width: int           # attribute values per point
+    n_windows: int
+    window_points: int               # max points resident per window
+    macs: float = 0.0                # DNN multiply-accumulates
+    intermediate_values: float = 0.0  # values crossing stage boundaries
+    output_values: float = 0.0
+    #: Line-buffer fetches per MAC are amortised by weight/output reuse:
+    #: each activation fetched from the buffer feeds ~this many MACs.
+    mac_operand_reuse: float = 8.0
+    search: Optional[SearchProfile] = None
+    sort: Optional[SortProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.n_points <= 0:
+            raise ValidationError("n_points must be positive")
+        if self.n_windows <= 0:
+            raise ValidationError("n_windows must be positive")
+        if self.window_points <= 0:
+            raise ValidationError("window_points must be positive")
+
+    @property
+    def input_bytes(self) -> float:
+        return self.n_points * self.point_value_width * 4.0
+
+    @property
+    def intermediate_bytes(self) -> float:
+        return self.intermediate_values * 4.0
+
+    @property
+    def output_bytes(self) -> float:
+        return self.output_values * 4.0
+
+
+def profile_search(positions: np.ndarray, queries: np.ndarray, k: int,
+                   splitting: SplittingConfig,
+                   termination: TerminationConfig,
+                   n_trace_samples: int = 8,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> SearchProfile:
+    """Measure a kNN operation under all variants on real structures.
+
+    Runs full-cloud traversals for the Base statistics, windowed
+    traversals for CS, and calibrates the DT deadline by offline profiling
+    — each number comes from executing the actual kd-tree code.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    rng = rng or np.random.default_rng(0)
+
+    tree = KDTree(positions)
+    full_steps = []
+    traces_full: List[List[int]] = []
+    for i, query in enumerate(queries):
+        record = i < n_trace_samples
+        result = tree.knn(query, k, record_trace=record)
+        full_steps.append(result.steps)
+        if record:
+            traces_full.append(list(result.trace))
+    full_steps = np.array(full_steps, dtype=np.int64)
+
+    splitter = CompulsorySplitter(positions, splitting)
+    query_chunks = splitter.chunk_of_queries(queries)
+    windowed_steps = []
+    traces_windowed: List[List[int]] = []
+    for i, (query, chunk) in enumerate(zip(queries, query_chunks)):
+        result = splitter.knn(query, k, query_chunk=int(chunk))
+        windowed_steps.append(result.steps)
+        if i < n_trace_samples:
+            traces_windowed.append(list(result.trace))
+    windowed_steps = np.array(windowed_steps, dtype=np.int64)
+
+    policy = TerminationPolicy(termination)
+    # Deadline is profiled on the windowed structure: DT runs on top of CS.
+    window = splitter.windows[0]
+    members = np.nonzero(np.isin(splitter.assignment, window.chunk_ids))[0]
+    member_positions = positions[members] if len(members) else positions
+    policy.calibrate(member_positions, k, rng)
+
+    return SearchProfile(
+        n_queries=len(queries),
+        k=k,
+        mean_steps_full=float(full_steps.mean()),
+        std_steps_full=float(full_steps.std()),
+        max_steps_full=int(full_steps.max()),
+        mean_steps_windowed=float(windowed_steps.mean()),
+        max_steps_windowed=int(windowed_steps.max()),
+        deadline_steps=policy.deadline,
+        sample_traces_full=traces_full,
+        sample_traces_windowed=traces_windowed,
+    )
+
+
+def profile_sort(values: np.ndarray, chunk_keys: np.ndarray) -> SortProfile:
+    """Measure global vs. hierarchical sorting cost on real sorters."""
+    from repro.spatial.sorting import (
+        bitonic_network_comparators,
+        hierarchical_sort,
+    )
+
+    values = np.asarray(values, dtype=np.float64)
+    keys = np.asarray(chunk_keys, dtype=np.int64)
+    if values.shape != keys.shape:
+        raise ValidationError("values and chunk_keys must align")
+    comparators_global = bitonic_network_comparators(len(values))
+    _, stats = hierarchical_sort(values, keys)
+    return SortProfile(
+        n_elements=len(values),
+        comparators_global=comparators_global,
+        comparators_chunked=stats.compare_exchanges,
+        peak_buffer_global=comparators_global + len(values),
+        peak_buffer_chunked=stats.buffered_elements,
+    )

@@ -1,0 +1,57 @@
+"""Spatial data structures: kd-tree, chunk grids, octree, sorting."""
+
+from repro.spatial.grid import (
+    ChunkGrid,
+    ChunkWindow,
+    chunk_windows,
+    serial_chunks,
+    serial_windows,
+)
+from repro.spatial.kdtree import (
+    KDTree,
+    QueryResult,
+    brute_force_knn,
+    brute_force_range,
+)
+from repro.spatial.neighbors import (
+    BatchResult,
+    ChunkedIndex,
+    chunked_knn_search,
+    chunked_range_search,
+    knn_search,
+    range_search,
+)
+from repro.spatial.octree import Octree
+from repro.spatial.sorting import (
+    SortStats,
+    bitonic_network_comparators,
+    bitonic_sort,
+    hierarchical_sort,
+    inversions_vs_sorted,
+    sorting_buffer_elements,
+)
+
+__all__ = [
+    "ChunkGrid",
+    "ChunkWindow",
+    "chunk_windows",
+    "serial_chunks",
+    "serial_windows",
+    "KDTree",
+    "QueryResult",
+    "brute_force_knn",
+    "brute_force_range",
+    "BatchResult",
+    "ChunkedIndex",
+    "chunked_knn_search",
+    "chunked_range_search",
+    "knn_search",
+    "range_search",
+    "Octree",
+    "SortStats",
+    "bitonic_network_comparators",
+    "bitonic_sort",
+    "hierarchical_sort",
+    "inversions_vs_sorted",
+    "sorting_buffer_elements",
+]

@@ -1,0 +1,229 @@
+"""High-level neighbour-search APIs: exact, capped, and chunk-windowed.
+
+These functions are the bridge between the raw spatial structures and the
+paper's two techniques:
+
+* :func:`knn_search` / :func:`range_search` — canonical global searches
+  (the **Base** behaviour), optionally step-capped (**DT**).
+* :func:`chunked_knn_search` / :func:`chunked_range_search` — searches
+  restricted to a stencil window of chunks (**CS**), with per-query
+  accessed-chunk accounting (reproduces Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.spatial.grid import ChunkGrid, ChunkWindow
+from repro.spatial.kdtree import KDTree, QueryResult
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Results of a batch of queries."""
+
+    indices: List[np.ndarray]      # per-query neighbour index arrays
+    distances: List[np.ndarray]    # per-query distances
+    steps: np.ndarray              # per-query traversal steps
+    terminated: np.ndarray         # per-query deadline flags
+    accessed_chunks: Optional[np.ndarray] = None   # per-query chunk counts
+
+
+def knn_search(points: np.ndarray, queries: np.ndarray, k: int,
+               max_steps: Optional[int] = None,
+               record_traces: bool = False) -> BatchResult:
+    """Batch kNN over a single kd-tree covering all *points*."""
+    tree = KDTree(points)
+    return _run_batch(
+        tree, queries,
+        lambda t, q: t.knn(q, k, max_steps=max_steps,
+                           record_trace=record_traces))
+
+
+def range_search(points: np.ndarray, queries: np.ndarray, radius: float,
+                 max_steps: Optional[int] = None,
+                 max_results: Optional[int] = None) -> BatchResult:
+    """Batch ball queries over a single kd-tree covering all *points*."""
+    tree = KDTree(points)
+    return _run_batch(
+        tree, queries,
+        lambda t, q: t.range_search(q, radius, max_steps=max_steps,
+                                    max_results=max_results))
+
+
+def _run_batch(tree: KDTree, queries: np.ndarray, runner) -> BatchResult:
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if queries.shape[1] != 3:
+        raise ValidationError("queries must be (Q, 3)")
+    indices, distances, steps, terminated = [], [], [], []
+    for query in queries:
+        result: QueryResult = runner(tree, query)
+        indices.append(result.indices)
+        distances.append(result.distances)
+        steps.append(result.steps)
+        terminated.append(result.terminated)
+    return BatchResult(indices, distances,
+                       np.array(steps, dtype=np.int64),
+                       np.array(terminated, dtype=bool))
+
+
+# ----------------------------------------------------------------------
+# Chunk-windowed (compulsory splitting) searches
+# ----------------------------------------------------------------------
+class ChunkedIndex:
+    """Per-window kd-trees over a chunk partition of a point cloud.
+
+    ``windows`` are stencil windows over the chunks (see
+    :func:`repro.spatial.grid.chunk_windows`); each window gets its own
+    kd-tree over the union of its member chunks.  A query is served by the
+    window whose chunk set contains the query's own chunk — ties broken by
+    the window covering the query most centrally, mirroring the paper's
+    sliding-window processing where each chunk's queries run when its
+    window group is resident in the line buffer.
+    """
+
+    def __init__(self, positions: np.ndarray,
+                 chunk_assignment: np.ndarray,
+                 windows: Sequence[ChunkWindow]) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValidationError("positions must be (N, 3)")
+        if chunk_assignment.shape != (len(positions),):
+            raise ValidationError("one chunk id per point required")
+        if not windows:
+            raise ValidationError("at least one window required")
+        self.positions = positions
+        self.assignment = chunk_assignment
+        self.windows = list(windows)
+        self._window_of_chunk = {}
+        for widx, window in enumerate(self.windows):
+            for rank, chunk in enumerate(window.chunk_ids):
+                # Prefer the window holding the chunk closest to its middle.
+                centrality = abs(rank - (len(window.chunk_ids) - 1) / 2.0)
+                best = self._window_of_chunk.get(chunk)
+                if best is None or centrality < best[0]:
+                    self._window_of_chunk[chunk] = (centrality, widx)
+        self._trees: List[Optional[KDTree]] = []
+        self._members: List[np.ndarray] = []
+        for window in self.windows:
+            mask = np.isin(chunk_assignment, window.chunk_ids)
+            members = np.nonzero(mask)[0]
+            self._members.append(members)
+            tree = KDTree(positions[members]) if len(members) else None
+            self._trees.append(tree)
+
+    def window_for_chunk(self, chunk: int) -> int:
+        """Index of the window that serves queries living in *chunk*."""
+        try:
+            return self._window_of_chunk[chunk][1]
+        except KeyError:
+            raise ValidationError(
+                f"chunk {chunk} is not covered by any window"
+            ) from None
+
+    def covered_chunks(self) -> set:
+        """All chunk ids covered by at least one window."""
+        return set(self._window_of_chunk)
+
+    def query_knn(self, query: np.ndarray, query_chunk: int, k: int,
+                  max_steps: Optional[int] = None) -> QueryResult:
+        """kNN restricted to the window serving *query_chunk*.
+
+        Returned indices refer to the *original* point array.
+        """
+        widx = self.window_for_chunk(query_chunk)
+        tree, members = self._trees[widx], self._members[widx]
+        if tree is None:
+            return QueryResult(np.zeros(0, dtype=np.int64),
+                               np.zeros(0), 0, False)
+        local = tree.knn(np.asarray(query, dtype=np.float64), k,
+                         max_steps=max_steps, record_trace=True)
+        return QueryResult(members[local.indices], local.distances,
+                           local.steps, local.terminated, local.trace)
+
+    def query_range(self, query: np.ndarray, query_chunk: int,
+                    radius: float, max_steps: Optional[int] = None,
+                    max_results: Optional[int] = None) -> QueryResult:
+        """Ball query restricted to the window serving *query_chunk*."""
+        widx = self.window_for_chunk(query_chunk)
+        tree, members = self._trees[widx], self._members[widx]
+        if tree is None:
+            return QueryResult(np.zeros(0, dtype=np.int64),
+                               np.zeros(0), 0, False)
+        local = tree.range_search(np.asarray(query, dtype=np.float64),
+                                  radius, max_steps=max_steps,
+                                  max_results=max_results,
+                                  record_trace=True)
+        return QueryResult(members[local.indices], local.distances,
+                           local.steps, local.terminated, local.trace)
+
+    def chunks_touched(self, result: QueryResult, window_index: int
+                       ) -> int:
+        """Distinct chunks whose points the traversal visited (Fig. 6)."""
+        members = self._members[window_index]
+        tree = self._trees[window_index]
+        if tree is None or not result.trace:
+            return 0
+        visited_points = members[tree.point_index[np.array(result.trace)]]
+        return len(np.unique(self.assignment[visited_points]))
+
+
+def chunked_knn_search(positions: np.ndarray, queries: np.ndarray, k: int,
+                       grid: ChunkGrid, windows: Sequence[ChunkWindow],
+                       max_steps: Optional[int] = None) -> BatchResult:
+    """Batch kNN under compulsory splitting (+ optional DT deadline).
+
+    Also reports per-query ``accessed_chunks`` — the count of distinct
+    chunks the traversal touched, reproducing the Fig. 6 measurement.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    assignment = grid.assign(positions)
+    index = ChunkedIndex(positions, assignment, windows)
+    query_chunks = grid.assign(queries)
+    indices, distances, steps, terminated, accessed = [], [], [], [], []
+    for query, chunk in zip(queries, query_chunks):
+        result = index.query_knn(query, int(chunk), k, max_steps=max_steps)
+        widx = index.window_for_chunk(int(chunk))
+        indices.append(result.indices)
+        distances.append(result.distances)
+        steps.append(result.steps)
+        terminated.append(result.terminated)
+        accessed.append(index.chunks_touched(result, widx))
+    return BatchResult(indices, distances,
+                       np.array(steps, dtype=np.int64),
+                       np.array(terminated, dtype=bool),
+                       np.array(accessed, dtype=np.int64))
+
+
+def chunked_range_search(positions: np.ndarray, queries: np.ndarray,
+                         radius: float, grid: ChunkGrid,
+                         windows: Sequence[ChunkWindow],
+                         max_steps: Optional[int] = None,
+                         max_results: Optional[int] = None) -> BatchResult:
+    """Batch ball queries under compulsory splitting (+ optional DT)."""
+    positions = np.asarray(positions, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    assignment = grid.assign(positions)
+    index = ChunkedIndex(positions, assignment, windows)
+    query_chunks = grid.assign(queries)
+    indices, distances, steps, terminated, accessed = [], [], [], [], []
+    for query, chunk in zip(queries, query_chunks):
+        result = index.query_range(query, int(chunk), radius,
+                                   max_steps=max_steps,
+                                   max_results=max_results)
+        widx = index.window_for_chunk(int(chunk))
+        indices.append(result.indices)
+        distances.append(result.distances)
+        steps.append(result.steps)
+        terminated.append(result.terminated)
+        accessed.append(index.chunks_touched(result, widx))
+    return BatchResult(indices, distances,
+                       np.array(steps, dtype=np.int64),
+                       np.array(terminated, dtype=bool),
+                       np.array(accessed, dtype=np.int64))

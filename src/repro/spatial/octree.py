@@ -1,0 +1,188 @@
+"""A from-scratch octree: the alternative hierarchical spatial index.
+
+The kd-tree is the paper's primary search structure, but hierarchical
+sorting and spatial partitioning (Sec. 4.1) are naturally expressed over an
+octree, and the chunk grids of compulsory splitting are one level of an
+octree-style decomposition.  This implementation supports incremental
+insertion (streaming-friendly), range queries with step accounting, and
+Morton-order linearisation used by the hierarchical sorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass
+class _Node:
+    lower: np.ndarray
+    upper: np.ndarray
+    depth: int
+    point_indices: List[int] = field(default_factory=list)
+    children: Optional[List["_Node"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lower + self.upper) / 2.0
+
+
+class Octree:
+    """Point-region octree with a leaf capacity and maximum depth."""
+
+    def __init__(self, lower, upper, leaf_capacity: int = 16,
+                 max_depth: int = 12) -> None:
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if lower.shape != (3,) or upper.shape != (3,):
+            raise ValidationError("bounds must be length-3 vectors")
+        if np.any(upper <= lower):
+            raise ValidationError("upper must strictly dominate lower")
+        if leaf_capacity <= 0:
+            raise ValidationError("leaf_capacity must be positive")
+        if max_depth <= 0:
+            raise ValidationError("max_depth must be positive")
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        self.root = _Node(lower, upper, depth=0)
+        self._points: List[np.ndarray] = []
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, leaf_capacity: int = 16,
+                    max_depth: int = 12) -> "Octree":
+        """Build an octree covering *points* and insert them all."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValidationError("points must be (N, 3)")
+        if len(points) == 0:
+            raise ValidationError("cannot build an octree over zero points")
+        lower = points.min(axis=0) - 1e-9
+        upper = points.max(axis=0) + 1e-9
+        tree = cls(lower, upper, leaf_capacity, max_depth)
+        for point in points:
+            tree.insert(point)
+        return tree
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray) -> int:
+        """Insert one point; returns its index."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (3,):
+            raise ValidationError("point must have shape (3,)")
+        if np.any(point < self.root.lower) or np.any(point > self.root.upper):
+            raise ValidationError("point lies outside the octree bounds")
+        index = len(self._points)
+        self._points.append(point)
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[self._octant(node, point)]
+        node.point_indices.append(index)
+        if (len(node.point_indices) > self.leaf_capacity
+                and node.depth < self.max_depth):
+            self._split(node)
+        return index
+
+    def _octant(self, node: _Node, point: np.ndarray) -> int:
+        center = node.center
+        return ((point[0] >= center[0]) * 4 + (point[1] >= center[1]) * 2
+                + (point[2] >= center[2]) * 1)
+
+    def _split(self, node: _Node) -> None:
+        center = node.center
+        children = []
+        for code in range(8):
+            lower = node.lower.copy()
+            upper = node.upper.copy()
+            for axis, bit in enumerate((4, 2, 1)):
+                if code & bit:
+                    lower[axis] = center[axis]
+                else:
+                    upper[axis] = center[axis]
+            children.append(_Node(lower, upper, node.depth + 1))
+        node.children = children
+        for idx in node.point_indices:
+            point = self._points[idx]
+            children[self._octant(node, point)].point_indices.append(idx)
+        node.point_indices = []
+
+    # ------------------------------------------------------------------
+    def range_search(self, query: np.ndarray, radius: float,
+                     max_steps: Optional[int] = None) -> tuple:
+        """Ball query; returns ``(indices, steps, terminated)``.
+
+        One *step* is one node visit, matching the kd-tree convention so
+        deterministic-termination deadlines are comparable.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (3,):
+            raise ValidationError("query must have shape (3,)")
+        if radius <= 0:
+            raise ValidationError("radius must be positive")
+        hits: List[int] = []
+        steps = 0
+        terminated = False
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if max_steps is not None and steps >= max_steps:
+                terminated = True
+                break
+            steps += 1
+            if not self._ball_intersects(node, query, radius):
+                continue
+            if node.is_leaf:
+                for idx in node.point_indices:
+                    if np.linalg.norm(self._points[idx] - query) <= radius:
+                        hits.append(idx)
+            else:
+                stack.extend(node.children)
+        hits.sort()
+        return np.array(hits, dtype=np.int64), steps, terminated
+
+    @staticmethod
+    def _ball_intersects(node: _Node, query: np.ndarray,
+                         radius: float) -> bool:
+        clamped = np.clip(query, node.lower, node.upper)
+        return bool(np.linalg.norm(clamped - query) <= radius)
+
+    # ------------------------------------------------------------------
+    def leaf_count(self) -> int:
+        """Number of leaf nodes."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.extend(node.children)
+        return count
+
+    def morton_order(self) -> np.ndarray:
+        """Point indices in depth-first octant order (Morton/Z-order).
+
+        Used as the coarse key in hierarchical sorting: points in the same
+        leaf are spatially adjacent, so sorting leaf-by-leaf approximates a
+        global spatial sort.
+        """
+        order: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                order.extend(sorted(node.point_indices))
+            else:
+                # Push reversed so octant 0 is processed first.
+                stack.extend(reversed(node.children))
+        return np.array(order, dtype=np.int64)

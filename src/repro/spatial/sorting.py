@@ -1,0 +1,143 @@
+"""Sorting substrates: bitonic networks and hierarchical chunked sorting.
+
+The paper's motivating cost example (Sec. 3) is bitonic sort: sorting half a
+million points needs >30 million buffered elements on-chip.  Its fix
+(Sec. 4.1, "Split for Sorting") is hierarchical: spatial partitioning
+already orders the chunks, so sorting *within* each chunk establishes the
+overall order — the global sort becomes chunk-local sorts plus a cheap
+chunk-order concatenation.  3DGS depth sorting uses exactly this relaxation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SortStats:
+    """Instrumentation from a sorting run."""
+
+    n_elements: int
+    compare_exchanges: int
+    buffered_elements: int   # peak simultaneous elements a HW sorter holds
+
+
+def bitonic_sort(values: Sequence[float]) -> tuple:
+    """Sort with a bitonic network; returns (sorted_array, SortStats).
+
+    The input is padded to the next power of two with ``+inf`` sentinels
+    (removed before returning).  ``compare_exchanges`` counts network
+    comparators, which is the paper's ~``n/2 * log^2(n)`` buffer-pressure
+    figure; ``buffered_elements`` is the total comparator count plus the
+    live array — the quantity the paper quotes as "over 30 million elements"
+    for half a million points.
+    """
+    arr = np.asarray(values, dtype=np.float64).copy()
+    if arr.ndim != 1:
+        raise ValidationError("bitonic_sort expects a 1D sequence")
+    n = len(arr)
+    if n == 0:
+        return arr, SortStats(0, 0, 0)
+    size = 1
+    while size < n:
+        size *= 2
+    padded = np.full(size, np.inf)
+    padded[:n] = arr
+    exchanges = 0
+    k = 2
+    while k <= size:
+        j = k // 2
+        while j > 0:
+            idx = np.arange(size)
+            partner = idx ^ j
+            mask = partner > idx
+            ascending = (idx & k) == 0
+            left = padded[idx[mask]]
+            right = padded[partner[mask]]
+            swap = np.where(ascending[mask], left > right, left < right)
+            exchanges += int(mask.sum())
+            new_left = np.where(swap, right, left)
+            new_right = np.where(swap, left, right)
+            padded[idx[mask]] = new_left
+            padded[partner[mask]] = new_right
+            j //= 2
+        k *= 2
+    return padded[:n], SortStats(n, exchanges, exchanges + size)
+
+
+def bitonic_network_comparators(n: int) -> int:
+    """Comparator count of a bitonic network over ``n`` elements.
+
+    Exact closed form for the padded power-of-two size ``m``:
+    ``m/4 * log2(m) * (log2(m) + 1)``.
+    """
+    if n <= 0:
+        raise ValidationError("n must be positive")
+    m = 1
+    while m < n:
+        m *= 2
+    log_m = int(np.log2(m))
+    return m * log_m * (log_m + 1) // 4
+
+
+def hierarchical_sort(values: Sequence[float], chunk_keys: Sequence[int]
+                      ) -> tuple:
+    """Chunked (hierarchical) sort: order by chunk key, then within chunk.
+
+    This is the compulsory-splitting relaxation of a global sort: values in
+    different chunks are ordered purely by their chunk key, so inversions
+    may survive *across* chunk boundaries when the spatial partition
+    disagrees with the sort key — the accuracy/efficiency trade the paper's
+    3DGS experiment measures.  Returns ``(permutation, SortStats)`` where
+    ``permutation`` lists original indices in output order.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    keys = np.asarray(chunk_keys, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValidationError("values must be 1D")
+    if keys.shape != arr.shape:
+        raise ValidationError(
+            f"chunk_keys shape {keys.shape} != values shape {arr.shape}"
+        )
+    if len(arr) == 0:
+        return np.zeros(0, dtype=np.int64), SortStats(0, 0, 0)
+    exchanges = 0
+    peak = 0
+    pieces: List[np.ndarray] = []
+    for key in np.unique(keys):
+        members = np.nonzero(keys == key)[0]
+        _, stats = bitonic_sort(arr[members])
+        exchanges += stats.compare_exchanges
+        peak = max(peak, stats.buffered_elements)
+        pieces.append(members[np.argsort(arr[members], kind="stable")])
+    permutation = np.concatenate(pieces)
+    return permutation, SortStats(len(arr), exchanges, peak)
+
+
+def inversions_vs_sorted(values: Sequence[float],
+                         permutation: np.ndarray) -> int:
+    """Count adjacent-pair order violations of *permutation* over *values*.
+
+    Zero means the permutation is a valid (non-strict) sort.  Used to
+    quantify how far a hierarchical sort is from the exact global order.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    perm = np.asarray(permutation, dtype=np.int64)
+    if sorted(perm.tolist()) != list(range(len(arr))):
+        raise ValidationError("permutation must be a bijection on indices")
+    ordered = arr[perm]
+    return int(np.sum(ordered[1:] < ordered[:-1]))
+
+
+def sorting_buffer_elements(n: int) -> int:
+    """Paper's Sec. 3 estimate of on-chip elements to sort ``n`` points.
+
+    ``bitonic_network_comparators(n) + n`` — for n=500_000 this exceeds
+    30 million, the paper's infeasibility example.
+    """
+    return bitonic_network_comparators(n) + n

@@ -1,0 +1,20 @@
+"""3D Gaussian Splatting substrate."""
+
+from repro.splatting.camera import PinholeCamera
+from repro.splatting.pipeline import (
+    RenderResult,
+    compare_rendering,
+    render_chunked,
+    render_global,
+)
+from repro.splatting.rasterizer import coverage, rasterize
+
+__all__ = [
+    "PinholeCamera",
+    "RenderResult",
+    "compare_rendering",
+    "render_chunked",
+    "render_global",
+    "coverage",
+    "rasterize",
+]

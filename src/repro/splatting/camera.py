@@ -1,0 +1,52 @@
+"""Pinhole camera model for the Gaussian-splatting rasteriser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """An intrinsics-only pinhole camera looking down +z.
+
+    Scene geometry is expressed directly in the camera frame (the
+    synthetic scenes are generated that way), so no extrinsics are needed.
+    """
+
+    width: int = 64
+    height: int = 64
+    focal: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValidationError("image dimensions must be positive")
+        if self.focal <= 0:
+            raise ValidationError("focal length must be positive")
+
+    @property
+    def cx(self) -> float:
+        return self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        return self.height / 2.0
+
+    def project(self, points: np.ndarray) -> tuple:
+        """Project camera-frame points.
+
+        Returns ``(pixels (N, 2), depths (N,), valid (N,))`` where
+        ``valid`` masks points in front of the camera.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != 3:
+            raise ValidationError("points must be (N, 3)")
+        depths = points[:, 2]
+        valid = depths > 1e-6
+        safe_z = np.where(valid, depths, 1.0)
+        px = self.focal * points[:, 0] / safe_z + self.cx
+        py = self.focal * points[:, 1] / safe_z + self.cy
+        return np.stack([px, py], axis=1), depths, valid

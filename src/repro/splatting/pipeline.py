@@ -1,0 +1,105 @@
+"""The 3DGS rendering pipeline under Base and CS sorting (Fig. 15).
+
+3DGS has no non-deterministic operation, so deterministic termination does
+not apply (paper Sec. 8.1); compulsory splitting replaces the *global*
+depth sort with a hierarchical one — partition the Gaussians into spatial
+chunks, order chunks by camera depth, sort exactly within each chunk
+(:func:`repro.spatial.sorting.hierarchical_sort`).  Sorting cost and
+buffer pressure collapse; compositing order errors appear only across
+chunk boundaries, costing a fraction of a dB in PSNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.gaussians import GaussianScene
+from repro.errors import ValidationError
+from repro.pointcloud.metrics import psnr
+from repro.spatial.grid import ChunkGrid
+from repro.spatial.sorting import (
+    SortStats,
+    bitonic_network_comparators,
+    hierarchical_sort,
+    inversions_vs_sorted,
+)
+from repro.splatting.camera import PinholeCamera
+from repro.splatting.rasterizer import rasterize
+
+
+@dataclass
+class RenderResult:
+    """An image plus the sorting instrumentation that produced it."""
+
+    image: np.ndarray
+    order: np.ndarray
+    sort_stats: SortStats
+    inversions: int
+
+
+def render_global(scene: GaussianScene,
+                  camera: PinholeCamera) -> RenderResult:
+    """Baseline 3DGS: exact global depth sort, then composite."""
+    _, depths, _ = camera.project(scene.positions)
+    order = np.argsort(depths, kind="stable")
+    stats = SortStats(
+        n_elements=len(scene),
+        compare_exchanges=bitonic_network_comparators(len(scene)),
+        buffered_elements=(bitonic_network_comparators(len(scene))
+                           + len(scene)),
+    )
+    image = rasterize(scene, camera, order)
+    return RenderResult(image, order, stats, 0)
+
+
+def render_chunked(scene: GaussianScene, camera: PinholeCamera,
+                   grid_shape: Sequence[int] = (4, 4, 6)) -> RenderResult:
+    """CS variant: hierarchical sort over a spatial chunk grid.
+
+    Chunks are ranked by the camera depth of their nearest corner (the
+    spatial partition fixes the chunk order, paper Sec. 4.1 "Split for
+    Sorting"); Gaussians are sorted exactly within chunks only.
+    """
+    if len(scene) == 0:
+        raise ValidationError("cannot render an empty scene")
+    grid = ChunkGrid.fit(scene.positions, grid_shape)
+    assignment = grid.assign(scene.positions)
+    _, depths, _ = camera.project(scene.positions)
+    # Rank chunks by their minimum member depth.
+    chunk_rank = {}
+    occupied = np.unique(assignment)
+    chunk_depths = [(float(depths[assignment == c].min()), int(c))
+                    for c in occupied]
+    for rank, (_, chunk) in enumerate(sorted(chunk_depths)):
+        chunk_rank[chunk] = rank
+    keys = np.array([chunk_rank[int(c)] for c in assignment],
+                    dtype=np.int64)
+    order, stats = hierarchical_sort(depths, keys)
+    inversions = inversions_vs_sorted(depths, order)
+    image = rasterize(scene, camera, order)
+    return RenderResult(image, order, stats, inversions)
+
+
+def compare_rendering(scene: GaussianScene, camera: PinholeCamera,
+                      grid_shape: Sequence[int] = (4, 4, 6)) -> dict:
+    """Fig. 15 head-to-head: Base vs CS on one scene.
+
+    The reference for PSNR is the exactly sorted image; Base reproduces it
+    by construction, so the dict reports the CS image's PSNR against it
+    plus both sorters' costs.
+    """
+    base = render_global(scene, camera)
+    chunked = render_chunked(scene, camera, grid_shape)
+    return {
+        "psnr_cs_db": psnr(chunked.image, base.image),
+        "inversions": chunked.inversions,
+        "comparators_base": base.sort_stats.compare_exchanges,
+        "comparators_cs": chunked.sort_stats.compare_exchanges,
+        "buffer_base": base.sort_stats.buffered_elements,
+        "buffer_cs": chunked.sort_stats.buffered_elements,
+        "base_image": base.image,
+        "cs_image": chunked.image,
+    }

@@ -1,0 +1,74 @@
+"""Alpha-compositing Gaussian rasteriser.
+
+Implements the forward pass of 3D Gaussian Splatting at small resolution:
+project each Gaussian, splat its 2D footprint, and composite **in the
+order supplied by the caller** front to back:
+
+    C += T * alpha_i * c_i ;  T *= (1 - alpha_i)
+
+Compositing correctness depends entirely on the depth order, which is why
+the chunked (hierarchical) sort of compulsory splitting can change the
+image — the Fig. 15 experiment measures exactly that PSNR delta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.gaussians import GaussianScene
+from repro.errors import ValidationError
+from repro.splatting.camera import PinholeCamera
+
+#: Footprint support radius in standard deviations.
+_SUPPORT_SIGMAS = 3.0
+#: Transmittance below which a pixel is considered saturated.
+_MIN_TRANSMITTANCE = 1e-4
+
+
+def rasterize(scene: GaussianScene, camera: PinholeCamera,
+              order: np.ndarray) -> np.ndarray:
+    """Composite *scene* in the given index *order*; returns (H, W, 3).
+
+    ``order`` must be a permutation of scene indices, nearest Gaussians
+    first for a correct image.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    if sorted(order.tolist()) != list(range(len(scene))):
+        raise ValidationError("order must be a permutation of the scene")
+    pixels, depths, valid = camera.project(scene.positions)
+    image = np.zeros((camera.height, camera.width, 3))
+    transmittance = np.ones((camera.height, camera.width))
+    for idx in order:
+        if not valid[idx]:
+            continue
+        depth = depths[idx]
+        # Perspective-scaled isotropic footprint from the mean 3D scale.
+        sigma_px = camera.focal * float(scene.scales[idx].mean()) / depth
+        sigma_px = max(sigma_px, 0.3)
+        radius = _SUPPORT_SIGMAS * sigma_px
+        cx, cy = pixels[idx]
+        x0 = max(0, int(np.floor(cx - radius)))
+        x1 = min(camera.width - 1, int(np.ceil(cx + radius)))
+        y0 = max(0, int(np.floor(cy - radius)))
+        y1 = min(camera.height - 1, int(np.ceil(cy + radius)))
+        if x0 > x1 or y0 > y1:
+            continue
+        ys, xs = np.mgrid[y0:y1 + 1, x0:x1 + 1]
+        dist_sq = (xs - cx) ** 2 + (ys - cy) ** 2
+        alpha = scene.opacities[idx] * np.exp(
+            -0.5 * dist_sq / sigma_px ** 2)
+        alpha = np.clip(alpha, 0.0, 0.999)
+        patch_t = transmittance[y0:y1 + 1, x0:x1 + 1]
+        contrib = patch_t * alpha
+        image[y0:y1 + 1, x0:x1 + 1] += (contrib[:, :, None]
+                                        * scene.colors[idx])
+        transmittance[y0:y1 + 1, x0:x1 + 1] = patch_t * (1.0 - alpha)
+    return np.clip(image, 0.0, 1.0)
+
+
+def coverage(scene: GaussianScene, camera: PinholeCamera) -> float:
+    """Fraction of pixels that received any contribution (diagnostic)."""
+    pixels, depths, valid = camera.project(scene.positions)
+    order = np.argsort(depths, kind="stable")
+    image = rasterize(scene, camera, order)
+    return float(np.mean(image.sum(axis=-1) > 1e-6))

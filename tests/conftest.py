@@ -1,0 +1,36 @@
+"""Shared fixtures: small, deterministic workloads for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_lidar_cloud
+from repro.pointcloud import PointCloud
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_cloud(rng) -> PointCloud:
+    """200 random points in a unit-ish box with one attribute."""
+    positions = rng.uniform(-1.0, 1.0, size=(200, 3))
+    return PointCloud(positions, {"intensity": rng.uniform(size=200)})
+
+
+@pytest.fixture(scope="session")
+def lidar_cloud() -> PointCloud:
+    """A modest simulated LiDAR sweep, shared across the session."""
+    return make_lidar_cloud(n_points=600, seed=7)
+
+
+@pytest.fixture
+def clustered_positions(rng) -> np.ndarray:
+    """Three well-separated clusters of 50 points each."""
+    centers = np.array([[0.0, 0.0, 0.0], [5.0, 0.0, 0.0], [0.0, 5.0, 0.0]])
+    return np.concatenate([
+        center + rng.normal(0, 0.3, size=(50, 3)) for center in centers
+    ])

@@ -1,0 +1,71 @@
+"""StreamGrid configuration objects."""
+
+import pytest
+
+from repro.core import (
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+)
+from repro.core.cotraining import baseline_config, cs_config, cs_dt_config
+from repro.core.splitting import naive_partition, splitting_for_chunks
+from repro.errors import ValidationError
+
+
+def test_default_splitting_is_paper_setting():
+    config = SplittingConfig()
+    assert config.shape == (3, 3, 1)
+    assert config.kernel == (2, 2, 1)
+    assert config.n_chunks == 9
+    assert config.n_windows == 4        # "equivalent to 4 chunks"
+    assert config.equivalent_chunks == 4
+
+
+def test_serial_splitting_counts():
+    config = SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                             mode="serial")
+    assert config.n_chunks == 4
+    assert config.n_windows == 3
+
+
+def test_splitting_validations():
+    with pytest.raises(ValidationError):
+        SplittingConfig(shape=(0, 1, 1))
+    with pytest.raises(ValidationError):
+        SplittingConfig(shape=(2, 2, 1), kernel=(3, 1, 1))
+    with pytest.raises(ValidationError):
+        SplittingConfig(mode="other")
+
+
+def test_termination_validations():
+    with pytest.raises(ValidationError):
+        TerminationConfig(deadline_fraction=0.0)
+    with pytest.raises(ValidationError):
+        TerminationConfig(deadline_fraction=1.5)
+    with pytest.raises(ValidationError):
+        TerminationConfig(deadline_steps=0)
+    assert TerminationConfig(deadline_fraction=0.25).deadline_fraction \
+        == 0.25
+
+
+def test_variant_names():
+    assert baseline_config().variant_name == "Base"
+    assert cs_config().variant_name == "CS"
+    assert cs_dt_config().variant_name == "CS+DT"
+    assert StreamGridConfig(use_splitting=False,
+                            use_termination=True).variant_name == "DT"
+
+
+def test_naive_partition_kernel_one():
+    naive = naive_partition(SplittingConfig())
+    assert naive.kernel == (1, 1, 1)
+    assert naive.shape == (3, 3, 1)
+    assert naive.n_windows == 9
+
+
+def test_splitting_for_chunks():
+    assert splitting_for_chunks(1).n_windows == 1
+    for n in (2, 4, 8, 16):
+        assert splitting_for_chunks(n).n_windows == n
+    with pytest.raises(ValidationError):
+        splitting_for_chunks(0)

@@ -1,0 +1,107 @@
+"""GroupingContext: the co-training search hooks (paper Sec. 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GroupingContext,
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+)
+from repro.core.cotraining import baseline_config, cs_config, cs_dt_config
+from repro.errors import ValidationError
+from repro.spatial import brute_force_knn
+
+
+def _configs():
+    splitting = SplittingConfig(shape=(2, 2, 1), kernel=(2, 2, 1))
+    termination = TerminationConfig(profile_queries=8)
+    base = StreamGridConfig(splitting=splitting, termination=termination,
+                            use_splitting=False, use_termination=False)
+    return base, cs_config(base), cs_dt_config(base)
+
+
+def test_context_validation():
+    with pytest.raises(ValidationError):
+        GroupingContext(np.zeros((0, 3)), baseline_config())
+
+
+def test_base_context_matches_exact_knn(rng):
+    pts = rng.normal(size=(60, 3))
+    base, _, _ = _configs()
+    ctx = GroupingContext(pts, base)
+    groups = ctx.knn_group(pts[:5], 4)
+    for i, group in enumerate(groups):
+        exact = brute_force_knn(pts, pts[i], 4).indices
+        np.testing.assert_array_equal(group, exact)
+    assert ctx.deadline is None
+
+
+def test_dt_context_has_deadline(rng):
+    pts = rng.normal(size=(60, 3))
+    _, _, csdt = _configs()
+    ctx = GroupingContext(pts, csdt)
+    assert ctx.deadline is not None
+    assert ctx.deadline >= 1
+
+
+def test_ball_group_exact_size(rng):
+    pts = rng.normal(size=(80, 3))
+    for config in _configs():
+        ctx = GroupingContext(pts, config)
+        groups = ctx.ball_group(pts[:6], radius=0.8, max_results=8)
+        assert all(len(g) == 8 for g in groups)
+
+
+def test_ball_group_pads_with_first_hit(rng):
+    pts = rng.normal(size=(40, 3))
+    ctx = GroupingContext(pts, baseline_config())
+    # Tiny radius: only the query point itself within range.
+    groups = ctx.ball_group(pts[:1], radius=1e-9, max_results=4)
+    assert len(set(groups[0].tolist())) == 1
+
+
+def test_empty_ball_falls_back_to_nearest(rng):
+    pts = rng.normal(size=(30, 3)) + 100.0
+    ctx = GroupingContext(pts, baseline_config())
+    groups = ctx.ball_group(np.zeros((1, 3)), radius=0.1, max_results=3)
+    nearest = int(np.argmin(np.linalg.norm(pts, axis=1)))
+    assert (groups[0] == nearest).all()
+
+
+def test_knn_group_padded_to_k(rng):
+    pts = rng.normal(size=(50, 3))
+    for config in _configs():
+        ctx = GroupingContext(pts, config)
+        groups = ctx.knn_group(pts[:4], k=6)
+        assert all(len(g) == 6 for g in groups)
+
+
+def test_group_indices_in_range(rng):
+    pts = rng.normal(size=(50, 3))
+    _, cs, _ = _configs()
+    ctx = GroupingContext(pts, cs)
+    for group in ctx.ball_group(pts[:10], 0.9, 5):
+        assert group.min() >= 0
+        assert group.max() < 50
+
+
+def test_validations(rng):
+    pts = rng.normal(size=(20, 3))
+    ctx = GroupingContext(pts, baseline_config())
+    with pytest.raises(ValidationError):
+        ctx.ball_group(pts[:1], radius=-1.0, max_results=3)
+    with pytest.raises(ValidationError):
+        ctx.ball_group(pts[:1], radius=1.0, max_results=0)
+    with pytest.raises(ValidationError):
+        ctx.knn_group(pts[:1], k=0)
+
+
+def test_variant_helpers_toggle_flags():
+    base = baseline_config()
+    assert not base.use_splitting and not base.use_termination
+    cs = cs_config()
+    assert cs.use_splitting and not cs.use_termination
+    csdt = cs_dt_config()
+    assert csdt.use_splitting and csdt.use_termination

@@ -1,0 +1,104 @@
+"""Future-work extensions: balanced splitting, recall-targeted deadlines."""
+
+import numpy as np
+import pytest
+
+from repro.core.extensions import (
+    RecallTargetPolicy,
+    balanced_partition,
+    partition_balance,
+)
+from repro.errors import ValidationError
+from repro.spatial import ChunkGrid, KDTree
+
+
+def test_balanced_partition_is_balanced(rng):
+    # Heavily skewed cloud: 90% of points in one corner.
+    dense = rng.normal(0, 0.1, size=(180, 3))
+    sparse = rng.uniform(2, 5, size=(20, 3))
+    pts = np.concatenate([dense, sparse])
+    assignment = balanced_partition(pts, 8)
+    assert partition_balance(assignment, 8) <= 1.5
+
+
+def test_balanced_beats_uniform_grid_on_skew(rng):
+    dense = rng.normal(0, 0.05, size=(190, 3))
+    sparse = rng.uniform(3, 6, size=(10, 3))
+    pts = np.concatenate([dense, sparse])
+    balanced = balanced_partition(pts, 8)
+    grid = ChunkGrid.fit(pts, (2, 2, 2))
+    uniform = grid.assign(pts)
+    uniform_counts = np.bincount(uniform, minlength=8)
+    # Uniform grid piles nearly everything into one cell on skewed data.
+    assert uniform_counts.max() > len(pts) * 0.5
+    assert partition_balance(balanced, 8) < (
+        uniform_counts.max() / max(1, uniform_counts[uniform_counts > 0]
+                                   .min()))
+
+
+def test_balanced_partition_covers_all_points(rng):
+    pts = rng.normal(size=(100, 3))
+    assignment = balanced_partition(pts, 4)
+    assert assignment.shape == (100,)
+    assert set(np.unique(assignment)) == {0, 1, 2, 3}
+
+
+def test_balanced_partition_is_spatial(rng):
+    """Chunks are contiguous regions: intra-chunk spread < global."""
+    pts = rng.uniform(0, 10, size=(256, 3))
+    assignment = balanced_partition(pts, 8)
+    global_spread = pts.std(axis=0).sum()
+    chunk_spreads = [pts[assignment == c].std(axis=0).sum()
+                     for c in range(8)]
+    assert np.mean(chunk_spreads) < global_spread
+
+
+def test_balanced_partition_validations(rng):
+    pts = rng.normal(size=(16, 3))
+    with pytest.raises(ValidationError):
+        balanced_partition(pts, 3)       # not a power of two
+    with pytest.raises(ValidationError):
+        balanced_partition(pts, 32)      # more chunks than points
+    with pytest.raises(ValidationError):
+        partition_balance(np.zeros(0, dtype=int), 2)
+
+
+def test_recall_policy_meets_target(lidar_cloud):
+    pts = lidar_cloud.positions
+    policy = RecallTargetPolicy(target_recall=0.9, profile_queries=16)
+    result = policy.calibrate(pts, k=8)
+    assert result.achieved_recall >= 0.9
+    assert result.deadline >= 1
+    assert result.evaluations > 0
+
+
+def test_recall_policy_lower_target_smaller_deadline(lidar_cloud):
+    pts = lidar_cloud.positions
+    strict = RecallTargetPolicy(0.95, profile_queries=16).calibrate(pts, 8)
+    loose = RecallTargetPolicy(0.5, profile_queries=16).calibrate(pts, 8)
+    assert loose.deadline <= strict.deadline
+
+
+def test_recall_policy_deadline_actually_works(lidar_cloud):
+    """Deploying the found deadline on fresh queries keeps recall high."""
+    pts = lidar_cloud.positions
+    result = RecallTargetPolicy(0.9, profile_queries=16).calibrate(pts, 8)
+    tree = KDTree(pts)
+    fresh = pts[1::17]
+    hits = total = 0
+    for query in fresh:
+        truth = set(tree.knn(query, 8).indices.tolist())
+        found = set(tree.knn(query, 8,
+                             max_steps=result.deadline).indices.tolist())
+        hits += len(found & truth)
+        total += len(truth)
+    assert hits / total > 0.7
+
+
+def test_recall_policy_validations():
+    with pytest.raises(ValidationError):
+        RecallTargetPolicy(target_recall=0.0)
+    with pytest.raises(ValidationError):
+        RecallTargetPolicy(profile_queries=0)
+    with pytest.raises(ValidationError):
+        RecallTargetPolicy().calibrate(np.zeros((0, 3)), 4)

@@ -1,0 +1,95 @@
+"""Streaming schedule model (paper Fig. 8)."""
+
+import pytest
+
+from repro.core import (
+    ChunkPipelineModel,
+    StreamStage,
+    peak_buffered_elements,
+    pointnet_fig8_pipeline,
+)
+from repro.errors import ValidationError
+
+
+def test_stage_validation():
+    with pytest.raises(ValidationError):
+        StreamStage("x", "weird")
+    with pytest.raises(ValidationError):
+        StreamStage("x", "local", work_per_element=0)
+
+
+def test_schedule_shapes():
+    model = pointnet_fig8_pipeline()
+    schedule = model.schedule(4, 100)
+    assert schedule.start.shape == (3, 4)
+    assert schedule.makespan > 0
+
+
+def test_global_stage_waits_for_producer():
+    model = pointnet_fig8_pipeline()
+    schedule = model.schedule(1, 100)
+    # Range search (global) starts exactly when scaling finishes.
+    assert schedule.start[1, 0] == pytest.approx(schedule.end[0, 0])
+
+
+def test_local_stage_overlaps_producer():
+    model = pointnet_fig8_pipeline()
+    schedule = model.schedule(1, 100)
+    # MLP (local) starts one cycle after the range search starts.
+    assert schedule.start[2, 0] == pytest.approx(schedule.start[1, 0] + 1)
+
+
+def test_stage_busy_serialization():
+    model = pointnet_fig8_pipeline()
+    schedule = model.schedule(3, 50)
+    for s in range(3):
+        for w in range(1, 3):
+            assert schedule.start[s, w] >= schedule.end[s, w - 1] - 1e-9
+
+
+def test_splitting_speedup_fig8():
+    """Compulsory splitting pipelines chunks: strictly faster than the
+    unsplit pipeline, approaching ~2x for this 3-stage shape."""
+    model = pointnet_fig8_pipeline()
+    speedup4 = model.splitting_speedup(4, 1024)
+    speedup16 = model.splitting_speedup(16, 1024)
+    assert speedup4 > 1.2
+    assert speedup16 > speedup4
+    assert speedup16 < 2.5
+
+
+def test_unsplit_equals_one_window():
+    model = pointnet_fig8_pipeline()
+    assert model.makespan_unsplit(512) == pytest.approx(
+        model.schedule(1, 512).makespan)
+
+
+def test_schedule_validations():
+    model = pointnet_fig8_pipeline()
+    with pytest.raises(ValidationError):
+        model.schedule(0, 10)
+    with pytest.raises(ValidationError):
+        model.schedule(1, 0)
+    with pytest.raises(ValidationError):
+        ChunkPipelineModel([])
+
+
+def test_peak_buffers_bounded():
+    model = pointnet_fig8_pipeline()
+    schedule = model.schedule(4, 64)
+    peaks = peak_buffered_elements(schedule, 64)
+    assert len(peaks) == 2
+    # A global consumer must buffer a full window; never more than all.
+    assert 0 < peaks[0] <= 4 * 64
+    assert all(p >= 0 for p in peaks)
+
+
+def test_splitting_reduces_global_buffer():
+    """The global stage's input buffer shrinks with more windows."""
+    model = pointnet_fig8_pipeline()
+    total = 1024
+    few = peak_buffered_elements(model.schedule(2, total // 2),
+                                 total // 2)[0]
+    many = peak_buffered_elements(model.schedule(8, total // 8),
+                                  total // 8)[0]
+    assert many < few

@@ -1,0 +1,97 @@
+"""Deterministic termination (paper Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TerminationConfig,
+    TerminationPolicy,
+    apply_deadline,
+    profile_step_distribution,
+)
+from repro.errors import ValidationError
+from repro.spatial import KDTree
+
+
+def test_profile_distribution(lidar_cloud):
+    pts = lidar_cloud.positions
+    profile = profile_step_distribution(pts, pts[:32], k=8)
+    assert profile.mean > 0
+    assert profile.minimum <= profile.mean <= profile.maximum
+    assert profile.n_queries == 32
+    assert "mean" in profile.describe()
+
+
+def test_step_distribution_has_spread(lidar_cloud):
+    """Sec. 3's point: traversal steps are input-dependent with a large
+    spread (their KITTI profile: mean 8.4e3, std 6.8e3)."""
+    pts = lidar_cloud.positions
+    profile = profile_step_distribution(pts, pts[:64], k=8)
+    assert profile.std > 0
+    assert profile.maximum > profile.minimum
+
+
+def test_calibrate_sets_deadline(lidar_cloud):
+    policy = TerminationPolicy(TerminationConfig(deadline_fraction=0.25,
+                                                 profile_queries=16))
+    deadline = policy.calibrate(lidar_cloud.positions, k=8)
+    assert deadline >= 1
+    # Either the fraction of the profiled mean or the descent floor.
+    fraction_deadline = int(np.ceil(0.25 * policy.profile.mean))
+    assert deadline >= fraction_deadline
+
+
+def test_deadline_requires_calibration():
+    policy = TerminationPolicy()
+    with pytest.raises(ValidationError):
+        _ = policy.deadline
+
+
+def test_pinned_deadline_skips_calibration():
+    policy = TerminationPolicy(TerminationConfig(deadline_steps=7))
+    assert policy.deadline == 7
+
+
+def test_scaled_deadline(lidar_cloud):
+    policy = TerminationPolicy(TerminationConfig(profile_queries=16))
+    policy.calibrate(lidar_cloud.positions, k=8)
+    full = policy.scaled_deadline(1.0)
+    quarter = policy.scaled_deadline(0.25)
+    sixteenth = policy.scaled_deadline(1 / 16)
+    # Monotone in the fraction; small fractions may hit the descent floor.
+    assert full > quarter >= sixteenth >= 1
+    with pytest.raises(ValidationError):
+        policy.scaled_deadline(0.0)
+
+
+def test_apply_deadline_makes_latency_uniform(lidar_cloud):
+    """The core claim: with a deadline, per-query latency is bounded by a
+    constant instead of being input-dependent."""
+    pts = lidar_cloud.positions
+    tree = KDTree(pts)
+    uncapped = tree.profile_steps(pts[:32], k=8)
+    summary = apply_deadline(tree, pts[:32], k=8, deadline=5)
+    assert summary["max_steps"] <= 5
+    assert uncapped.max() > 5          # deadline actually binds
+    assert summary["terminated_fraction"] > 0
+
+
+def test_apply_deadline_quality_degrades_gracefully(lidar_cloud):
+    """Capped search still finds mostly-correct neighbours at 25%."""
+    pts = lidar_cloud.positions
+    tree = KDTree(pts)
+    full_steps = tree.profile_steps(pts[:16], k=4)
+    deadline = max(tree.depth() + 4, int(0.25 * full_steps.mean()))
+    capped = apply_deadline(tree, pts[:16], k=4, deadline=deadline)
+    exact = [set(tree.knn(q, 4).indices.tolist()) for q in pts[:16]]
+    recall = np.mean([
+        len(set(found.tolist()) & truth) / len(truth)
+        for found, truth in zip(capped["neighbors"], exact)
+    ])
+    assert recall > 0.5
+
+
+def test_apply_deadline_validation(lidar_cloud):
+    tree = KDTree(lidar_cloud.positions)
+    with pytest.raises(ValidationError):
+        apply_deadline(tree, lidar_cloud.positions[:4], 4, deadline=0)

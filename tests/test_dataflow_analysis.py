@@ -1,0 +1,95 @@
+"""Dependency analysis and ASAP scheduling."""
+
+import pytest
+
+from repro.dataflow import (
+    DataflowGraph,
+    Edge,
+    asap_schedule,
+    classify_edges,
+    communication_summary,
+    elementwise,
+    global_op,
+    simulate_edge_occupancy,
+    sink,
+    source,
+    unsplit_buffer_requirement,
+)
+from repro.dataflow.analysis import integer_asap_schedule
+
+
+def _graph_with_global():
+    return DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        global_op("sort", i_shape=(1, 3), o_shape=(1, 3), i_freq=1,
+                  o_freq=1, reuse=(1, 1), stage=4),
+        elementwise("post", i_shape=(1, 3), o_shape=(1, 3)),
+        sink("drain", i_shape=(1, 3)),
+    ])
+
+
+def test_classify_edges():
+    graph = _graph_with_global()
+    kinds = classify_edges(graph)
+    assert kinds[Edge("reader", "sort")] == "global"
+    assert kinds[Edge("sort", "post")] == "local"
+
+
+def test_asap_global_waits():
+    inst = _graph_with_global().instantiate(100)
+    asap = asap_schedule(inst)
+    # sort cannot start consuming before reader's 100 elements exist.
+    assert asap.write_start["sort"] >= (asap.write_start["reader"]
+                                        + inst.write_duration("reader"))
+
+
+def test_asap_local_overlaps():
+    inst = _graph_with_global().instantiate(100)
+    asap = asap_schedule(inst)
+    # post (local, same rate) starts with sort's write phase.
+    assert asap.write_start["post"] <= asap.write_start["sort"] + 8
+
+
+def test_asap_start_accounts_for_depth():
+    inst = _graph_with_global().instantiate(50)
+    asap = asap_schedule(inst)
+    for name in inst.graph.stages:
+        assert asap.start(name) >= -1e-9
+
+
+def test_integer_asap_feasible_and_integral():
+    inst = _graph_with_global().instantiate(33)
+    asap = integer_asap_schedule(inst)
+    for value in asap.write_start.values():
+        assert value == int(value)
+    assert asap.makespan >= asap_schedule(inst).makespan - 1e-9
+
+
+def test_occupancy_simulation_full_buffer_on_global_edge():
+    inst = _graph_with_global().instantiate(64)
+    asap = integer_asap_schedule(inst)
+    edge = Edge("reader", "sort")
+    overwrite = {
+        e: (asap.write_start[e.consumer]
+            + (inst.read_duration(e.consumer)
+               if classify_edges(inst.graph)[e] == "global" else 0.0))
+        for e in inst.graph.edges
+    }
+    peaks = simulate_edge_occupancy(inst, asap.write_start, overwrite)
+    # The global edge must have buffered essentially everything.
+    assert peaks[edge] == pytest.approx(64.0, abs=1.0)
+
+
+def test_unsplit_requirement_global_edges():
+    inst = _graph_with_global().instantiate(200)
+    req = unsplit_buffer_requirement(inst)
+    assert req[Edge("reader", "sort")] == pytest.approx(200.0)
+    assert req[Edge("sort", "post")] <= 4
+
+
+def test_communication_summary_keys():
+    inst = _graph_with_global().instantiate(40)
+    summary = communication_summary(inst)
+    assert set(summary) == {"reader", "sort", "post", "drain"}
+    assert summary["sort"]["kind"] == "global"
+    assert summary["reader"]["w_out"] == 40

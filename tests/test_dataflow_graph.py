@@ -1,0 +1,131 @@
+"""Dataflow graph construction, validation, and instantiation."""
+
+import pytest
+
+from repro.dataflow import (
+    DataflowGraph,
+    elementwise,
+    global_op,
+    reduction,
+    sink,
+    source,
+)
+from repro.errors import GraphError
+
+
+def _simple_chain():
+    return DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        elementwise("scale", i_shape=(1, 3), o_shape=(1, 3)),
+        sink("drain", i_shape=(1, 3)),
+    ])
+
+
+def test_chain_construction():
+    graph = _simple_chain()
+    assert graph.topological_order() == ["reader", "scale", "drain"]
+    graph.validate()
+
+
+def test_duplicate_stage_rejected():
+    graph = DataflowGraph()
+    graph.add_stage(source("a"))
+    with pytest.raises(GraphError):
+        graph.add_stage(source("a"))
+
+
+def test_unknown_stage_in_connect():
+    graph = DataflowGraph()
+    graph.add_stage(source("a"))
+    with pytest.raises(GraphError):
+        graph.connect("a", "missing")
+
+
+def test_self_loop_rejected():
+    graph = DataflowGraph()
+    graph.add_stage(elementwise("x"))
+    with pytest.raises(GraphError):
+        graph.connect("x", "x")
+
+
+def test_width_mismatch_rejected():
+    graph = DataflowGraph()
+    graph.add_stage(source("a", o_shape=(1, 3)))
+    graph.add_stage(sink("b", i_shape=(1, 4)))
+    with pytest.raises(GraphError):
+        graph.connect("a", "b")
+
+
+def test_duplicate_edge_rejected():
+    graph = DataflowGraph()
+    graph.add_stage(source("a", o_shape=(1, 3)))
+    graph.add_stage(sink("b", i_shape=(1, 3)))
+    graph.connect("a", "b")
+    with pytest.raises(GraphError):
+        graph.connect("a", "b")
+
+
+def test_cycle_detected():
+    graph = DataflowGraph()
+    graph.add_stage(elementwise("a"))
+    graph.add_stage(elementwise("b"))
+    graph.connect("a", "b")
+    graph.connect("b", "a")
+    with pytest.raises(GraphError):
+        graph.topological_order()
+
+
+def test_dangling_stage_rejected():
+    graph = DataflowGraph()
+    graph.add_stage(source("a"))
+    graph.add_stage(elementwise("b"))
+    graph.add_stage(sink("c"))
+    graph.connect("a", "b")  # b has no consumer
+    with pytest.raises(GraphError):
+        graph.validate()
+
+
+def test_sources_and_sinks():
+    graph = _simple_chain()
+    assert graph.sources() == ["reader"]
+    assert graph.sinks() == ["drain"]
+
+
+def test_instantiate_propagates_volumes():
+    graph = DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        reduction("pool", i_shape=(1, 3), o_shape=(1, 3), stage=2,
+                  o_freq=4),
+        sink("drain", i_shape=(1, 3)),
+    ])
+    inst = graph.instantiate(100)
+    assert inst.w_out["reader"] == 100
+    # Reads 1 element/cycle, writes 1 every 4 cycles: a 4-to-1 reduction.
+    assert inst.w_out["pool"] == pytest.approx(25.0)
+    assert inst.w_in["drain"] == pytest.approx(25.0)
+
+
+def test_instantiate_durations():
+    graph = _simple_chain()
+    inst = graph.instantiate(64)
+    assert inst.write_duration("reader") == pytest.approx(64.0)
+    assert inst.read_duration("scale") == pytest.approx(64.0)
+    assert inst.busy_duration("scale") == pytest.approx(64.0)
+    assert inst.read_duration("reader") == 0.0
+
+
+def test_instantiate_requires_positive():
+    with pytest.raises(GraphError):
+        _simple_chain().instantiate(0)
+
+
+def test_global_gain():
+    graph = DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        global_op("knn", i_shape=(1, 3), o_shape=(4, 3), i_freq=1,
+                  o_freq=8, reuse=(1, 1), stage=8),
+        sink("drain", i_shape=(1, 3)),
+    ])
+    inst = graph.instantiate(128)
+    # tau_out/tau_in = 0.5 -> 64 output groups-of-elements.
+    assert inst.w_out["knn"] == pytest.approx(64.0)

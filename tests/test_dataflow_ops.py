@@ -1,0 +1,75 @@
+"""Stage descriptor (Tbl. 1 / Listing 1) tests."""
+
+import pytest
+
+from repro.dataflow import (
+    elementwise,
+    global_op,
+    reduction,
+    sink,
+    source,
+    stencil,
+)
+from repro.dataflow.ops import StageSpec
+from repro.errors import ValidationError
+
+
+def test_fig12_knn_producer():
+    """Fig. 12: 8-stage kNN reads 1x3 per cycle, writes 4x3 every 8."""
+    spec = global_op("knn", i_shape=(1, 3), o_shape=(4, 3), i_freq=1,
+                     o_freq=8, reuse=(1, 1), stage=8)
+    assert spec.tau_in == pytest.approx(1.0)
+    assert spec.tau_out == pytest.approx(0.5)
+    assert spec.is_global
+    assert spec.stage == 8
+
+
+def test_fig12_stencil_consumer():
+    """Fig. 12: 2-stage 2x3 stencil, reuse (2,1), unit frequencies."""
+    spec = stencil("curv", i_shape=(1, 3), o_shape=(1, 1), stage=2,
+                   reuse=(2, 1))
+    assert spec.i_freq == 1.0 and spec.o_freq == 1.0
+    assert spec.reuse_factor == 2
+    assert spec.tau_in == pytest.approx(1.0)
+    assert not spec.is_global
+
+
+def test_reduction_rates():
+    spec = reduction("pool", i_shape=(16, 32), o_shape=(1, 32), stage=2,
+                     o_freq=16)
+    assert spec.tau_in == pytest.approx(16.0)
+    assert spec.tau_out == pytest.approx(1 / 16)
+    assert spec.gain == pytest.approx(1 / 256)
+
+
+def test_elementwise_identity_gain():
+    spec = elementwise("scale", i_shape=(1, 3), o_shape=(1, 3))
+    assert spec.gain == pytest.approx(1.0)
+
+
+def test_source_sink_kinds():
+    assert source("r").kind == "source"
+    assert sink("d").kind == "sink"
+    assert not source("r").is_global
+
+
+def test_element_widths():
+    spec = global_op("g", i_shape=(1, 3), o_shape=(4, 6), i_freq=1,
+                     o_freq=2, reuse=(1, 1), stage=1)
+    assert spec.element_width_in == 3
+    assert spec.element_width_out == 6
+
+
+def test_validations():
+    with pytest.raises(ValidationError):
+        StageSpec("", "stencil", (1, 3), (1, 1))
+    with pytest.raises(ValidationError):
+        StageSpec("x", "nope", (1, 3), (1, 1))
+    with pytest.raises(ValidationError):
+        StageSpec("x", "stencil", (0, 3), (1, 1))
+    with pytest.raises(ValidationError):
+        StageSpec("x", "stencil", (1, 3), (1, 1), i_freq=0)
+    with pytest.raises(ValidationError):
+        StageSpec("x", "stencil", (1, 3), (1, 1), reuse=(0, 1))
+    with pytest.raises(ValidationError):
+        StageSpec("x", "stencil", (1, 3), (1, 1), stage=0)

@@ -1,0 +1,144 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MODELNET10_CLASSES,
+    SHAPE_SAMPLERS,
+    ScannerConfig,
+    make_blob_scene,
+    make_kitti_sequence,
+    make_layered_scene,
+    make_lidar_cloud,
+    make_modelnet,
+    make_shapenet,
+    make_urban_world,
+    sample_shape,
+    scene_by_name,
+    simulate_scan,
+    straight_trajectory,
+)
+from repro.errors import DatasetError
+
+
+@pytest.mark.parametrize("name", sorted(SHAPE_SAMPLERS))
+def test_every_shape_sampler(name):
+    rng = np.random.default_rng(0)
+    cloud = sample_shape(name, 128, rng)
+    assert len(cloud) == 128
+    assert np.isfinite(cloud.positions).all()
+
+
+def test_unknown_shape():
+    with pytest.raises(DatasetError):
+        sample_shape("dodecahedron", 10, np.random.default_rng(0))
+
+
+def test_shapes_distinguishable():
+    rng = np.random.default_rng(0)
+    sphere = sample_shape("sphere", 256, rng)
+    plane = sample_shape("plane", 256, rng)
+    # Sphere points sit at radius 1; plane points are flat in z.
+    assert np.linalg.norm(sphere.positions, axis=1).std() < 0.01
+    assert plane.positions[:, 2].std() < 0.05
+
+
+def test_modelnet_dataset():
+    ds = make_modelnet(3, n_points=64)
+    assert len(ds) == 3 * len(MODELNET10_CLASSES)
+    assert ds.n_classes == 10
+    labels = ds.labels()
+    assert labels.min() == 0 and labels.max() == 9
+    # Normalised into the unit sphere.
+    for sample in ds.samples[:5]:
+        radii = np.linalg.norm(sample.cloud.positions, axis=1)
+        assert radii.max() <= 1.0 + 1e-9
+
+
+def test_modelnet_split():
+    ds = make_modelnet(4, n_points=32, class_names=("sphere", "box"))
+    train, test = ds.split(0.75, np.random.default_rng(0))
+    assert len(train) + len(test) == len(ds)
+    assert len(train) == 6
+    with pytest.raises(DatasetError):
+        ds.split(1.5, np.random.default_rng(0))
+
+
+def test_modelnet_deterministic():
+    a = make_modelnet(2, n_points=32, seed=5)
+    b = make_modelnet(2, n_points=32, seed=5)
+    np.testing.assert_array_equal(a.samples[0].cloud.positions,
+                                  b.samples[0].cloud.positions)
+
+
+def test_modelnet_unknown_class():
+    with pytest.raises(DatasetError):
+        make_modelnet(1, class_names=("sphere", "nonagon"))
+
+
+def test_shapenet_dataset():
+    ds = make_shapenet(2, n_points=96)
+    assert len(ds) == 6     # 3 object types x 2
+    assert ds.n_parts == 4
+    for sample in ds.samples:
+        labels = sample.labels
+        assert labels.shape == (96,)
+        assert len(np.unique(labels)) >= 2   # multiple parts present
+
+
+def test_lidar_world_raycast():
+    world = make_urban_world(seed=0)
+    hit = world.raycast(np.array([0.0, 0.0, 1.5]),
+                        np.array([0.0, 1.0, 0.0]), 100.0)
+    assert hit is not None
+    assert hit == pytest.approx(10.0, abs=0.1)  # wall plane at y=10
+    miss = world.raycast(np.array([0.0, 0.0, 1e4]),
+                         np.array([0.0, 0.0, 1.0]), 10.0)
+    assert miss is None
+
+
+def test_simulate_scan_serialized():
+    world = make_urban_world(seed=0)
+    scan = simulate_scan(world, np.eye(4),
+                         ScannerConfig(n_azimuth=60, n_beams=4))
+    steps = scan.attribute("azimuth_step")
+    assert np.all(np.diff(steps) >= 0)     # emission order preserved
+    assert scan.attribute("ring").max() < 4
+
+
+def test_kitti_sequence():
+    seq = make_kitti_sequence(n_scans=2, seed=0,
+                              config=ScannerConfig(n_azimuth=60,
+                                                   n_beams=4))
+    assert len(seq) == 2
+    assert len(seq.poses) == 2
+    assert len(seq.scans[0]) > 50
+
+
+def test_straight_trajectory():
+    poses = straight_trajectory(5, step=1.0)
+    assert len(poses) == 5
+    np.testing.assert_allclose(poses[4][:3, 3], [4.0, 0.0, 0.0])
+    curved = straight_trajectory(10, step=1.0, yaw_rate=0.1)
+    assert curved[-1][:3, 3][1] != 0.0
+    with pytest.raises(DatasetError):
+        straight_trajectory(0)
+
+
+def test_make_lidar_cloud_size():
+    cloud = make_lidar_cloud(n_points=300, seed=0)
+    assert len(cloud) <= 300
+    assert cloud.has_attribute("azimuth_step")
+
+
+def test_gaussian_scenes():
+    blob = make_blob_scene(100, seed=0)
+    assert len(blob) == 100
+    layered = make_layered_scene(n_layers=2, per_layer=30, seed=0)
+    assert len(layered) == 60
+    assert scene_by_name("tank_temple_like", n_gaussians=50).positions.shape \
+        == (50, 3)
+    assert len(scene_by_name("deep_blending_like")) > 0
+    with pytest.raises(DatasetError):
+        scene_by_name("matrix")

@@ -1,0 +1,104 @@
+"""Cross-module integration tests: the paper's end-to-end claims."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompulsorySplitter,
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+    TerminationPolicy,
+)
+from repro.core.cotraining import baseline_config
+from repro.datasets import make_lidar_cloud
+from repro.optimizer import extend_to_chunks, optimize_buffers
+from repro.pipelines import build_pipeline
+from repro.sim import evaluate_all_variants, simulate_streaming
+from repro.sim.variants import pipeline_buffer_bytes
+from repro.spatial import KDTree
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return make_lidar_cloud(n_points=600, seed=11)
+
+
+def test_splitting_bounds_search_working_set(cloud):
+    """CS claim: windowed global ops touch a bounded fraction of data."""
+    config = SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1))
+    splitter = CompulsorySplitter(cloud.positions, config)
+    assert splitter.max_window_points() < len(cloud)
+
+
+def test_termination_makes_latency_deterministic(cloud):
+    """DT claim: per-query latency becomes a compile-time constant."""
+    policy = TerminationPolicy(TerminationConfig(profile_queries=16))
+    deadline = policy.calibrate(cloud.positions, k=8)
+    tree = KDTree(cloud.positions)
+    steps = [tree.knn(q, 8, max_steps=deadline).steps
+             for q in cloud.positions[:40]]
+    assert max(steps) <= deadline
+
+
+def test_end_to_end_optimize_then_simulate():
+    """Framework claim: user graph -> ILP -> stall-free streaming."""
+    spec = build_pipeline("classification", n_points=256)
+    inst = spec.graph.instantiate(spec.workload.window_points)
+    schedule = optimize_buffers(inst)
+    multi = extend_to_chunks(schedule, spec.workload.n_windows)
+    report = simulate_streaming(schedule,
+                                n_chunks=spec.workload.n_windows)
+    assert report.stall_free
+    assert multi.total_buffer_bytes == schedule.total_buffer_bytes
+
+
+def test_buffer_reduction_across_all_pipelines():
+    """Fig. 17a claim: CS+DT reduces buffers on every domain."""
+    for name, kwargs in (("classification", {"n_points": 256}),
+                         ("segmentation", {"n_points": 256}),
+                         ("registration", {"n_scan_points": 512}),
+                         ("rendering", {"n_gaussians": 1024})):
+        spec = build_pipeline(name, **kwargs)
+        base = pipeline_buffer_bytes(spec.graph, spec.workload,
+                                     False, False)
+        csdt = pipeline_buffer_bytes(spec.graph, spec.workload,
+                                     True, True)
+        assert csdt < base, name
+
+
+def test_energy_reduction_across_all_pipelines():
+    """Fig. 17b/18 claim: CS+DT saves energy on every domain."""
+    for name, kwargs in (("classification", {"n_points": 256}),
+                         ("registration", {"n_scan_points": 512}),
+                         ("rendering", {"n_gaussians": 1024})):
+        spec = build_pipeline(name, **kwargs)
+        reports = evaluate_all_variants(spec.graph, spec.workload)
+        assert reports["CS+DT"].energy_pj < reports["Base"].energy_pj, name
+
+
+def test_variant_configs_produce_different_groupings(cloud):
+    """CS must actually change which neighbours a windowed query sees for
+    at least some boundary queries."""
+    from repro.core import GroupingContext
+
+    base_ctx = GroupingContext(cloud.positions, baseline_config())
+    cs_cfg = StreamGridConfig(
+        splitting=SplittingConfig(shape=(3, 3, 1), kernel=(1, 1, 1)),
+        use_splitting=True, use_termination=False)
+    cs_ctx = GroupingContext(cloud.positions, cs_cfg)
+    queries = cloud.positions[::37]
+    differing = 0
+    for query in queries:
+        a = set(base_ctx.knn_group(query[None], 6)[0].tolist())
+        b = set(cs_ctx.knn_group(query[None], 6)[0].tolist())
+        if a != b:
+            differing += 1
+    assert differing > 0
+
+
+def test_deadline_profile_statistics_shape(cloud):
+    """Sec. 3 claim: step counts are input-dependent with large spread."""
+    tree = KDTree(cloud.positions)
+    steps = tree.profile_steps(cloud.positions[::13], k=32)
+    assert steps.std() > 0.05 * steps.mean()

@@ -1,0 +1,152 @@
+"""Layers, functional ops, and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.nn import (
+    Adam,
+    BatchNorm,
+    Dropout,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+    Tensor,
+    accuracy_from_logits,
+    cross_entropy,
+    log_softmax,
+    max_pool_groups,
+    mlp,
+    softmax,
+)
+
+
+def test_linear_shapes(rng):
+    layer = Linear(4, 8, rng=rng)
+    out = layer(Tensor(np.zeros((5, 4))))
+    assert out.shape == (5, 8)
+    assert len(list(layer.parameters())) == 2
+
+
+def test_linear_validation():
+    with pytest.raises(ValidationError):
+        Linear(0, 3)
+
+
+def test_relu():
+    out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+    np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+
+def test_batchnorm_normalizes():
+    bn = BatchNorm(2)
+    x = Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(100, 2)))
+    out = bn(x)
+    np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+    np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_batchnorm_eval_uses_running_stats():
+    bn = BatchNorm(1, momentum=0.5)
+    x = Tensor(np.ones((10, 1)) * 4.0)
+    bn(x)
+    bn.eval()
+    out = bn(Tensor(np.zeros((1, 1))))
+    # Running mean moved toward 4; eval output reflects it, not batch.
+    assert out.data[0, 0] < 0.0
+
+
+def test_batchnorm_feature_mismatch():
+    with pytest.raises(ValidationError):
+        BatchNorm(3)(Tensor(np.zeros((2, 4))))
+
+
+def test_dropout_train_vs_eval(rng):
+    drop = Dropout(0.5, rng=rng)
+    x = Tensor(np.ones((100, 4)))
+    out = drop(x)
+    assert (out.data == 0).any()
+    drop.eval()
+    np.testing.assert_array_equal(drop(x).data, x.data)
+
+
+def test_sequential_and_mlp(rng):
+    net = mlp([3, 8, 2], rng=rng)
+    assert isinstance(net, Sequential)
+    out = net(Tensor(np.zeros((4, 3))))
+    assert out.shape == (4, 2)
+    with pytest.raises(ValidationError):
+        mlp([3])
+
+
+def test_module_mode_propagates(rng):
+    net = mlp([3, 4, 2], rng=rng)
+    net.eval()
+    assert all(not m.training for m in net.modules)
+    net.train()
+    assert all(m.training for m in net.modules)
+
+
+def test_log_softmax_normalizes():
+    logits = Tensor(np.array([[1.0, 2.0, 3.0]]))
+    probs = softmax(logits).data
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.exp(log_softmax(logits).data).sum() == pytest.approx(1.0)
+
+
+def test_cross_entropy_known_value():
+    logits = Tensor(np.array([[0.0, 0.0]]))
+    loss = cross_entropy(logits, np.array([0]))
+    assert loss.item() == pytest.approx(np.log(2.0))
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(ValidationError):
+        cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+    with pytest.raises(ValidationError):
+        cross_entropy(Tensor(np.zeros((1, 2))), np.array([5]))
+
+
+def test_accuracy_from_logits():
+    logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+    assert accuracy_from_logits(logits, np.array([0, 1])) == 1.0
+
+
+def test_max_pool_groups():
+    grouped = Tensor(np.arange(12.0).reshape(2, 3, 2))
+    pooled = max_pool_groups(grouped)
+    np.testing.assert_allclose(pooled.data, [[4.0, 5.0], [10.0, 11.0]])
+    with pytest.raises(ValidationError):
+        max_pool_groups(Tensor(np.zeros((2, 2))))
+
+
+def _train_xor(optimizer_cls, **kwargs):
+    rng = np.random.default_rng(0)
+    net = mlp([2, 8, 2], rng=rng, batch_norm=False)
+    inputs = np.array([[0.0, 0], [0, 1], [1, 0], [1, 1]])
+    labels = np.array([0, 1, 1, 0])
+    opt = optimizer_cls(net.parameters(), **kwargs)
+    for _ in range(300):
+        opt.zero_grad()
+        loss = cross_entropy(net(Tensor(inputs)), labels)
+        loss.backward()
+        opt.step()
+    return accuracy_from_logits(net(Tensor(inputs)), labels)
+
+
+def test_sgd_learns_xor():
+    assert _train_xor(SGD, lr=0.3, momentum=0.9) == 1.0
+
+
+def test_adam_learns_xor():
+    assert _train_xor(Adam, lr=0.01) == 1.0
+
+
+def test_optimizer_validation():
+    with pytest.raises(ValidationError):
+        SGD([], lr=0.1)
+    with pytest.raises(ValidationError):
+        SGD([Tensor(np.zeros(1), requires_grad=True)], lr=-1)
+    with pytest.raises(ValidationError):
+        Adam([Tensor(np.zeros(1), requires_grad=True)], beta1=1.5)

@@ -1,0 +1,136 @@
+"""PointNet++ models, plans, and co-training integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import SplittingConfig, StreamGridConfig, TerminationConfig
+from repro.core.cotraining import baseline_config, cs_dt_config
+from repro.datasets import make_modelnet, make_shapenet
+from repro.nn import (
+    ClassifierSpec,
+    PointNet2Classifier,
+    PointNet2Segmenter,
+    SALevelSpec,
+    SegmenterSpec,
+    evaluate_classifier,
+    evaluate_segmenter,
+    plan_classifier,
+    plan_sa_level,
+    plan_segmenter,
+    train_classifier,
+    train_segmenter,
+)
+from repro.errors import ValidationError
+
+_SPEC = ClassifierSpec(sa1=SALevelSpec(16, 0.45, 8),
+                       sa2=SALevelSpec(4, 0.9, 4))
+_SEG_SPEC = SegmenterSpec(sa1=SALevelSpec(16, 0.4, 8),
+                          sa2=SALevelSpec(4, 0.8, 4))
+
+
+def _csdt():
+    return StreamGridConfig(
+        splitting=SplittingConfig(shape=(2, 2, 1), kernel=(2, 2, 1)),
+        termination=TerminationConfig(profile_queries=8))
+
+
+def test_sa_plan_shapes(rng):
+    pts = rng.normal(size=(64, 3))
+    plan = plan_sa_level(pts, SALevelSpec(8, 0.5, 4), baseline_config())
+    assert plan.centroid_indices.shape == (8,)
+    assert plan.group_indices.shape == (8, 4)
+    assert plan.centroid_positions.shape == (8, 3)
+
+
+def test_sa_plan_respects_config(rng):
+    pts = rng.uniform(0, 1, size=(80, 3))
+    base_plan = plan_sa_level(pts, SALevelSpec(8, 0.3, 4),
+                              baseline_config())
+    csdt_plan = plan_sa_level(pts, SALevelSpec(8, 0.3, 4), _csdt())
+    # Same centroids (FPS is config-independent)...
+    np.testing.assert_array_equal(base_plan.centroid_indices,
+                                  csdt_plan.centroid_indices)
+    # ...but groupings may differ under windowed, capped search.
+    assert base_plan.group_indices.shape == csdt_plan.group_indices.shape
+
+
+def test_classifier_forward_shapes(rng):
+    pts = rng.normal(size=(48, 3))
+    model = PointNet2Classifier(5, spec=_SPEC, seed=0)
+    plan = plan_classifier(pts, baseline_config(), _SPEC)
+    logits = model(plan)
+    assert logits.shape == (1, 5)
+
+
+def test_classifier_validation():
+    with pytest.raises(ValidationError):
+        PointNet2Classifier(0)
+
+
+def test_segmenter_forward_shapes(rng):
+    pts = rng.normal(size=(60, 3))
+    model = PointNet2Segmenter(4, spec=_SEG_SPEC, seed=0)
+    plan = plan_segmenter(pts, baseline_config(), _SEG_SPEC)
+    logits = model(plan)
+    assert logits.shape == (60, 4)
+
+
+def test_classifier_learns_tiny_task():
+    ds = make_modelnet(4, n_points=64,
+                       class_names=("sphere", "plane"), seed=0)
+    run = train_classifier(ds, baseline_config(), epochs=12, lr=0.005,
+                           seed=0, spec=_SPEC)
+    assert run.history.losses[-1] < run.history.losses[0]
+    acc = evaluate_classifier(run, ds)
+    assert acc >= 0.75
+
+
+def test_classifier_cotrained_with_csdt_works():
+    """Co-training: the CS+DT forward pass trains end to end."""
+    ds = make_modelnet(3, n_points=64,
+                       class_names=("sphere", "plane"), seed=1)
+    run = train_classifier(ds, _csdt(), epochs=10, lr=0.005, seed=0,
+                           spec=_SPEC)
+    acc = evaluate_classifier(run, ds)
+    assert acc >= 0.6
+
+
+def test_classifier_eval_under_different_config():
+    """Deployment config may differ from training config (Fig. 16)."""
+    ds = make_modelnet(3, n_points=64,
+                       class_names=("sphere", "plane"), seed=2)
+    run = train_classifier(ds, baseline_config(), epochs=8, lr=0.005,
+                           seed=0, spec=_SPEC)
+    acc = evaluate_classifier(run, ds, _csdt())
+    assert 0.0 <= acc <= 1.0
+
+
+def test_segmenter_learns_tiny_task():
+    ds = make_shapenet(2, n_points=96, seed=0)
+    run = train_segmenter(ds, baseline_config(), epochs=10, lr=0.005,
+                          seed=0, spec=_SEG_SPEC)
+    assert run.history.losses[-1] < run.history.losses[0]
+    miou = evaluate_segmenter(run, ds)
+    assert miou > 0.3
+
+
+def test_training_validations():
+    ds = make_modelnet(2, n_points=32, class_names=("sphere",), seed=0)
+    with pytest.raises(ValidationError):
+        train_classifier(ds, baseline_config(), epochs=0)
+
+
+def test_gradients_flow_through_local_ops_only():
+    """The searches produce plain integer indices (non-differentiable by
+    construction); the model parameters still receive gradients."""
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(48, 3))
+    model = PointNet2Classifier(3, spec=_SPEC, seed=0)
+    plan = plan_classifier(pts, _csdt(), _SPEC)
+    from repro.nn import cross_entropy
+
+    loss = cross_entropy(model(plan), np.array([1]))
+    loss.backward()
+    grads = [p.grad for p in model.parameters()]
+    assert all(g is not None for g in grads)
+    assert any(np.abs(g).sum() > 0 for g in grads)

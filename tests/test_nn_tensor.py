@@ -1,0 +1,181 @@
+"""Autograd engine: gradients checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.nn import Tensor, concat, stack_rows
+
+
+def _numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x)
+        flat[i] = orig - eps
+        minus = fn(x)
+        flat[i] = orig
+        out[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def _check_grad(op, x_data):
+    x = Tensor(x_data.copy(), requires_grad=True)
+    op(x).sum().backward()
+
+    def scalar_fn(arr):
+        return float(op(Tensor(arr)).sum().data)
+
+    numeric = _numeric_grad(scalar_fn, x_data.copy())
+    np.testing.assert_allclose(x.grad, numeric, atol=1e-4)
+
+
+@pytest.mark.parametrize("op", [
+    lambda x: x * 3.0 + 1.0,
+    lambda x: x * x,
+    lambda x: (x + 2.0) ** 2.0,
+    lambda x: x.relu(),
+    lambda x: x.exp(),
+    lambda x: x.tanh(),
+    lambda x: x / 2.0,
+    lambda x: -x,
+    lambda x: x.mean(),
+    lambda x: x.reshape(6),
+    lambda x: x.transpose(),
+])
+def test_elementwise_gradients(op):
+    rng = np.random.default_rng(0)
+    _check_grad(op, rng.uniform(0.5, 2.0, size=(2, 3)))
+
+
+def test_matmul_gradient():
+    rng = np.random.default_rng(1)
+    a_data = rng.normal(size=(3, 4))
+    b_data = rng.normal(size=(4, 2))
+    a = Tensor(a_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (a @ b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ b_data.T)
+    np.testing.assert_allclose(b.grad, a_data.T @ np.ones((3, 2)))
+
+
+def test_matmul_3d_by_2d():
+    rng = np.random.default_rng(2)
+    a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+    w = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+    out = a @ w
+    assert out.shape == (2, 3, 5)
+    out.sum().backward()
+    assert a.grad.shape == (2, 3, 4)
+    assert w.grad.shape == (4, 5)
+
+
+def test_broadcast_add_gradient():
+    a = Tensor(np.zeros((3, 4)), requires_grad=True)
+    b = Tensor(np.zeros(4), requires_grad=True)
+    (a + b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+    np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+
+def test_max_gradient_routes_to_argmax():
+    x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+    x.max(axis=1).sum().backward()
+    np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+
+def test_max_gradient_splits_ties():
+    x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+    x.max(axis=1).sum().backward()
+    np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+
+def test_sum_axis_keepdims():
+    x = Tensor(np.ones((2, 3)), requires_grad=True)
+    out = x.sum(axis=1, keepdims=True)
+    assert out.shape == (2, 1)
+    out.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+
+def test_gather_rows_gradient_accumulates():
+    x = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+    idx = np.array([[0, 0], [2, 1]])
+    out = x.gather_rows(idx)
+    assert out.shape == (2, 2, 2)
+    out.sum().backward()
+    np.testing.assert_allclose(x.grad, [[2.0, 2.0], [1.0, 1.0],
+                                        [1.0, 1.0]])
+
+
+def test_gather_rows_validation():
+    x = Tensor(np.zeros((3, 2)))
+    with pytest.raises(ValidationError):
+        x.gather_rows(np.array([5]))
+
+
+def test_concat_gradient():
+    a = Tensor(np.zeros((2, 2)), requires_grad=True)
+    b = Tensor(np.zeros((2, 3)), requires_grad=True)
+    out = concat([a, b], axis=-1)
+    assert out.shape == (2, 5)
+    out.sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+    np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+
+def test_stack_rows_gradient():
+    a = Tensor(np.zeros(3), requires_grad=True)
+    b = Tensor(np.zeros(3), requires_grad=True)
+    stack_rows([a, b]).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones(3))
+    np.testing.assert_allclose(b.grad, np.ones(3))
+
+
+def test_backward_requires_scalar():
+    x = Tensor(np.zeros((2, 2)), requires_grad=True)
+    with pytest.raises(ValidationError):
+        x.backward()
+
+
+def test_grad_accumulates_across_calls():
+    x = Tensor(np.ones(3), requires_grad=True)
+    (x * 2.0).sum().backward()
+    (x * 2.0).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full(3, 4.0))
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_diamond_graph_gradient():
+    """A value used twice must receive the sum of both paths."""
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = x * 3.0
+    z = y + y * y
+    z.sum().backward()
+    # dz/dx = 3 + 2*9*... : z = 3x + 9x^2 -> dz/dx = 3 + 18x = 39.
+    np.testing.assert_allclose(x.grad, [39.0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 999))
+def test_mlp_chain_gradient_property(seed):
+    rng = np.random.default_rng(seed)
+    x_data = rng.normal(size=(2, 3))
+
+    def op(x):
+        return ((x @ Tensor(np.eye(3)) + 1.0).relu() * 0.5).mean()
+
+    x = Tensor(x_data, requires_grad=True)
+    op(x).backward()
+
+    def scalar_fn(arr):
+        return float(op(Tensor(arr)).data)
+
+    numeric = _numeric_grad(scalar_fn, x_data.copy())
+    np.testing.assert_allclose(x.grad, numeric, atol=1e-4)

@@ -1,0 +1,176 @@
+"""Line-buffer ILP: formulation, pruning, solving, multi-chunk."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import (
+    DataflowGraph,
+    elementwise,
+    global_op,
+    reduction,
+    sink,
+    source,
+    stencil,
+)
+from repro.errors import OptimizationError
+from repro.optimizer import (
+    build_problem,
+    count_dense_constraints,
+    count_pruned_constraints,
+    extend_to_chunks,
+    optimize_buffers,
+    solve_chain_analytic,
+    solve_milp,
+)
+
+
+def _fig12_chain():
+    """The paper's Fig. 12 example: kNN producer -> stencil consumer."""
+    return DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        global_op("knn", i_shape=(1, 3), o_shape=(4, 3), i_freq=1,
+                  o_freq=8, reuse=(1, 1), stage=8),
+        stencil("curv", i_shape=(1, 3), o_shape=(1, 1), stage=2,
+                reuse=(2, 1)),
+        sink("drain", i_shape=(1, 1)),
+    ])
+
+
+def _local_chain():
+    return DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        elementwise("a", i_shape=(1, 3), o_shape=(1, 3), stage=2),
+        reduction("b", i_shape=(4, 3), o_shape=(1, 3), stage=2, o_freq=4),
+        sink("drain", i_shape=(1, 3)),
+    ])
+
+
+def test_problem_layout():
+    problem = build_problem(_fig12_chain().instantiate(64))
+    layout = problem.layout
+    assert layout.n_variables == 4 + 3 + 3   # t_w + t_o + LB
+    assert problem.objective[layout.lb(problem.layout.edges[0])] == 3.0
+
+
+def test_pruning_reduces_constraints():
+    inst = _fig12_chain().instantiate(256)
+    problem = build_problem(inst)
+    assert count_pruned_constraints(problem) < count_dense_constraints(inst)
+
+
+def test_milp_solves_fig12():
+    schedule = optimize_buffers(_fig12_chain().instantiate(64),
+                                backend="milp")
+    # Global edge buffers everything the reader produces.
+    reader_edge = schedule.inst.graph.edges[0]
+    assert schedule.buffer_elements[reader_edge] == pytest.approx(64.0)
+    assert schedule.makespan <= schedule.target_makespan + 1e-6
+
+
+def test_analytic_matches_milp_on_chains():
+    for maker in (_fig12_chain, _local_chain):
+        inst = maker().instantiate(48)
+        milp = optimize_buffers(inst, backend="milp")
+        analytic = optimize_buffers(inst, backend="analytic")
+        assert milp.total_buffer_values == pytest.approx(
+            analytic.total_buffer_values, rel=0.05, abs=2.0)
+
+
+def test_schedule_validates_against_dense_occupancy():
+    schedule = optimize_buffers(_fig12_chain().instantiate(32))
+    schedule.validate()   # must not raise
+
+
+def test_validation_catches_undersized_buffer():
+    schedule = optimize_buffers(_fig12_chain().instantiate(32))
+    edge = schedule.inst.graph.edges[0]
+    schedule.buffer_elements[edge] = 1.0
+    with pytest.raises(OptimizationError):
+        schedule.validate()
+
+
+def test_local_buffers_hold_working_set():
+    schedule = optimize_buffers(_fig12_chain().instantiate(64))
+    curv_edge = [e for e in schedule.buffer_elements
+                 if e.consumer == "curv"][0]
+    # Stencil floor: i_shape[0] * reuse = 2 elements minimum.
+    assert schedule.buffer_elements[curv_edge] >= 2.0
+
+
+def test_slack_never_increases_buffers():
+    inst = _local_chain().instantiate(64)
+    tight = optimize_buffers(inst, slack=1.0, backend="milp")
+    loose = optimize_buffers(inst, slack=1.5, backend="milp")
+    assert loose.total_buffer_values <= tight.total_buffer_values + 1e-6
+
+
+def test_slack_below_one_rejected():
+    with pytest.raises(OptimizationError):
+        build_problem(_local_chain().instantiate(16), slack=0.5)
+
+
+def test_analytic_rejects_non_chain():
+    graph = DataflowGraph()
+    graph.add_stage(source("a", o_shape=(1, 3)))
+    graph.add_stage(elementwise("b", i_shape=(1, 3), o_shape=(1, 3)))
+    graph.add_stage(elementwise("c", i_shape=(1, 3), o_shape=(1, 3)))
+    graph.add_stage(sink("d", i_shape=(1, 3)))
+    graph.add_stage(sink("e", i_shape=(1, 3)))
+    graph.connect("a", "b")
+    graph.connect("a", "c")
+    graph.connect("b", "d")
+    graph.connect("c", "e")
+    with pytest.raises(OptimizationError):
+        solve_chain_analytic(build_problem(graph.instantiate(16)))
+
+
+def test_milp_handles_fanout():
+    graph = DataflowGraph()
+    graph.add_stage(source("a", o_shape=(1, 3)))
+    graph.add_stage(elementwise("b", i_shape=(1, 3), o_shape=(1, 3)))
+    graph.add_stage(elementwise("c", i_shape=(1, 3), o_shape=(1, 3)))
+    graph.add_stage(sink("d", i_shape=(1, 3)))
+    graph.add_stage(sink("e", i_shape=(1, 3)))
+    graph.connect("a", "b")
+    graph.connect("a", "c")
+    graph.connect("b", "d")
+    graph.connect("c", "e")
+    schedule = solve_milp(build_problem(graph.instantiate(16)))
+    schedule.validate()
+    assert len(schedule.buffer_elements) == 4
+
+
+def test_multichunk_keeps_buffers_and_ii():
+    schedule = optimize_buffers(_fig12_chain().instantiate(64))
+    multi = extend_to_chunks(schedule, 4)
+    assert multi.total_buffer_bytes == schedule.total_buffer_bytes
+    # II must cover both the slowest stage and every edge's overwrite
+    # offset (Fig. 11: otherwise two chunks share a buffer).
+    floor = max(schedule.inst.busy_duration(n)
+                for n in schedule.write_start)
+    assert multi.initiation_interval >= floor
+    assert multi.makespan > schedule.makespan
+
+
+def test_multichunk_bubbles_fill_to_ii():
+    schedule = optimize_buffers(_local_chain().instantiate(64))
+    multi = extend_to_chunks(schedule, 3)
+    for name, bubble in multi.bubbles.items():
+        busy = schedule.inst.busy_duration(name)
+        assert bubble == pytest.approx(multi.initiation_interval - busy)
+        assert bubble >= -1e-9
+
+
+def test_multichunk_throughput_positive():
+    schedule = optimize_buffers(_local_chain().instantiate(64))
+    multi = extend_to_chunks(schedule, 8)
+    assert multi.throughput_elements_per_cycle > 0
+    with pytest.raises(OptimizationError):
+        extend_to_chunks(schedule, 0)
+
+
+def test_summary_readable():
+    schedule = optimize_buffers(_fig12_chain().instantiate(32))
+    text = schedule.summary()
+    assert "makespan" in text
+    assert "KiB" in text

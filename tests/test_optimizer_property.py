@@ -1,0 +1,97 @@
+"""Property-based optimizer invariants over randomly generated chains.
+
+For any randomly parameterised stage chain:
+
+* the MILP and the analytic chain solver agree on total buffer size;
+* every optimized buffer covers the dense occupancy simulation's peak
+  (the pruned constraints never under-provision);
+* the optimized makespan never exceeds the ASAP performance target;
+* the cycle-level replay is stall-free for single and multi chunk runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import (
+    DataflowGraph,
+    elementwise,
+    global_op,
+    reduction,
+    sink,
+    source,
+)
+from repro.optimizer import extend_to_chunks, optimize_buffers
+from repro.sim import simulate_streaming
+
+
+@st.composite
+def random_chain(draw):
+    """A random 3-6 stage chain with consistent element widths."""
+    width = draw(st.sampled_from([1, 3, 4]))
+    stages = [source("src", o_shape=(1, width))]
+    n_middle = draw(st.integers(1, 4))
+    for i in range(n_middle):
+        kind = draw(st.sampled_from(["elementwise", "reduction",
+                                     "global"]))
+        depth = draw(st.integers(1, 8))
+        if kind == "elementwise":
+            stages.append(elementwise(f"s{i}", i_shape=(1, width),
+                                      o_shape=(1, width), stage=depth))
+        elif kind == "reduction":
+            o_freq = draw(st.sampled_from([2, 4, 8]))
+            stages.append(reduction(f"s{i}", i_shape=(1, width),
+                                    o_shape=(1, width), stage=depth,
+                                    o_freq=o_freq))
+        else:
+            o_points = draw(st.sampled_from([1, 2, 4]))
+            o_freq = draw(st.sampled_from([2, 4, 8]))
+            stages.append(global_op(f"s{i}", i_shape=(1, width),
+                                    o_shape=(o_points, width),
+                                    i_freq=1, o_freq=o_freq,
+                                    reuse=(1, 1), stage=depth))
+    stages.append(sink("dst", i_shape=(1, width)))
+    return DataflowGraph.chain(stages)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=random_chain(), n_elements=st.sampled_from([16, 32, 64]))
+def test_milp_matches_analytic_on_random_chains(graph, n_elements):
+    inst = graph.instantiate(n_elements)
+    milp = optimize_buffers(inst, backend="milp", validate=False)
+    analytic = optimize_buffers(inst, backend="analytic", validate=False)
+    assert milp.total_buffer_values <= analytic.total_buffer_values + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=random_chain(), n_elements=st.sampled_from([16, 48]))
+def test_buffers_cover_dense_occupancy(graph, n_elements):
+    schedule = optimize_buffers(graph.instantiate(n_elements))
+    schedule.validate()   # raises if any buffer undersized
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=random_chain(), n_elements=st.sampled_from([16, 32]))
+def test_makespan_within_target(graph, n_elements):
+    schedule = optimize_buffers(graph.instantiate(n_elements))
+    assert schedule.makespan <= schedule.target_makespan + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=random_chain(), n_chunks=st.sampled_from([1, 2, 4]))
+def test_streaming_replay_stall_free(graph, n_chunks):
+    schedule = optimize_buffers(graph.instantiate(24))
+    report = simulate_streaming(schedule, n_chunks=n_chunks)
+    assert report.stall_free
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=random_chain())
+def test_multichunk_interval_covers_busy_times(graph):
+    schedule = optimize_buffers(graph.instantiate(24))
+    multi = extend_to_chunks(schedule, 3)
+    for name in schedule.write_start:
+        assert (multi.initiation_interval
+                >= schedule.inst.busy_duration(name) - 1e-9)
+        assert multi.bubbles[name] >= -1e-9

@@ -1,0 +1,84 @@
+"""Application pipeline builders (Tbl. 2)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.pipelines import (
+    available_pipelines,
+    build_pipeline,
+    intermediate_values_of,
+)
+
+
+def test_registry_lists_all_four():
+    assert set(available_pipelines()) == {
+        "classification", "segmentation", "registration", "rendering"}
+
+
+def test_unknown_pipeline():
+    with pytest.raises(ValidationError):
+        build_pipeline("raytracing")
+
+
+@pytest.mark.parametrize("name,kwargs", [
+    ("classification", {"n_points": 128}),
+    ("segmentation", {"n_points": 128}),
+    ("registration", {"n_scan_points": 256}),
+    ("rendering", {"n_gaussians": 512}),
+])
+def test_pipeline_builds(name, kwargs):
+    spec = build_pipeline(name, **kwargs)
+    assert spec.name == name
+    spec.graph.validate()
+    workload = spec.workload
+    assert workload.n_points > 0
+    assert workload.window_points <= workload.n_points
+    assert workload.n_windows >= 1
+    assert len(spec.hardware_baselines) >= 1
+
+
+def test_search_pipelines_have_profiles():
+    for name, kwargs in (("classification", {"n_points": 128}),
+                         ("registration", {"n_scan_points": 256})):
+        spec = build_pipeline(name, **kwargs)
+        assert spec.workload.search is not None
+        assert spec.workload.search.deadline_steps >= 1
+
+
+def test_rendering_has_sort_profile():
+    spec = build_pipeline("rendering", n_gaussians=512)
+    assert spec.workload.sort is not None
+    assert spec.workload.search is None
+    assert (spec.workload.sort.comparators_chunked
+            < spec.workload.sort.comparators_global)
+
+
+def test_intermediate_values_positive():
+    spec = build_pipeline("classification", n_points=128)
+    values = intermediate_values_of(spec.graph, 128)
+    assert values > 0
+    assert spec.workload.intermediate_values == pytest.approx(values)
+
+
+def test_graphs_have_global_stage():
+    """Every Tbl. 2 pipeline contains at least one global-dependent op."""
+    for name, kwargs in (("classification", {"n_points": 128}),
+                         ("segmentation", {"n_points": 128}),
+                         ("registration", {"n_scan_points": 256}),
+                         ("rendering", {"n_gaussians": 512})):
+        spec = build_pipeline(name, **kwargs)
+        kinds = [s.kind for s in spec.graph.stages.values()]
+        assert "global" in kinds
+
+
+def test_classification_macs_scale():
+    from repro.pipelines.pointnet2_cls import classification_macs
+
+    assert classification_macs(2048) > classification_macs(512)
+
+
+def test_segmentation_heavier_than_classification():
+    from repro.pipelines.pointnet2_cls import classification_macs
+    from repro.pipelines.pointnet2_seg import segmentation_macs
+
+    assert segmentation_macs(1024) > classification_macs(1024) * 0.5

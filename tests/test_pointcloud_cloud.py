@@ -1,0 +1,121 @@
+"""Unit tests for the PointCloud container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.pointcloud import PointCloud, concat_clouds
+
+
+def test_basic_construction():
+    cloud = PointCloud([[0, 0, 0], [1, 2, 3]])
+    assert len(cloud) == 2
+    assert cloud.positions.shape == (2, 3)
+    assert cloud.positions.dtype == np.float64
+
+
+def test_rejects_bad_shape():
+    with pytest.raises(ValidationError):
+        PointCloud([[1, 2], [3, 4]])
+
+
+def test_rejects_non_finite():
+    with pytest.raises(ValidationError):
+        PointCloud([[0, 0, np.nan]])
+
+
+def test_attribute_row_count_checked():
+    with pytest.raises(ValidationError):
+        PointCloud([[0, 0, 0]], {"label": [1, 2]})
+
+
+def test_attribute_access(small_cloud):
+    assert small_cloud.has_attribute("intensity")
+    assert small_cloud.attribute("intensity").shape == (200,)
+    with pytest.raises(ValidationError):
+        small_cloud.attribute("missing")
+
+
+def test_with_attribute_returns_new_cloud(small_cloud):
+    labeled = small_cloud.with_attribute("label", np.zeros(200))
+    assert labeled.has_attribute("label")
+    assert not small_cloud.has_attribute("label")
+
+
+def test_without_attribute(small_cloud):
+    bare = small_cloud.without_attribute("intensity")
+    assert not bare.has_attribute("intensity")
+    with pytest.raises(ValidationError):
+        bare.without_attribute("intensity")
+
+
+def test_select_keeps_attributes(small_cloud):
+    sub = small_cloud.select(np.arange(10))
+    assert len(sub) == 10
+    assert sub.attribute("intensity").shape == (10,)
+    np.testing.assert_array_equal(sub.positions,
+                                  small_cloud.positions[:10])
+
+
+def test_split_by_groups(small_cloud):
+    assignment = np.arange(200) % 4
+    parts = small_cloud.split_by(assignment, 4)
+    assert len(parts) == 4
+    assert sum(len(p) for p in parts) == 200
+
+
+def test_split_by_drops_out_of_range(small_cloud):
+    assignment = np.full(200, 9)
+    parts = small_cloud.split_by(assignment, 2)
+    assert all(len(p) == 0 for p in parts)
+
+
+def test_concat_preserves_order(small_cloud):
+    other = small_cloud.select(np.arange(5))
+    merged = small_cloud.concat(other)
+    assert len(merged) == 205
+    np.testing.assert_array_equal(merged.positions[-5:],
+                                  small_cloud.positions[:5])
+
+
+def test_concat_rejects_mismatched_attributes(small_cloud):
+    other = PointCloud(np.zeros((3, 3)))
+    with pytest.raises(ValidationError):
+        small_cloud.concat(other)
+
+
+def test_concat_clouds_helper(small_cloud):
+    merged = concat_clouds([small_cloud, small_cloud])
+    assert len(merged) == 400
+    with pytest.raises(ValidationError):
+        concat_clouds([])
+
+
+def test_bounds_and_centroid():
+    cloud = PointCloud([[0, 0, 0], [2, 4, 6]])
+    lo, hi = cloud.bounds()
+    np.testing.assert_array_equal(lo, [0, 0, 0])
+    np.testing.assert_array_equal(hi, [2, 4, 6])
+    np.testing.assert_array_equal(cloud.centroid(), [1, 2, 3])
+    np.testing.assert_array_equal(cloud.extent(), [2, 4, 6])
+
+
+def test_empty_cloud_geometry_raises():
+    empty = PointCloud(np.zeros((0, 3)))
+    with pytest.raises(ValidationError):
+        empty.bounds()
+    with pytest.raises(ValidationError):
+        empty.centroid()
+
+
+def test_equality():
+    a = PointCloud([[1, 2, 3]], {"x": [1]})
+    b = PointCloud([[1, 2, 3]], {"x": [1]})
+    c = PointCloud([[1, 2, 3]], {"x": [2]})
+    assert a == b
+    assert a != c
+
+
+def test_repr_mentions_size(small_cloud):
+    assert "200" in repr(small_cloud)
+    assert "intensity" in repr(small_cloud)

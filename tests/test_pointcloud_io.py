@@ -1,0 +1,33 @@
+"""Round-trip tests for npz point-cloud I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.pointcloud import PointCloud
+from repro.pointcloud.io import load_npz, save_npz
+
+
+def test_roundtrip(tmp_path, small_cloud):
+    path = str(tmp_path / "cloud.npz")
+    save_npz(small_cloud, path)
+    loaded = load_npz(path)
+    assert loaded == small_cloud
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(ValidationError):
+        load_npz(str(tmp_path / "nope.npz"))
+
+
+def test_reserved_attribute_name(tmp_path):
+    cloud = PointCloud([[0, 0, 0]], {"positions": [1]})
+    with pytest.raises(ValidationError):
+        save_npz(cloud, str(tmp_path / "bad.npz"))
+
+
+def test_load_requires_positions(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, stuff=np.zeros(3))
+    with pytest.raises(ValidationError):
+        load_npz(str(path))

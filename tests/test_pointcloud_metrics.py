@@ -1,0 +1,97 @@
+"""Unit tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.pointcloud import (
+    mean_iou,
+    overall_accuracy,
+    psnr,
+    recall_at_k,
+    rotation_error,
+    trajectory_errors,
+    translation_error,
+)
+from repro.pointcloud.transforms import rotation_matrix
+
+
+def test_overall_accuracy():
+    assert overall_accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+    with pytest.raises(ValidationError):
+        overall_accuracy([1], [1, 2])
+    with pytest.raises(ValidationError):
+        overall_accuracy([], [])
+
+
+def test_mean_iou_perfect():
+    labels = np.array([0, 0, 1, 1, 2])
+    assert mean_iou(labels, labels, 3) == pytest.approx(1.0)
+
+
+def test_mean_iou_partial():
+    predicted = np.array([0, 0, 1, 1])
+    target = np.array([0, 1, 1, 1])
+    # class0: inter 1, union 2 -> 0.5 ; class1: inter 2, union 3 -> 2/3
+    assert mean_iou(predicted, target, 2) == pytest.approx((0.5 + 2 / 3) / 2)
+
+
+def test_mean_iou_skips_absent_classes():
+    predicted = np.array([0, 0])
+    target = np.array([0, 0])
+    assert mean_iou(predicted, target, 10) == pytest.approx(1.0)
+
+
+def test_translation_error():
+    a, b = np.eye(4), np.eye(4)
+    b[:3, 3] = [3.0, 4.0, 0.0]
+    assert translation_error(a, b) == pytest.approx(5.0)
+
+
+def test_rotation_error():
+    a = np.eye(4)
+    b = np.eye(4)
+    b[:3, :3] = rotation_matrix("z", 0.25)
+    assert rotation_error(a, b) == pytest.approx(0.25, abs=1e-9)
+    assert rotation_error(a, a) == pytest.approx(0.0)
+
+
+def test_trajectory_errors():
+    poses = [np.eye(4) for _ in range(3)]
+    for i, pose in enumerate(poses):
+        pose[:3, 3] = [float(i), 0.0, 0.0]
+    off = [p.copy() for p in poses]
+    off[-1][:3, 3] += [0.2, 0.0, 0.0]
+    errors = trajectory_errors(off, poses)
+    assert errors["max_translation_error"] == pytest.approx(0.2)
+    assert errors["trajectory_length"] == pytest.approx(2.0)
+    assert errors["relative_drift"] == pytest.approx(0.1)
+
+
+def test_trajectory_errors_validation():
+    with pytest.raises(ValidationError):
+        trajectory_errors([np.eye(4)], [])
+
+
+def test_psnr_identical_is_inf():
+    image = np.random.default_rng(0).uniform(size=(8, 8, 3))
+    assert psnr(image, image) == np.inf
+
+
+def test_psnr_known_value():
+    ref = np.zeros((4, 4))
+    img = np.full((4, 4), 0.1)
+    assert psnr(img, ref) == pytest.approx(20.0)
+
+
+def test_psnr_shape_mismatch():
+    with pytest.raises(ValidationError):
+        psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_recall_at_k():
+    found = [[1, 2, 3], [4, 5]]
+    true = [[1, 2], [6, 7]]
+    assert recall_at_k(found, true) == pytest.approx(0.5)
+    with pytest.raises(ValidationError):
+        recall_at_k([[1]], [])

@@ -1,0 +1,135 @@
+"""Unit and property tests for geometric transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.pointcloud import (
+    PointCloud,
+    apply_rigid,
+    farthest_point_sample,
+    jitter,
+    normalize_unit_sphere,
+    random_downsample,
+    rotate,
+    rotation_matrix,
+    scale,
+    threshold_by_distance,
+    translate,
+    voxel_downsample,
+)
+
+
+def test_normalize_unit_sphere(small_cloud):
+    normalized = normalize_unit_sphere(small_cloud)
+    radii = np.linalg.norm(normalized.positions, axis=1)
+    assert radii.max() == pytest.approx(1.0)
+    np.testing.assert_allclose(normalized.centroid(), 0.0, atol=1e-9)
+
+
+def test_normalize_keeps_attributes(small_cloud):
+    assert normalize_unit_sphere(small_cloud).has_attribute("intensity")
+
+
+def test_translate_and_scale():
+    cloud = PointCloud([[1.0, 0.0, 0.0]])
+    moved = translate(cloud, [1, 2, 3])
+    np.testing.assert_array_equal(moved.positions, [[2, 2, 3]])
+    doubled = scale(cloud, 2.0)
+    np.testing.assert_array_equal(doubled.positions, [[2, 0, 0]])
+    with pytest.raises(ValidationError):
+        scale(cloud, 0.0)
+
+
+@pytest.mark.parametrize("axis", ["x", "y", "z"])
+def test_rotation_matrix_is_orthonormal(axis):
+    rot = rotation_matrix(axis, 0.7)
+    np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+    assert np.linalg.det(rot) == pytest.approx(1.0)
+
+
+def test_rotation_rejects_bad_axis():
+    with pytest.raises(ValidationError):
+        rotation_matrix("w", 0.1)
+
+
+def test_rotate_preserves_norms(small_cloud):
+    rotated = rotate(small_cloud, "z", 1.1)
+    np.testing.assert_allclose(
+        np.linalg.norm(rotated.positions, axis=1),
+        np.linalg.norm(small_cloud.positions, axis=1))
+
+
+def test_apply_rigid_matches_rotate_translate(small_cloud):
+    rot = rotation_matrix("y", 0.3)
+    out = apply_rigid(small_cloud, rot, np.array([1.0, 0, 0]))
+    expected = small_cloud.positions @ rot.T + [1.0, 0, 0]
+    np.testing.assert_allclose(out.positions, expected)
+
+
+def test_jitter_respects_clip(small_cloud, rng):
+    noisy = jitter(small_cloud, sigma=1.0, rng=rng, clip=0.01)
+    delta = np.abs(noisy.positions - small_cloud.positions)
+    assert delta.max() <= 0.01 + 1e-12
+
+
+def test_jitter_zero_sigma_is_identity(small_cloud, rng):
+    same = jitter(small_cloud, 0.0, rng)
+    np.testing.assert_array_equal(same.positions, small_cloud.positions)
+
+
+def test_threshold_by_distance():
+    cloud = PointCloud([[0.1, 0, 0], [10, 0, 0]])
+    near = threshold_by_distance(cloud, 1.0)
+    assert len(near) == 1
+
+
+def test_random_downsample(small_cloud, rng):
+    sub = random_downsample(small_cloud, 50, rng)
+    assert len(sub) == 50
+    with pytest.raises(ValidationError):
+        random_downsample(small_cloud, 500, rng)
+
+
+def test_fps_indices_unique(small_cloud):
+    idx = farthest_point_sample(small_cloud.positions, 20)
+    assert len(set(idx.tolist())) == 20
+
+
+def test_fps_spreads_points():
+    # Two clusters: FPS with 2 samples must pick one from each.
+    pts = np.concatenate([np.zeros((10, 3)),
+                          np.ones((10, 3)) * 10.0])
+    idx = farthest_point_sample(pts, 2)
+    assert (idx[0] < 10) != (idx[1] < 10)
+
+
+def test_voxel_downsample_merges():
+    pts = np.array([[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [5.0, 5.0, 5.0]])
+    out = voxel_downsample(PointCloud(pts), voxel_size=1.0)
+    assert len(out) == 2
+
+
+def test_voxel_downsample_empty():
+    out = voxel_downsample(PointCloud(np.zeros((0, 3))), 1.0)
+    assert len(out) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(angle=st.floats(-np.pi, np.pi, allow_nan=False))
+def test_rotation_roundtrip_property(angle):
+    cloud = PointCloud(np.array([[1.0, 2.0, 3.0], [0.5, -1.0, 0.25]]))
+    back = rotate(rotate(cloud, "z", angle), "z", -angle)
+    np.testing.assert_allclose(back.positions, cloud.positions, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_samples=st.integers(1, 30))
+def test_fps_count_property(n_samples):
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(30, 3))
+    idx = farthest_point_sample(pts, n_samples)
+    assert len(idx) == n_samples
+    assert len(np.unique(idx)) == n_samples

@@ -1,0 +1,133 @@
+"""Registration substrate: features, ICP, odometry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ScannerConfig, make_kitti_sequence
+from repro.errors import ValidationError
+from repro.pointcloud import PointCloud
+from repro.registration import (
+    FeatureConfig,
+    compare_registration_variants,
+    extract_features,
+    gauss_newton_align,
+    plane_from_points,
+    point_to_line_residual,
+    registration_configs,
+    ring_curvature,
+    rotation_from_euler,
+    run_odometry,
+)
+from repro.spatial import KDTree
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return make_kitti_sequence(
+        n_scans=3, seed=0, step=0.25,
+        config=ScannerConfig(n_azimuth=120, n_beams=6))
+
+
+def test_ring_curvature_flat_vs_corner():
+    # Straight line: near-zero curvature mid-ring.
+    line = np.stack([np.linspace(0, 10, 21),
+                     np.full(21, 5.0), np.zeros(21)], axis=1)
+    curv_line = ring_curvature(line, half_window=5)
+    # A sharp corner at the middle point.
+    corner = line.copy()
+    corner[10:, 1] = np.linspace(5.0, 10.0, 11)
+    curv_corner = ring_curvature(corner, half_window=5)
+    assert curv_line[10] < curv_corner[10]
+    assert np.isinf(curv_line[0])     # border has no full window
+
+
+def test_ring_curvature_short_ring():
+    curv = ring_curvature(np.zeros((3, 3)), half_window=5)
+    assert np.isinf(curv).all()
+
+
+def test_extract_features(sequence):
+    edges, planes = extract_features(sequence.scans[0])
+    assert len(edges) > 0
+    assert len(planes) > 0
+    assert len(edges) + len(planes) < len(sequence.scans[0])
+
+
+def test_extract_features_requires_ring():
+    bare = PointCloud(np.random.default_rng(0).normal(size=(50, 3)))
+    with pytest.raises(ValidationError):
+        extract_features(bare)
+
+
+def test_rotation_from_euler_orthonormal():
+    rot = rotation_from_euler(0.1, -0.2, 0.3)
+    np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+
+
+def test_point_to_line_residual():
+    dist, normal = point_to_line_residual(
+        np.array([0.0, 1.0, 0.0]),
+        np.array([-1.0, 0.0, 0.0]), np.array([1.0, 0.0, 0.0]))
+    assert dist == pytest.approx(1.0)
+    np.testing.assert_allclose(np.abs(normal), [0, 1, 0], atol=1e-12)
+
+
+def test_point_to_line_degenerate():
+    dist, _ = point_to_line_residual(np.array([1.0, 0, 0]),
+                                     np.zeros(3), np.zeros(3))
+    assert dist == pytest.approx(1.0)
+
+
+def test_plane_from_points():
+    pts = np.array([[0, 0, 1.0], [1, 0, 1.0], [0, 1, 1.0], [1, 1, 1.0]])
+    normal, offset = plane_from_points(pts)
+    np.testing.assert_allclose(np.abs(normal), [0, 0, 1], atol=1e-9)
+    assert abs(offset) == pytest.approx(1.0)
+    with pytest.raises(ValidationError):
+        plane_from_points(pts[:2])
+
+
+def test_gauss_newton_recovers_transform(rng):
+    edges = rng.uniform(-5, 5, size=(30, 3))
+    planes = rng.uniform(-5, 5, size=(60, 3))
+    true_rot = rotation_from_euler(0.01, -0.02, 0.04)
+    true_t = np.array([0.2, -0.1, 0.05])
+    src_edges = (edges - true_t) @ true_rot
+    src_planes = (planes - true_t) @ true_rot
+    te, tp = KDTree(edges), KDTree(planes)
+    result = gauss_newton_align(
+        src_edges, src_planes, edges, planes,
+        lambda q, k: te.knn(q, k).indices,
+        lambda q, k: tp.knn(q, k).indices,
+        max_iterations=12)
+    np.testing.assert_allclose(result.transform[:3, 3], true_t, atol=1e-3)
+    np.testing.assert_allclose(result.transform[:3, :3], true_rot,
+                               atol=1e-3)
+
+
+def test_odometry_tracks_motion(sequence):
+    configs = registration_configs(n_chunks=4)
+    outcome = run_odometry(sequence, configs["Base"])
+    errors = outcome.errors_against(sequence.poses)
+    # Tracking, not perfect: drift bounded well below trajectory length.
+    assert errors["mean_translation_error"] < 0.5
+    assert len(outcome.poses) == len(sequence)
+
+
+def test_odometry_requires_two_scans(sequence):
+    short = type(sequence)(scans=sequence.scans[:1],
+                           poses=sequence.poses[:1],
+                           config=sequence.config)
+    configs = registration_configs()
+    with pytest.raises(ValidationError):
+        run_odometry(short, configs["Base"])
+
+
+def test_variant_errors_comparable(sequence):
+    """Fig. 14: CS and CS+DT add only marginal error over Base."""
+    results = compare_registration_variants(sequence, n_chunks=4)
+    assert set(results) == {"Base", "CS", "CS+DT"}
+    base = results["Base"]["mean_translation_error"]
+    for variant in ("CS", "CS+DT"):
+        extra = results[variant]["mean_translation_error"] - base
+        assert extra < 0.5    # same order of magnitude as Base

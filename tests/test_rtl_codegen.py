@@ -1,0 +1,98 @@
+"""RTL code generation from optimized schedules."""
+
+import math
+
+import pytest
+
+from repro.dataflow import (
+    DataflowGraph,
+    elementwise,
+    global_op,
+    sink,
+    source,
+)
+from repro.errors import ValidationError
+from repro.optimizer import optimize_buffers
+from repro.rtl import (
+    buffer_depths,
+    generate_system,
+    line_buffer_module,
+    lint_verilog,
+    stage_module,
+)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    graph = DataflowGraph.chain([
+        source("reader", o_shape=(1, 3)),
+        global_op("knn", i_shape=(1, 3), o_shape=(4, 3), i_freq=1,
+                  o_freq=8, reuse=(1, 1), stage=8),
+        elementwise("mlp", i_shape=(1, 3), o_shape=(1, 3), stage=4),
+        sink("drain", i_shape=(1, 3)),
+    ])
+    return optimize_buffers(graph.instantiate(64))
+
+
+def test_line_buffer_module_well_formed():
+    text = line_buffer_module()
+    assert "module line_buffer" in text
+    assert lint_verilog(text) == []
+    for port in ("wr_valid", "wr_ready", "rd_valid", "rd_ready"):
+        assert port in text
+
+
+def test_stage_module_embeds_schedule():
+    text = stage_module("knn search!", start_cycle=42, pipeline_depth=8,
+                        in_width=3, out_width=12)
+    assert "START_CYCLE = 42" in text
+    assert "PIPE_DEPTH  = 8" in text
+    assert "stage_knn_search_" in text    # sanitised identifier
+    assert lint_verilog(text) == []
+
+
+def test_stage_module_validations():
+    with pytest.raises(ValidationError):
+        stage_module("x", start_cycle=-1, pipeline_depth=1,
+                     in_width=1, out_width=1)
+    with pytest.raises(ValidationError):
+        stage_module("x", start_cycle=0, pipeline_depth=0,
+                     in_width=1, out_width=1)
+
+
+def test_buffer_depths_match_ilp(schedule):
+    depths = buffer_depths(schedule)
+    assert len(depths) == len(schedule.buffer_elements)
+    for edge, elements in schedule.buffer_elements.items():
+        key = f"{edge.producer}__{edge.consumer}"
+        assert depths[key] == max(2, math.ceil(elements))
+
+
+def test_generate_system_structure(schedule):
+    text = generate_system(schedule)
+    assert lint_verilog(text) == []
+    # One stage module per node, one FIFO instance per edge, one top.
+    for name in schedule.inst.graph.topological_order():
+        assert f"module stage_{name}" in text
+        assert f"u_{name}" in text
+    for edge in schedule.inst.graph.edges:
+        assert f"lb_{edge.producer}__{edge.consumer}" in text
+    assert "module streamgrid_top" in text
+
+
+def test_generate_system_bakes_in_depths(schedule):
+    text = generate_system(schedule)
+    depths = buffer_depths(schedule)
+    for key, depth in depths.items():
+        assert f".DEPTH({depth})" in text
+
+
+def test_generate_system_reports_buffer_total(schedule):
+    text = generate_system(schedule)
+    assert "total buffer" in text
+    assert "target makespan" in text
+
+
+def test_lint_catches_imbalance():
+    assert lint_verilog("module a") != []
+    assert lint_verilog("module a\nendmodule\n(") != []

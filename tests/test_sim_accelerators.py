@@ -1,0 +1,81 @@
+"""Prior-accelerator analytic models (Fig. 18 comparators)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pipelines import build_pipeline
+from repro.sim import (
+    PRIOR_DESIGNS,
+    evaluate_accelerator,
+    evaluate_accelerators,
+    evaluate_all_variants,
+)
+
+
+@pytest.fixture(scope="module")
+def cls():
+    spec = build_pipeline("classification", n_points=256)
+    return spec, evaluate_all_variants(spec.graph, spec.workload)
+
+
+@pytest.fixture(scope="module")
+def reg():
+    spec = build_pipeline("registration", n_scan_points=512)
+    return spec, evaluate_all_variants(spec.graph, spec.workload)
+
+
+def test_unknown_design_rejected(cls):
+    spec, _ = cls
+    with pytest.raises(SimulationError):
+        evaluate_accelerator("TPU", spec.workload)
+
+
+def test_all_designs_registered():
+    assert set(PRIOR_DESIGNS) == {"PointAcc", "Mesorasi", "QuickNN",
+                                  "Tigris", "GSCore"}
+
+
+def test_classification_ordering(cls):
+    """Fig. 18a: CS+DT > PointAcc > Mesorasi in performance."""
+    spec, variants = cls
+    accs = evaluate_accelerators(("PointAcc", "Mesorasi"), spec.workload)
+    csdt = variants["CS+DT"]
+    assert accs["PointAcc"].cycles > csdt.cycles
+    assert accs["Mesorasi"].cycles > accs["PointAcc"].cycles
+
+
+def test_classification_energy_savings(cls):
+    spec, variants = cls
+    accs = evaluate_accelerators(("PointAcc", "Mesorasi"), spec.workload)
+    csdt = variants["CS+DT"]
+    assert csdt.energy_pj < accs["PointAcc"].energy_pj
+    assert csdt.energy_pj < accs["Mesorasi"].energy_pj
+
+
+def test_registration_ordering(reg):
+    """Fig. 18c: kNN accelerators are an order of magnitude behind."""
+    spec, variants = reg
+    accs = evaluate_accelerators(("QuickNN", "Tigris"), spec.workload)
+    csdt = variants["CS+DT"]
+    assert accs["QuickNN"].cycles / csdt.cycles > 4.0
+    assert accs["Tigris"].cycles / csdt.cycles > 4.0
+    # QuickNN slightly behind Tigris (30.4x vs 28.9x in the paper).
+    assert accs["QuickNN"].cycles >= accs["Tigris"].cycles
+
+
+def test_rendering_ordering():
+    spec = build_pipeline("rendering", n_gaussians=2048)
+    variants = evaluate_all_variants(spec.graph, spec.workload)
+    gscore = evaluate_accelerator("GSCore", spec.workload)
+    csdt = variants["CS+DT"]
+    assert gscore.cycles > csdt.cycles
+    assert gscore.energy_pj > csdt.energy_pj
+
+
+def test_reports_have_energy_breakdown(cls):
+    spec, _ = cls
+    report = evaluate_accelerator("PointAcc", spec.workload)
+    assert report.energy.dram_pj > 0
+    assert report.energy.sram_pj > 0
+    assert report.energy.pe_pj > 0
+    assert report.sram_bytes == PRIOR_DESIGNS["PointAcc"].sram_bytes

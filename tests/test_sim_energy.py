@@ -1,0 +1,55 @@
+"""Energy model invariants."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim import EnergyBreakdown, EnergyModel, EnergyParams
+
+
+def test_dram_much_more_expensive_than_sram():
+    """The ratio driving the paper's conclusions: DRAM >> SRAM."""
+    model = EnergyModel()
+    sram = model.sram_energy(256 * 1024, 1024)
+    dram = model.dram_energy(1024)
+    assert dram > 20 * sram
+
+
+def test_sram_energy_grows_with_capacity():
+    model = EnergyModel()
+    small = model.sram_word_energy(8 * 1024)
+    large = model.sram_word_energy(2 * 1024 * 1024)
+    assert large > small
+    # Sub-linear (sqrt) growth: 256x capacity is ~16x per access.
+    assert large / small < 32
+
+
+def test_energy_accumulation():
+    a = EnergyBreakdown(1.0, 2.0, 3.0)
+    b = EnergyBreakdown(0.5, 0.5, 0.5)
+    total = a + b
+    assert total.total_pj == pytest.approx(7.5)
+    scaled = a.scaled(2.0)
+    assert scaled.dram_pj == pytest.approx(4.0)
+    assert a.as_dict()["total_pj"] == pytest.approx(6.0)
+
+
+def test_pe_energies():
+    model = EnergyModel()
+    assert model.mac_energy(100) == pytest.approx(50.0)
+    assert model.compare_energy(100) == pytest.approx(30.0)
+
+
+def test_validations():
+    model = EnergyModel()
+    with pytest.raises(ValidationError):
+        model.dram_energy(-1)
+    with pytest.raises(ValidationError):
+        model.sram_energy(-1, 10)
+    with pytest.raises(ValidationError):
+        model.mac_energy(-5)
+    with pytest.raises(ValidationError):
+        EnergyParams(dram_pj_per_byte=0)
+
+
+def test_total_uj_conversion():
+    assert EnergyBreakdown(0, 1e6, 0).total_uj == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""On-chip memory structures: line buffer, banked SRAM, cache, DRAM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.sim import (
+    BankedSRAM,
+    DRAMChannel,
+    FullyAssociativeCache,
+    LineBuffer,
+    traces_to_groups,
+)
+
+
+def test_line_buffer_push_pop():
+    lb = LineBuffer(10)
+    lb.push(4)
+    lb.push(3)
+    assert lb.occupancy == 7
+    lb.pop(5)
+    assert lb.occupancy == 2
+    assert lb.peak_occupancy == 7
+    assert lb.writes == 7 and lb.reads == 5
+
+
+def test_line_buffer_overflow():
+    lb = LineBuffer(2)
+    with pytest.raises(SimulationError):
+        lb.push(3)
+
+
+def test_line_buffer_underflow():
+    lb = LineBuffer(5)
+    lb.push(1)
+    with pytest.raises(SimulationError):
+        lb.pop(2)
+
+
+def test_line_buffer_can_push_pop():
+    lb = LineBuffer(3)
+    assert lb.can_push(3)
+    lb.push(3)
+    assert not lb.can_push(0.5)
+    assert lb.can_pop(3)
+
+
+def test_line_buffer_validation():
+    with pytest.raises(ValidationError):
+        LineBuffer(0)
+
+
+def test_banked_sram_no_conflicts():
+    sram = BankedSRAM(4)
+    report = sram.replay([[0, 1, 2, 3], [4, 5, 6, 7]])
+    assert report.conflicts == 0
+    assert report.cycles == 2
+    assert report.stall_cycles == 0
+
+
+def test_banked_sram_serializes_conflicts():
+    sram = BankedSRAM(4)
+    # Addresses 0 and 4 share bank 0: one extra cycle.
+    report = sram.replay([[0, 4]])
+    assert report.conflicts == 1
+    assert report.cycles == 2
+    assert report.stall_cycles == 1
+
+
+def test_banked_sram_elision_drops_requests():
+    sram = BankedSRAM(4, conflict_elision=True)
+    report = sram.replay([[0, 4, 8]])
+    assert report.cycles == 1          # single cycle regardless
+    assert report.elided == 2
+    assert report.stall_cycles == 0
+
+
+def test_banked_sram_empty_groups():
+    report = BankedSRAM(2).replay([[], [1]])
+    assert report.cycles == 2
+
+
+def test_elision_faster_than_serialization():
+    """Crescent-style elision removes the stall cycles (Sec. 4.2)."""
+    rng = np.random.default_rng(0)
+    trace = [list(rng.integers(0, 8, size=4)) for _ in range(50)]
+    stall = BankedSRAM(8).replay(trace)
+    elide = BankedSRAM(8, conflict_elision=True).replay(trace)
+    assert elide.cycles <= stall.cycles
+    assert elide.cycles == 50
+
+
+def test_cache_hits_after_fill():
+    cache = FullyAssociativeCache(1024, line_bytes=64)
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.access(63)     # same line
+    assert not cache.access(64)  # next line
+
+
+def test_cache_lru_eviction():
+    cache = FullyAssociativeCache(128, line_bytes=64)   # 2 lines
+    cache.access(0)
+    cache.access(64)
+    cache.access(128)            # evicts line 0
+    assert not cache.access(0)
+
+
+def test_cache_access_range():
+    cache = FullyAssociativeCache(4096, line_bytes=64)
+    report = cache.access_range(0, 256)
+    assert report.accesses == 4
+    assert report.misses == 4
+    again = cache.access_range(0, 256)
+    assert again.hits == 4
+    assert cache.report().hit_rate == pytest.approx(0.5)
+
+
+def test_dram_transfer_cycles():
+    dram = DRAMChannel(bytes_per_cycle=16, latency_cycles=10)
+    assert dram.transfer_cycles(0) == 0.0
+    assert dram.transfer_cycles(160) == pytest.approx(20.0)
+    assert dram.bytes_transferred == 160
+
+
+def test_traces_to_groups_round_robin():
+    groups = traces_to_groups([[1, 2, 3], [4, 5]], n_ports=2)
+    assert groups == [[1, 4], [2, 5], [3]]
+
+
+def test_traces_to_groups_batching():
+    groups = traces_to_groups([[1], [2], [3]], n_ports=2)
+    assert groups == [[1, 2], [3]]
+    with pytest.raises(ValidationError):
+        traces_to_groups([[1]], 0)

@@ -1,0 +1,117 @@
+"""Variant evaluation: Base / Base+$ / CS / CS+DT orderings."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pipelines import build_pipeline
+from repro.sim import (
+    HardwareConfig,
+    evaluate_all_variants,
+    evaluate_variant,
+)
+from repro.sim.variants import (
+    evaluate_streaming_design,
+    pipeline_buffer_bytes,
+    search_conflict_factor,
+)
+
+
+@pytest.fixture(scope="module")
+def cls_spec():
+    return build_pipeline("classification", n_points=256)
+
+
+@pytest.fixture(scope="module")
+def reg_spec():
+    return build_pipeline("registration", n_scan_points=512)
+
+
+def test_unknown_variant_rejected(cls_spec):
+    with pytest.raises(SimulationError):
+        evaluate_variant("Turbo", cls_spec.graph, cls_spec.workload)
+
+
+def test_all_variants_present(cls_spec):
+    reports = evaluate_all_variants(cls_spec.graph, cls_spec.workload)
+    assert set(reports) == {"Base", "Base+$", "CS", "CS+DT"}
+    for report in reports.values():
+        assert report.cycles > 0
+        assert report.energy_pj > 0
+        assert report.buffer_bytes > 0
+
+
+def test_streaming_beats_double_buffered(cls_spec):
+    reports = evaluate_all_variants(cls_spec.graph, cls_spec.workload)
+    assert reports["CS+DT"].cycles < reports["Base"].cycles
+    assert reports["CS+DT"].energy_pj < reports["Base"].energy_pj
+
+
+def test_csdt_beats_cache(cls_spec):
+    """Fig. 18: Base+$ suffers miss stalls the streaming design avoids."""
+    reports = evaluate_all_variants(cls_spec.graph, cls_spec.workload)
+    assert reports["CS+DT"].cycles <= reports["Base+$"].cycles
+    assert reports["CS+DT"].energy_pj < reports["Base+$"].energy_pj
+
+
+def test_dt_reduces_or_matches_cs(cls_spec):
+    reports = evaluate_all_variants(cls_spec.graph, cls_spec.workload)
+    assert reports["CS+DT"].cycles <= reports["CS"].cycles + 1e-9
+    assert reports["CS+DT"].buffer_bytes <= reports["CS"].buffer_bytes
+
+
+def test_streaming_dram_is_io_only(cls_spec):
+    reports = evaluate_all_variants(cls_spec.graph, cls_spec.workload)
+    assert reports["CS"].dram_bytes < reports["Base"].dram_bytes
+    assert reports["CS"].dram_bytes == pytest.approx(
+        cls_spec.workload.input_bytes + cls_spec.workload.output_bytes)
+
+
+def test_buffer_ordering_fig17(cls_spec):
+    """Fig. 17a: Base > CS >= CS+DT buffer sizes."""
+    base = pipeline_buffer_bytes(cls_spec.graph, cls_spec.workload,
+                                 False, False)
+    cs = pipeline_buffer_bytes(cls_spec.graph, cls_spec.workload,
+                               True, False)
+    csdt = pipeline_buffer_bytes(cls_spec.graph, cls_spec.workload,
+                                 True, True)
+    assert base > cs >= csdt
+
+
+def test_streaming_design_energy_ordering(cls_spec):
+    """Fig. 17b: line-buffered Base spends more than CS than CS+DT."""
+    reports = {v: evaluate_streaming_design(v, cls_spec.graph,
+                                            cls_spec.workload)
+               for v in ("Base", "CS", "CS+DT")}
+    assert reports["Base"].energy_pj > reports["CS"].energy_pj
+    assert reports["CS"].energy_pj >= reports["CS+DT"].energy_pj
+
+
+def test_streaming_design_rejects_cache(cls_spec):
+    with pytest.raises(SimulationError):
+        evaluate_streaming_design("Base+$", cls_spec.graph,
+                                  cls_spec.workload)
+
+
+def test_conflict_factor_one_with_elision(reg_spec):
+    hw = HardwareConfig()
+    factor = search_conflict_factor(reg_spec.workload, True, True, hw)
+    assert factor == 1.0
+
+
+def test_conflict_factor_at_least_one(reg_spec):
+    hw = HardwareConfig()
+    factor = search_conflict_factor(reg_spec.workload, False, False, hw)
+    assert factor >= 1.0
+
+
+def test_registration_search_bound(reg_spec):
+    """Search dominates registration (paper Sec. 8.3)."""
+    reports = evaluate_all_variants(reg_spec.graph, reg_spec.workload)
+    base = reports["Base"]
+    assert base.details["cycles_search"] > base.details["cycles_dnn"]
+
+
+def test_registration_speedup_order_of_magnitude(reg_spec):
+    reports = evaluate_all_variants(reg_spec.graph, reg_spec.workload)
+    speedup = reports["Base"].cycles / reports["CS+DT"].cycles
+    assert speedup > 2.0

@@ -1,0 +1,94 @@
+"""Workload profiling against the real substrates."""
+
+import numpy as np
+import pytest
+
+from repro.core import SplittingConfig, TerminationConfig
+from repro.errors import ValidationError
+from repro.sim import (
+    SearchProfile,
+    WorkloadProfile,
+    profile_search,
+    profile_sort,
+)
+
+
+@pytest.fixture(scope="module")
+def search_profile(lidar_cloud_module):
+    pts = lidar_cloud_module.positions
+    return profile_search(
+        pts, pts[:48], k=8,
+        splitting=SplittingConfig(shape=(2, 2, 1), kernel=(2, 2, 1)),
+        termination=TerminationConfig(profile_queries=16))
+
+
+@pytest.fixture(scope="module")
+def lidar_cloud_module():
+    from repro.datasets import make_lidar_cloud
+
+    return make_lidar_cloud(n_points=500, seed=3)
+
+
+def test_profile_search_statistics(search_profile):
+    p = search_profile
+    assert p.n_queries == 48
+    assert p.mean_steps_full > 0
+    assert p.max_steps_full >= p.mean_steps_full
+    assert p.deadline_steps >= 1
+    assert len(p.sample_traces_full) > 0
+
+
+def test_windowed_steps_not_above_full(search_profile):
+    """Windowed trees are smaller, so traversals are cheaper on average."""
+    assert (search_profile.mean_steps_windowed
+            <= search_profile.mean_steps_full * 1.2)
+
+
+def test_steps_for_variant_ordering(search_profile):
+    p = search_profile
+    base = p.steps_for_variant(False, False)
+    cs = p.steps_for_variant(True, False)
+    csdt = p.steps_for_variant(True, True)
+    assert csdt <= cs <= base * 1.2
+    assert p.worst_steps_for_variant(True, True) == p.deadline_steps
+
+
+def test_profile_sort(rng):
+    values = rng.normal(size=128)
+    keys = np.arange(128) // 16
+    profile = profile_sort(values, keys)
+    assert profile.comparators_chunked < profile.comparators_global
+    assert profile.peak_buffer_chunked < profile.peak_buffer_global
+    with pytest.raises(ValidationError):
+        profile_sort(values, keys[:10])
+
+
+def test_workload_validation():
+    with pytest.raises(ValidationError):
+        WorkloadProfile("x", n_points=0, point_value_width=3,
+                        n_windows=1, window_points=1)
+    with pytest.raises(ValidationError):
+        WorkloadProfile("x", n_points=10, point_value_width=3,
+                        n_windows=0, window_points=1)
+
+
+def test_workload_byte_accessors():
+    w = WorkloadProfile("x", n_points=10, point_value_width=4,
+                        n_windows=2, window_points=5,
+                        intermediate_values=100, output_values=25)
+    assert w.input_bytes == 10 * 4 * 4
+    assert w.intermediate_bytes == 400
+    assert w.output_bytes == 100
+
+
+def test_search_profile_variant_math():
+    p = SearchProfile(n_queries=10, k=4, mean_steps_full=100.0,
+                      std_steps_full=10.0, max_steps_full=200,
+                      mean_steps_windowed=40.0, max_steps_windowed=80,
+                      deadline_steps=10)
+    assert p.steps_for_variant(False, False) == 100.0
+    assert p.steps_for_variant(True, False) == 40.0
+    assert p.steps_for_variant(True, True) == 10.0
+    assert p.steps_for_variant(False, True) == 10.0
+    assert p.worst_steps_for_variant(False, False) == 200.0
+    assert p.worst_steps_for_variant(True, False) == 80.0

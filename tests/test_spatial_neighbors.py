@@ -1,0 +1,133 @@
+"""Chunk-windowed neighbour search tests (compulsory splitting core)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.spatial import (
+    ChunkGrid,
+    ChunkedIndex,
+    brute_force_knn,
+    chunk_windows,
+    chunked_knn_search,
+    chunked_range_search,
+    knn_search,
+    range_search,
+)
+
+
+def test_batch_knn(rng):
+    pts = rng.normal(size=(80, 3))
+    result = knn_search(pts, pts[:5], k=3)
+    assert len(result.indices) == 5
+    for i in range(5):
+        exact = brute_force_knn(pts, pts[i], 3)
+        np.testing.assert_array_equal(result.indices[i], exact.indices)
+
+
+def test_batch_knn_with_cap(rng):
+    pts = rng.normal(size=(80, 3))
+    result = knn_search(pts, pts[:5], k=3, max_steps=2)
+    assert result.terminated.all()
+    assert (result.steps <= 2).all()
+
+
+def test_batch_range(rng):
+    pts = rng.normal(size=(60, 3))
+    result = range_search(pts, pts[:4], radius=0.7, max_results=5)
+    assert len(result.indices) == 4
+    assert all(len(ix) <= 5 for ix in result.indices)
+
+
+def test_chunked_index_window_assignment(clustered_positions):
+    grid = ChunkGrid.fit(clustered_positions, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(clustered_positions,
+                         grid.assign(clustered_positions), windows)
+    for chunk in index.covered_chunks():
+        widx = index.window_for_chunk(chunk)
+        assert chunk in windows[widx].chunk_ids
+
+
+def test_chunked_index_uncovered_chunk_raises(clustered_positions):
+    grid = ChunkGrid.fit(clustered_positions, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(clustered_positions,
+                         grid.assign(clustered_positions), windows)
+    with pytest.raises(ValidationError):
+        index.window_for_chunk(10_000)
+
+
+def test_chunked_knn_returns_original_indices(clustered_positions):
+    grid = ChunkGrid.fit(clustered_positions, (2, 2, 1))
+    windows = chunk_windows((2, 2, 1), (1, 1, 1))
+    result = chunked_knn_search(clustered_positions,
+                                clustered_positions[:10], 4,
+                                grid, windows)
+    for ix in result.indices:
+        assert all(0 <= i < len(clustered_positions) for i in ix)
+
+
+def test_chunked_knn_self_query_finds_self(clustered_positions):
+    grid = ChunkGrid.fit(clustered_positions, (2, 2, 1))
+    windows = chunk_windows((2, 2, 1), (2, 2, 1))   # one window = all
+    result = chunked_knn_search(clustered_positions,
+                                clustered_positions[:10], 1,
+                                grid, windows)
+    for qi, ix in enumerate(result.indices):
+        assert ix[0] == qi
+
+
+def test_full_window_equals_global_search(rng):
+    """One window covering every chunk must reproduce exact kNN."""
+    pts = rng.normal(size=(100, 3))
+    grid = ChunkGrid.fit(pts, (2, 2, 1))
+    windows = chunk_windows((2, 2, 1), (2, 2, 1))
+    result = chunked_knn_search(pts, pts[:8], 5, grid, windows)
+    for i in range(8):
+        exact = brute_force_knn(pts, pts[i], 5)
+        np.testing.assert_array_equal(result.indices[i], exact.indices)
+
+
+def test_chunked_search_restricts_to_window(clustered_positions):
+    """Naive (kernel-1) windows must never return cross-chunk points."""
+    grid = ChunkGrid.fit(clustered_positions, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (1, 1, 1))
+    assignment = grid.assign(clustered_positions)
+    result = chunked_knn_search(clustered_positions,
+                                clustered_positions[:20], 3,
+                                grid, windows)
+    query_chunks = assignment[:20]
+    for qi, ix in enumerate(result.indices):
+        if len(ix):
+            assert (assignment[ix] == query_chunks[qi]).all()
+
+
+def test_accessed_chunks_reported(lidar_cloud):
+    pts = lidar_cloud.positions
+    grid = ChunkGrid.fit(pts, (4, 4, 1))
+    windows = chunk_windows((4, 4, 1), (2, 2, 1))
+    result = chunked_knn_search(pts, pts[:10], 4, grid, windows)
+    assert result.accessed_chunks is not None
+    assert (result.accessed_chunks >= 1).all()
+    # A 2x2 window bounds accessed chunks at 4.
+    assert (result.accessed_chunks <= 4).all()
+
+
+def test_chunked_range_search(clustered_positions):
+    grid = ChunkGrid.fit(clustered_positions, (2, 2, 1))
+    windows = chunk_windows((2, 2, 1), (2, 2, 1))
+    result = chunked_range_search(clustered_positions,
+                                  clustered_positions[:5], 0.5,
+                                  grid, windows, max_results=8)
+    assert all(len(ix) <= 8 for ix in result.indices)
+    assert (result.steps > 0).all()
+
+
+def test_chunked_with_deadline(clustered_positions):
+    grid = ChunkGrid.fit(clustered_positions, (2, 2, 1))
+    windows = chunk_windows((2, 2, 1), (2, 2, 1))
+    result = chunked_knn_search(clustered_positions,
+                                clustered_positions[:5], 3,
+                                grid, windows, max_steps=2)
+    assert (result.steps <= 2).all()

@@ -1,0 +1,74 @@
+"""Octree construction and range-query tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.spatial import Octree, brute_force_range
+
+
+def test_build_and_count(rng):
+    pts = rng.uniform(-1, 1, size=(120, 3))
+    tree = Octree.from_points(pts)
+    assert len(tree) == 120
+
+
+def test_insert_out_of_bounds():
+    tree = Octree([0, 0, 0], [1, 1, 1])
+    with pytest.raises(ValidationError):
+        tree.insert(np.array([2.0, 0.0, 0.0]))
+
+
+def test_leaf_capacity_triggers_split(rng):
+    pts = rng.uniform(0, 1, size=(40, 3))
+    tree = Octree([0, 0, 0], [1, 1, 1], leaf_capacity=4)
+    for p in pts:
+        tree.insert(p)
+    assert tree.leaf_count() > 1
+
+
+def test_range_matches_brute_force(rng):
+    pts = rng.uniform(-1, 1, size=(150, 3))
+    tree = Octree.from_points(pts, leaf_capacity=8)
+    for _ in range(8):
+        query = rng.uniform(-1, 1, size=3)
+        hits, steps, terminated = tree.range_search(query, 0.5)
+        exact = brute_force_range(pts, query, 0.5)
+        np.testing.assert_array_equal(hits, np.sort(exact.indices))
+        assert steps > 0
+        assert not terminated
+
+
+def test_range_step_cap(rng):
+    pts = rng.uniform(-1, 1, size=(100, 3))
+    tree = Octree.from_points(pts, leaf_capacity=2)
+    _, steps, terminated = tree.range_search(np.zeros(3), 1.0, max_steps=2)
+    assert steps == 2
+    assert terminated
+
+
+def test_range_validations(rng):
+    tree = Octree.from_points(rng.uniform(size=(10, 3)))
+    with pytest.raises(ValidationError):
+        tree.range_search(np.zeros(3), -1.0)
+    with pytest.raises(ValidationError):
+        tree.range_search(np.zeros(2), 1.0)
+
+
+def test_morton_order_is_permutation(rng):
+    pts = rng.uniform(-1, 1, size=(64, 3))
+    tree = Octree.from_points(pts, leaf_capacity=4)
+    order = tree.morton_order()
+    assert sorted(order.tolist()) == list(range(64))
+
+
+def test_morton_order_groups_spatially(rng):
+    # Two distant clusters: morton order must not interleave them.
+    a = rng.normal(0, 0.1, size=(20, 3))
+    b = rng.normal(10, 0.1, size=(20, 3))
+    pts = np.concatenate([a, b])
+    tree = Octree.from_points(pts, leaf_capacity=4)
+    order = tree.morton_order()
+    sides = (order >= 20).astype(int)
+    # One transition between cluster blocks.
+    assert np.abs(np.diff(sides)).sum() == 1

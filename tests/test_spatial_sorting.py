@@ -1,0 +1,114 @@
+"""Bitonic and hierarchical sorting tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.spatial import (
+    bitonic_network_comparators,
+    bitonic_sort,
+    hierarchical_sort,
+    inversions_vs_sorted,
+    sorting_buffer_elements,
+)
+
+
+def test_bitonic_sorts(rng):
+    values = rng.normal(size=100)
+    result, stats = bitonic_sort(values)
+    np.testing.assert_allclose(result, np.sort(values))
+    assert stats.n_elements == 100
+    assert stats.compare_exchanges > 0
+
+
+def test_bitonic_empty():
+    result, stats = bitonic_sort([])
+    assert len(result) == 0
+    assert stats.compare_exchanges == 0
+
+
+def test_bitonic_rejects_2d():
+    with pytest.raises(ValidationError):
+        bitonic_sort(np.zeros((2, 2)))
+
+
+def test_comparator_closed_form():
+    # For power-of-two n: n/4 * log2(n) * (log2(n)+1).
+    assert bitonic_network_comparators(8) == 8 * 3 * 4 // 4
+    assert bitonic_network_comparators(16) == 16 * 4 * 5 // 4
+
+
+def test_comparator_count_matches_run():
+    values = np.arange(32.0)[::-1]
+    _, stats = bitonic_sort(values)
+    assert stats.compare_exchanges == bitonic_network_comparators(32)
+
+
+def test_paper_sorting_infeasibility_claim():
+    """Sec. 3: sorting half a million points buffers >30M elements."""
+    assert sorting_buffer_elements(500_000) > 30_000_000
+
+
+def test_hierarchical_sort_within_chunks(rng):
+    values = rng.normal(size=60)
+    keys = np.repeat([0, 1, 2], 20)
+    perm, _ = hierarchical_sort(values, keys)
+    ordered_keys = keys[perm]
+    # Chunk keys must be non-decreasing in the output.
+    assert np.all(np.diff(ordered_keys) >= 0)
+    # Within each chunk, values sorted.
+    for key in (0, 1, 2):
+        section = values[perm][ordered_keys == key]
+        assert np.all(np.diff(section) >= 0)
+
+
+def test_hierarchical_equals_global_when_keys_align():
+    values = np.array([1.0, 2.0, 10.0, 11.0])
+    keys = np.array([0, 0, 1, 1])
+    perm, _ = hierarchical_sort(values, keys)
+    assert inversions_vs_sorted(values, perm) == 0
+
+
+def test_hierarchical_inversions_when_keys_conflict():
+    values = np.array([10.0, 11.0, 1.0, 2.0])
+    keys = np.array([0, 0, 1, 1])   # chunk 0 holds the LARGER values
+    perm, _ = hierarchical_sort(values, keys)
+    assert inversions_vs_sorted(values, perm) > 0
+
+
+def test_hierarchical_cheaper_than_global(rng):
+    values = rng.normal(size=256)
+    keys = np.arange(256) // 32
+    _, stats = hierarchical_sort(values, keys)
+    assert stats.compare_exchanges < bitonic_network_comparators(256)
+    assert stats.buffered_elements < sorting_buffer_elements(256)
+
+
+def test_hierarchical_validations():
+    with pytest.raises(ValidationError):
+        hierarchical_sort([1.0, 2.0], [0])
+
+
+def test_inversions_checks_permutation():
+    with pytest.raises(ValidationError):
+        inversions_vs_sorted([1.0, 2.0], np.array([0, 0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 9999), n=st.integers(1, 80))
+def test_bitonic_property(seed, n):
+    values = np.random.default_rng(seed).normal(size=n)
+    result, _ = bitonic_sort(values)
+    np.testing.assert_allclose(result, np.sort(values))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 9999), n_chunks=st.integers(1, 8))
+def test_hierarchical_is_permutation(seed, n_chunks):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=40)
+    keys = rng.integers(0, n_chunks, size=40)
+    perm, _ = hierarchical_sort(values, keys)
+    assert sorted(perm.tolist()) == list(range(40))

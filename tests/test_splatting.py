@@ -1,0 +1,132 @@
+"""Gaussian splatting: camera, rasteriser, chunked-sort pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GaussianScene, make_blob_scene, make_layered_scene
+from repro.errors import ValidationError
+from repro.pointcloud import psnr
+from repro.splatting import (
+    PinholeCamera,
+    compare_rendering,
+    coverage,
+    rasterize,
+    render_chunked,
+    render_global,
+)
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return PinholeCamera(48, 48, 45.0)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return make_blob_scene(200, seed=0)
+
+
+def test_camera_projection(camera):
+    pixels, depths, valid = camera.project(np.array([[0.0, 0.0, 4.0]]))
+    np.testing.assert_allclose(pixels[0], [24.0, 24.0])
+    assert depths[0] == 4.0
+    assert valid[0]
+
+
+def test_camera_rejects_behind(camera):
+    _, _, valid = camera.project(np.array([[0.0, 0.0, -1.0]]))
+    assert not valid[0]
+
+
+def test_camera_validation():
+    with pytest.raises(ValidationError):
+        PinholeCamera(0, 10, 1.0)
+    with pytest.raises(ValidationError):
+        PinholeCamera(10, 10, -1.0)
+
+
+def test_rasterize_produces_bounded_image(camera, scene):
+    order = np.arange(len(scene))
+    image = rasterize(scene, camera, order)
+    assert image.shape == (48, 48, 3)
+    assert image.min() >= 0.0
+    assert image.max() <= 1.0
+    assert image.sum() > 0
+
+
+def test_rasterize_requires_permutation(camera, scene):
+    with pytest.raises(ValidationError):
+        rasterize(scene, camera, np.zeros(len(scene), dtype=int))
+
+
+def test_order_matters_for_compositing(camera):
+    """Two overlapping opaque gaussians: near-first differs from
+    far-first — the property chunked sorting can violate."""
+    scene = GaussianScene(
+        positions=np.array([[0.0, 0.0, 2.0], [0.0, 0.0, 4.0]]),
+        scales=np.full((2, 3), 0.3),
+        colors=np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]),
+        opacities=np.array([0.9, 0.9]),
+    )
+    near_first = rasterize(scene, camera, np.array([0, 1]))
+    far_first = rasterize(scene, camera, np.array([1, 0]))
+    assert np.abs(near_first - far_first).max() > 0.1
+
+
+def test_render_global_sorted_by_depth(camera, scene):
+    result = render_global(scene, camera)
+    _, depths, _ = camera.project(scene.positions)
+    assert np.all(np.diff(depths[result.order]) >= 0)
+    assert result.inversions == 0
+
+
+def test_render_chunked_quality(camera, scene):
+    """Fig. 15: chunked sorting loses only marginal quality."""
+    base = render_global(scene, camera)
+    chunked = render_chunked(scene, camera, grid_shape=(3, 3, 4))
+    quality = psnr(chunked.image, base.image)
+    assert quality > 25.0
+
+
+def test_render_chunked_cheaper_sort(camera, scene):
+    base = render_global(scene, camera)
+    chunked = render_chunked(scene, camera, grid_shape=(3, 3, 4))
+    assert (chunked.sort_stats.compare_exchanges
+            < base.sort_stats.compare_exchanges)
+    assert (chunked.sort_stats.buffered_elements
+            < base.sort_stats.buffered_elements)
+
+
+def test_compare_rendering_keys(camera, scene):
+    report = compare_rendering(scene, camera, grid_shape=(3, 3, 4))
+    assert report["psnr_cs_db"] > 20.0
+    assert report["comparators_cs"] < report["comparators_base"]
+    assert report["buffer_cs"] < report["buffer_base"]
+    assert report["base_image"].shape == report["cs_image"].shape
+
+
+def test_layered_scene_harder(camera):
+    """Layered scenes have sharp depth discontinuities; still close."""
+    layered = make_layered_scene(n_layers=3, per_layer=60, seed=0)
+    report = compare_rendering(layered, camera, grid_shape=(2, 2, 4))
+    assert report["psnr_cs_db"] > 15.0
+
+
+def test_coverage_positive(camera, scene):
+    assert coverage(scene, camera) > 0.05
+
+
+def test_scene_validation():
+    from repro.errors import DatasetError
+
+    with pytest.raises(DatasetError):
+        GaussianScene(np.zeros((2, 3)), np.zeros((2, 3)),
+                      np.zeros((2, 3)), np.ones(2))  # zero scales
+    with pytest.raises(DatasetError):
+        GaussianScene(np.zeros((2, 3)), np.ones((2, 3)),
+                      np.zeros((2, 3)), np.zeros(2))  # zero opacity
+
+
+def test_scene_select(scene):
+    sub = scene.select(np.arange(10))
+    assert len(sub) == 10
