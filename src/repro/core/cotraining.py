@@ -11,11 +11,28 @@ why non-differentiability is harmless (paper Fig. 10).
 (:meth:`ball_group`, :meth:`knn_group`) that the PointNet++ layers in
 :mod:`repro.nn.pointnet2` consume.  Building a context per cloud mirrors
 the per-sample preprocessing of the training loop.
+
+Batched grouping
+----------------
+Both calls dispatch the whole query block through the batched
+neighbour-search engine (:mod:`repro.spatial.kdtree` /
+:class:`~repro.spatial.neighbors.ChunkedIndex`) and return one
+``(Q, k)`` int64 array — not a Python list of per-query arrays.  The
+padding semantics are unchanged from the per-query implementation:
+
+* rows are filled with real hits first (closest first), then the first
+  hit repeated up to width ``k`` (PointNet++ grouping semantics);
+* a query with no hits falls back to its nearest cloud point — all empty
+  rows are resolved in one vectorized nearest-point pass instead of an
+  O(N) norm per empty query;
+* rows keep the input query order (input-order stability), and capped
+  (DT) searches run the traversal engine whose step accounting matches
+  the per-query path exactly (step-count parity).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -23,7 +40,7 @@ from repro.core.config import StreamGridConfig
 from repro.core.splitting import CompulsorySplitter
 from repro.core.termination import TerminationPolicy
 from repro.errors import ValidationError
-from repro.spatial.kdtree import KDTree
+from repro.spatial.kdtree import KDTree, nearest_point_indices
 
 
 class GroupingContext:
@@ -59,12 +76,12 @@ class GroupingContext:
 
     # ------------------------------------------------------------------
     def ball_group(self, queries: np.ndarray, radius: float,
-                   max_results: int) -> List[np.ndarray]:
+                   max_results: int) -> np.ndarray:
         """Ball-query neighbour indices per query, padded by repetition.
 
-        Every query returns exactly ``max_results`` indices: real hits
-        first, then the first hit repeated (PointNet++ grouping semantics).
-        A query with no hits falls back to its nearest point so downstream
+        Returns a ``(Q, max_results)`` int64 array: real hits first, then
+        the first hit repeated (PointNet++ grouping semantics).  A query
+        with no hits falls back to its nearest point so downstream
         feature gathering always has support.
         """
         if radius <= 0:
@@ -72,44 +89,48 @@ class GroupingContext:
         if max_results <= 0:
             raise ValidationError("max_results must be positive")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        groups: List[np.ndarray] = []
-        for query in queries:
-            if self._splitter is not None:
-                result = self._splitter.range(
-                    query, radius, max_steps=self._deadline,
-                    max_results=max_results)
-            else:
-                result = self._tree.range_search(
-                    query, radius, max_steps=self._deadline,
-                    max_results=max_results)
-            groups.append(self._pad(result.indices, max_results, query))
-        return groups
+        if self._splitter is not None:
+            result = self._splitter.range_batch(
+                queries, radius, max_steps=self._deadline,
+                max_results=max_results)
+        else:
+            result = self._tree.range_batch(
+                queries, radius, max_steps=self._deadline,
+                max_results=max_results)
+        return self._pad_batch(result.indices, result.counts,
+                               max_results, queries)
 
-    def knn_group(self, queries: np.ndarray, k: int) -> List[np.ndarray]:
-        """kNN neighbour indices per query, padded to exactly *k*."""
+    def knn_group(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """kNN neighbour indices per query as a ``(Q, k)`` int64 array."""
         if k <= 0:
             raise ValidationError("k must be positive")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        groups: List[np.ndarray] = []
-        for query in queries:
-            if self._splitter is not None:
-                result = self._splitter.knn(query, k,
-                                            max_steps=self._deadline)
-            else:
-                result = self._tree.knn(query, k, max_steps=self._deadline)
-            groups.append(self._pad(result.indices, k, query))
-        return groups
+        if self._splitter is not None:
+            result = self._splitter.knn_batch(queries, k,
+                                              max_steps=self._deadline)
+        else:
+            result = self._tree.knn_batch(queries, k,
+                                          max_steps=self._deadline)
+        return self._pad_batch(result.indices, result.counts, k, queries)
 
-    def _pad(self, indices: np.ndarray, size: int,
-             query: np.ndarray) -> np.ndarray:
-        if len(indices) == 0:
-            nearest = int(np.argmin(
-                np.linalg.norm(self.positions - query, axis=1)))
-            indices = np.array([nearest], dtype=np.int64)
-        if len(indices) >= size:
-            return indices[:size]
-        pad = np.full(size - len(indices), indices[0], dtype=np.int64)
-        return np.concatenate([indices, pad])
+    def _pad_batch(self, indices: np.ndarray, counts: np.ndarray,
+                   size: int, queries: np.ndarray) -> np.ndarray:
+        """Vectorized repeat-padding of a ``(Q, C)`` batch to width *size*.
+
+        Empty rows (no hits — capped searches or empty windows) are all
+        resolved in a single blocked nearest-point pass over the cloud.
+        """
+        n_queries, width = indices.shape
+        out = np.full((n_queries, size), -1, dtype=np.int64)
+        out[:, :min(width, size)] = indices[:, :size]
+        counts = np.minimum(counts.astype(np.int64), size)
+        empty = counts == 0
+        if empty.any():
+            out[empty, 0] = nearest_point_indices(self.positions,
+                                                  queries[empty])
+            counts = np.where(empty, 1, counts)
+        cols = np.arange(size)[None, :]
+        return np.where(cols < counts[:, None], out, out[:, 0:1])
 
 
 def baseline_config() -> StreamGridConfig:

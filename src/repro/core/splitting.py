@@ -27,7 +27,11 @@ from repro.spatial.grid import (
     serial_chunks,
     serial_windows,
 )
-from repro.spatial.kdtree import QueryResult
+from repro.spatial.kdtree import (
+    BatchQueryResult,
+    QueryResult,
+    nearest_point_indices,
+)
 from repro.spatial.neighbors import ChunkedIndex
 
 
@@ -78,13 +82,10 @@ class CompulsorySplitter:
             return self.grid.assign(queries)
         # Serial mode: a query inherits the chunk of its nearest point,
         # matching the paper's LiDAR processing where queries are the
-        # points themselves.
-        chunks = np.empty(len(queries), dtype=np.int64)
-        for i, query in enumerate(queries):
-            nearest = int(np.argmin(
-                np.linalg.norm(self.positions - query, axis=1)))
-            chunks[i] = self.assignment[nearest]
-        return chunks
+        # points themselves.  One blocked broadcast resolves the whole
+        # query batch instead of an O(N) norm per query.
+        nearest = nearest_point_indices(self.positions, queries)
+        return self.assignment[nearest]
 
     def knn(self, query: np.ndarray, k: int,
             max_steps: Optional[int] = None,
@@ -106,13 +107,59 @@ class CompulsorySplitter:
                                       max_steps=max_steps,
                                       max_results=max_results)
 
+    def knn_batch(self, queries: np.ndarray, k: int,
+                  max_steps: Optional[int] = None,
+                  query_chunks: Optional[np.ndarray] = None,
+                  engine: str = "auto",
+                  record_traces: bool = False) -> BatchQueryResult:
+        """Windowed kNN for a whole query block (window-grouped dispatch).
+
+        Results come back in input order; indices refer to the original
+        cloud.  See :meth:`ChunkedIndex.query_knn_batch`.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_chunks is None:
+            query_chunks = self.chunk_of_queries(queries)
+        return self.index.query_knn_batch(queries, query_chunks, k,
+                                          max_steps=max_steps,
+                                          engine=engine,
+                                          record_traces=record_traces)
+
+    def range_batch(self, queries: np.ndarray, radius: float,
+                    max_steps: Optional[int] = None,
+                    max_results: Optional[int] = None,
+                    query_chunks: Optional[np.ndarray] = None,
+                    engine: str = "auto",
+                    record_traces: bool = False) -> BatchQueryResult:
+        """Windowed ball queries for a whole query block."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if query_chunks is None:
+            query_chunks = self.chunk_of_queries(queries)
+        return self.index.query_range_batch(queries, query_chunks, radius,
+                                            max_steps=max_steps,
+                                            max_results=max_results,
+                                            engine=engine,
+                                            record_traces=record_traces)
+
     def window_point_counts(self) -> np.ndarray:
-        """Points per window — the line-buffer working set of a global op."""
-        counts = np.zeros(len(self.windows), dtype=np.int64)
-        for widx, window in enumerate(self.windows):
-            counts[widx] = int(np.isin(
-                self.assignment, window.chunk_ids).sum())
-        return counts
+        """Points per window — the line-buffer working set of a global op.
+
+        One bincount of the chunk assignment plus a chunk->window rollup
+        (replaces per-window isin scans of the full cloud).
+        """
+        flat_ids = np.concatenate([
+            np.asarray(window.chunk_ids, dtype=np.int64)
+            for window in self.windows])
+        window_ids = np.concatenate([
+            np.full(len(window.chunk_ids), widx, dtype=np.int64)
+            for widx, window in enumerate(self.windows)])
+        chunk_counts = np.bincount(
+            self.assignment, minlength=int(flat_ids.max()) + 1)
+        rollup = np.bincount(window_ids,
+                             weights=chunk_counts[flat_ids].astype(
+                                 np.float64),
+                             minlength=len(self.windows))
+        return rollup.astype(np.int64)
 
     def max_window_points(self) -> int:
         """Worst-case window population: the buffer a windowed global op
@@ -168,8 +215,13 @@ def count_accessed_chunks(positions: np.ndarray, queries: np.ndarray,
     assignment = grid.assign(positions)
     tree = KDTree(positions)
     counts = np.empty(len(queries), dtype=np.int64)
-    for i, query in enumerate(queries):
-        result = tree.knn(query, k, record_trace=True)
-        visited = tree.point_index[np.array(result.trace, dtype=np.int64)]
-        counts[i] = len(np.unique(assignment[visited]))
+    # Blocked so full-traversal traces only live for one block at a time.
+    block = 256
+    for start in range(0, len(queries), block):
+        stop = min(start + block, len(queries))
+        result = tree.knn_batch(queries[start:stop], k,
+                                engine="traverse", record_traces=True)
+        for i, trace in enumerate(result.traces):
+            visited = tree.point_index[np.array(trace, dtype=np.int64)]
+            counts[start + i] = len(np.unique(assignment[visited]))
     return counts

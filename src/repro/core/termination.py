@@ -146,17 +146,12 @@ def apply_deadline(tree: KDTree, queries: np.ndarray, k: int,
     if deadline <= 0:
         raise ValidationError("deadline must be positive")
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    neighbors = []
-    steps = np.empty(len(queries), dtype=np.int64)
-    cut = np.zeros(len(queries), dtype=bool)
-    for i, query in enumerate(queries):
-        result = tree.knn(query, k, max_steps=deadline)
-        neighbors.append(result.indices)
-        steps[i] = result.steps
-        cut[i] = result.terminated
+    result = tree.knn_batch(queries, k, max_steps=deadline)
+    neighbors = [result.indices[i, :result.counts[i]]
+                 for i in range(len(queries))]
     return {
         "neighbors": neighbors,
-        "mean_steps": float(steps.mean()),
-        "max_steps": int(steps.max()),
-        "terminated_fraction": float(cut.mean()),
+        "mean_steps": float(result.steps.mean()),
+        "max_steps": int(result.steps.max()),
+        "terminated_fraction": float(result.terminated.mean()),
     }

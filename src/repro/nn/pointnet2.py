@@ -79,8 +79,9 @@ def plan_sa_level(positions: np.ndarray, spec: SALevelSpec,
     centroids = positions[centroid_idx]
     context = GroupingContext(positions, config,
                               calibration_k=spec.n_neighbors)
+    # ball_group returns the (M, K) group-index array directly.
     groups = context.ball_group(centroids, spec.radius, spec.n_neighbors)
-    return SAPlan(centroid_idx, np.stack(groups), centroids, positions)
+    return SAPlan(centroid_idx, groups, centroids, positions)
 
 
 def plan_fp_level(dense_positions: np.ndarray,
@@ -91,8 +92,7 @@ def plan_fp_level(dense_positions: np.ndarray,
     sparse_positions = np.asarray(sparse_positions, dtype=np.float64)
     k = min(k, len(sparse_positions))
     context = GroupingContext(sparse_positions, config, calibration_k=k)
-    groups = context.knn_group(dense_positions, k)
-    indices = np.stack(groups)
+    indices = context.knn_group(dense_positions, k)
     diffs = sparse_positions[indices] - dense_positions[:, None, :]
     dists = np.linalg.norm(diffs, axis=-1)
     inv = 1.0 / np.maximum(dists, 1e-8)

@@ -8,10 +8,12 @@ from repro.spatial.grid import (
     serial_windows,
 )
 from repro.spatial.kdtree import (
+    BatchQueryResult,
     KDTree,
     QueryResult,
     brute_force_knn,
     brute_force_range,
+    nearest_point_indices,
 )
 from repro.spatial.neighbors import (
     BatchResult,
@@ -37,10 +39,12 @@ __all__ = [
     "chunk_windows",
     "serial_chunks",
     "serial_windows",
+    "BatchQueryResult",
     "KDTree",
     "QueryResult",
     "brute_force_knn",
     "brute_force_range",
+    "nearest_point_indices",
     "BatchResult",
     "ChunkedIndex",
     "chunked_knn_search",

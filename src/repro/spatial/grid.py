@@ -102,12 +102,18 @@ class ChunkGrid:
         return self.flatten(self.cell_of(positions))
 
     def chunk_members(self, positions: np.ndarray) -> List[np.ndarray]:
-        """Point indices in each chunk, ordered by flat chunk id."""
+        """Point indices in each chunk, ordered by flat chunk id.
+
+        One stable argsort of the assignment plus searchsorted run
+        boundaries — no per-chunk scans of the full cloud.
+        """
         assignment = self.assign(positions)
-        members: List[np.ndarray] = []
-        for chunk in range(self.n_chunks):
-            members.append(np.nonzero(assignment == chunk)[0])
-        return members
+        order = np.argsort(assignment, kind="stable")
+        sorted_chunks = assignment[order]
+        bounds = np.searchsorted(sorted_chunks,
+                                 np.arange(self.n_chunks + 1))
+        return [order[bounds[c]:bounds[c + 1]]
+                for c in range(self.n_chunks)]
 
     def chunk_bounds(self, flat: int) -> Tuple[np.ndarray, np.ndarray]:
         """(lower, upper) corners of one chunk's cell."""

@@ -12,6 +12,33 @@ Every query here therefore reports:
 * ``trace`` — the visited node indices in order (drives the banked-SRAM
   conflict model in :mod:`repro.sim.memory`),
 * ``terminated`` — whether the deadline expired before the search finished.
+
+Batched engine (the grouping hot path)
+--------------------------------------
+:meth:`KDTree.knn_batch` / :meth:`KDTree.range_batch` answer a whole
+``(Q, 3)`` query block at once, filling preallocated ``(Q, k)`` index /
+distance arrays.  Two engines back them:
+
+* ``"traverse"`` — the canonical node-by-node search.  Capped untraced
+  batches run on a *lockstep* implementation that advances every
+  query's explicit traversal stack together with numpy array operations
+  per iteration; everything else runs a scalar inner loop over packed
+  Python tuples (no per-node numpy boxing).  Either way, ``indices``,
+  ``distances``, ``steps``, ``trace`` and ``terminated`` are
+  *identical* to the per-query :meth:`knn` / :meth:`range_search` path:
+  step accounting is the paper's core contribution and must not drift
+  between the batched and per-query code paths.
+* ``"scan"`` — a vectorized brute-force distance matrix, used when the
+  tree is small enough that a full scan beats traversal.  It returns the
+  same neighbours as an *uncapped* traversal (exact-tie ordering is by
+  ascending point index), reports ``steps = len(tree)`` per query (a
+  scan honestly visits every point) and never terminates early.  It is
+  therefore only eligible when ``max_steps is None`` and no trace is
+  requested.
+
+``engine="auto"`` (the default) picks ``"scan"`` whenever it is
+eligible, falling back to ``"traverse"`` otherwise — deterministic
+termination always runs a real traversal.
 """
 
 from __future__ import annotations
@@ -24,6 +51,18 @@ import numpy as np
 
 from repro.errors import ValidationError
 
+_INF = float("inf")
+
+# A full scan beats the Python traversal loop comfortably until the
+# O(N log N) per-query sort dominates; beyond this point count the
+# traversal engine takes over.
+_SCAN_MAX_POINTS = 262_144
+# Pairwise-distance blocks are capped at ~4M float64 entries (~32 MB).
+_SCAN_BLOCK_ELEMS = 1 << 22
+# The lockstep engine pays a fixed numpy cost per traversal iteration;
+# below this many queries the scalar kernel amortizes better.
+_LOCKSTEP_MIN_QUERIES = 32
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -34,6 +73,163 @@ class QueryResult:
     steps: int                 # nodes visited
     terminated: bool           # True when stopped by the step deadline
     trace: List[int] = field(default_factory=list)   # visited node ids
+
+
+@dataclass(frozen=True)
+class BatchQueryResult:
+    """Outcome of a batch of queries in preallocated ``(Q, C)`` arrays.
+
+    ``indices[i, :counts[i]]`` / ``distances[i, :counts[i]]`` are row
+    *i*'s valid results (closest first); padding is ``-1`` / ``inf``.
+    ``steps`` / ``terminated`` carry the per-query traversal accounting
+    (for the scan engine, ``steps`` is the point count and
+    ``terminated`` is always False).  ``traces`` is only present when
+    traces were recorded (traversal engine).
+    """
+
+    indices: np.ndarray        # (Q, C) int64, -1 padded
+    distances: np.ndarray      # (Q, C) float64, +inf padded
+    counts: np.ndarray         # (Q,) valid entries per row
+    steps: np.ndarray          # (Q,) nodes visited per query
+    terminated: np.ndarray     # (Q,) deadline flags
+    traces: Optional[List[List[int]]] = None
+
+    def row(self, i: int) -> QueryResult:
+        """Row *i* as a per-query :class:`QueryResult` (trimmed)."""
+        c = int(self.counts[i])
+        trace = list(self.traces[i]) if self.traces is not None else []
+        return QueryResult(self.indices[i, :c].copy(),
+                           self.distances[i, :c].copy(),
+                           int(self.steps[i]), bool(self.terminated[i]),
+                           trace)
+
+
+# ----------------------------------------------------------------------
+# Scalar traversal kernels
+# ----------------------------------------------------------------------
+# These loops run once per visited node, so they deliberately avoid all
+# numpy calls: coordinates, child links and split planes live in flat
+# Python lists and the arithmetic is plain-float.  The control flow is a
+# line-for-line match of the original per-node numpy implementation —
+# the comparisons happen in the same (unsquared) distance domain so the
+# visit order, step counts and termination points are unchanged.
+
+def _knn_traverse(qx, qy, qz, k, max_steps, trace, root, node_data):
+    """One capped kNN traversal; returns (heap of (-d², idx), steps,
+    terminated).
+
+    All comparisons run in the squared-distance domain (squaring is
+    monotone, so the heap ordering, pruning decisions and therefore the
+    visit sequence are unchanged); square roots are taken once on the
+    final results.  The near child is descended directly (instead of a
+    push/pop pair): its split distance is 0, so its prune test can never
+    fire.  Absent (-1) children are never pushed.  All three changes
+    preserve the visit sequence, step counts and termination points of
+    the canonical node-by-node search exactly.
+    """
+    heap: list = []
+    heappush = heapq.heappush
+    heapreplace = heapq.heapreplace
+    steps = 0
+    cap = max_steps if max_steps is not None else _INF
+    q = (qx, qy, qz)
+    heap_len = 0
+    # Cached k-th best squared distance (inf until the heap is full) —
+    # updated on every heap mutation, so it equals -heap[0][0] when full.
+    # It is non-increasing once the heap is full, which licenses the
+    # push-time far-child filter below: a far child whose split distance
+    # already exceeds `worst` can only be pruned harder at pop time, so
+    # skipping its push drops zero visits from the sequence.
+    worst = _INF
+    # Stack of (far child, squared split distance).
+    stack = [(root, 0.0)]
+    pop = stack.pop
+    push = stack.append
+    record = trace.append if trace is not None else None
+    while stack:
+        node, split_d2 = pop()
+        # Prune: the far subtree cannot contain anything closer.
+        if split_d2 > worst:
+            continue
+        while True:
+            if steps >= cap:
+                return heap, steps, True
+            steps += 1
+            if record is not None:
+                record(node)
+            axis, left, right, pidx, x, y, z, split = node_data[node]
+            dx = x - qx
+            dy = y - qy
+            dz = z - qz
+            d2 = dx * dx + dy * dy + dz * dz
+            if heap_len < k:
+                heappush(heap, (-d2, pidx))
+                heap_len += 1
+                if heap_len == k:
+                    worst = -heap[0][0]
+            elif d2 < worst:
+                heapreplace(heap, (-d2, pidx))
+                worst = -heap[0][0]
+            diff = q[axis] - split
+            if diff < 0:
+                near = left
+                far = right
+            else:
+                near = right
+                far = left
+            if far != -1:
+                f2 = diff * diff
+                if f2 <= worst:
+                    push((far, f2))
+            if near == -1:
+                break
+            node = near
+    return heap, steps, False
+
+
+def _range_traverse(qx, qy, qz, radius, max_steps, trace, found,
+                    root, node_data):
+    """One capped ball-query traversal; appends (d², idx) to *found*.
+
+    Comparisons run in the squared-distance domain (see
+    :func:`_knn_traverse`); callers take square roots on the hits.
+    """
+    steps = 0
+    cap = max_steps if max_steps is not None else _INF
+    r2 = radius * radius
+    q = (qx, qy, qz)
+    hit = found.append
+    stack = [root]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        node = pop()
+        while True:
+            if steps >= cap:
+                return steps, True
+            steps += 1
+            if trace is not None:
+                trace.append(node)
+            axis, left, right, pidx, x, y, z, split = node_data[node]
+            dx = x - qx
+            dy = y - qy
+            dz = z - qz
+            d2 = dx * dx + dy * dy + dz * dz
+            if d2 <= r2:
+                hit((d2, pidx))
+            diff = q[axis] - split
+            if diff < 0:
+                near = left
+                if right != -1 and diff * diff <= r2:
+                    push(right)
+            else:
+                near = right
+                if left != -1 and diff * diff <= r2:
+                    push(left)
+            if near == -1:
+                break
+            node = near
+    return steps, False
 
 
 class KDTree:
@@ -60,6 +256,20 @@ class KDTree:
         self.point_index = np.zeros(n, dtype=np.int64)
         self._next_node = 0
         self.root = self._build(np.arange(n), depth=0)
+        # Packed per-node records for the scalar traversal kernels (one
+        # list index + tuple unpack per visit, no numpy-scalar boxing),
+        # built lazily on the first traversal: scan-only trees — the
+        # default uncapped grouping path — never pay the boxing cost.
+        node_points = points[self.point_index]
+        self._node_data: Optional[list] = None
+        # Column views for the vectorized scan engine.
+        self._col_x = points[:, 0]
+        self._col_y = points[:, 1]
+        self._col_z = points[:, 2]
+        # Per-node numpy mirrors for the lockstep (vectorized capped
+        # traversal) engine.
+        self._node_xyz = node_points
+        self._node_split = node_points[np.arange(n), self.axis]
 
     # ------------------------------------------------------------------
     # Construction
@@ -84,8 +294,18 @@ class KDTree:
     def __len__(self) -> int:
         return len(self.points)
 
+    def _kernel_args(self):
+        if self._node_data is None:
+            node_points = self._node_xyz
+            self._node_data = list(zip(
+                self.axis.tolist(), self.left.tolist(),
+                self.right.tolist(), self.point_index.tolist(),
+                node_points[:, 0].tolist(), node_points[:, 1].tolist(),
+                node_points[:, 2].tolist(), self._node_split.tolist()))
+        return (self.root, self._node_data)
+
     # ------------------------------------------------------------------
-    # k-nearest-neighbour search
+    # k-nearest-neighbour search (per-query)
     # ------------------------------------------------------------------
     def knn(self, query: np.ndarray, k: int,
             max_steps: Optional[int] = None,
@@ -102,48 +322,19 @@ class KDTree:
         if max_steps is not None and max_steps <= 0:
             raise ValidationError("max_steps must be positive when given")
         k = min(k, len(self.points))
-        # Max-heap of (-distance, point_index) keeping the k best found.
-        heap: list = []
-        steps = 0
-        terminated = False
-        trace: List[int] = []
-        # Explicit stack of (node, depth-first) for deterministic order:
-        # visit near child first, push far child with its split distance.
-        stack = [(self.root, 0.0)]
-        while stack:
-            node, split_dist = stack.pop()
-            if node == -1:
-                continue
-            worst = -heap[0][0] if len(heap) == k else np.inf
-            # Prune: the far subtree cannot contain anything closer.
-            if split_dist > worst:
-                continue
-            if max_steps is not None and steps >= max_steps:
-                terminated = True
-                break
-            steps += 1
-            if record_trace:
-                trace.append(node)
-            pidx = int(self.point_index[node])
-            dist = float(np.linalg.norm(self.points[pidx] - query))
-            if len(heap) < k:
-                heapq.heappush(heap, (-dist, pidx))
-            elif dist < worst:
-                heapq.heapreplace(heap, (-dist, pidx))
-            axis = int(self.axis[node])
-            diff = float(query[axis] - self.points[pidx, axis])
-            near, far = ((self.left[node], self.right[node]) if diff < 0
-                         else (self.right[node], self.left[node]))
-            # LIFO stack: push far first so near is explored next.
-            stack.append((int(far), abs(diff)))
-            stack.append((int(near), 0.0))
+        trace: Optional[List[int]] = [] if record_trace else None
+        heap, steps, terminated = _knn_traverse(
+            float(query[0]), float(query[1]), float(query[2]),
+            k, max_steps, trace, *self._kernel_args())
         found = sorted(((-d, i) for d, i in heap))
         indices = np.array([i for _, i in found], dtype=np.int64)
-        distances = np.array([d for d, _ in found], dtype=np.float64)
-        return QueryResult(indices, distances, steps, terminated, trace)
+        distances = np.sqrt(np.array([d for d, _ in found],
+                                     dtype=np.float64))
+        return QueryResult(indices, distances, steps, terminated,
+                           trace if trace is not None else [])
 
     # ------------------------------------------------------------------
-    # Range (ball) search
+    # Range (ball) search (per-query)
     # ------------------------------------------------------------------
     def range_search(self, query: np.ndarray, radius: float,
                      max_steps: Optional[int] = None,
@@ -161,46 +352,482 @@ class KDTree:
         if max_steps is not None and max_steps <= 0:
             raise ValidationError("max_steps must be positive when given")
         found: List[tuple] = []
-        steps = 0
-        terminated = False
-        trace: List[int] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node == -1:
-                continue
-            if max_steps is not None and steps >= max_steps:
-                terminated = True
-                break
-            steps += 1
-            if record_trace:
-                trace.append(node)
-            pidx = int(self.point_index[node])
-            dist = float(np.linalg.norm(self.points[pidx] - query))
-            if dist <= radius:
-                found.append((dist, pidx))
-            axis = int(self.axis[node])
-            diff = float(query[axis] - self.points[pidx, axis])
-            near, far = ((self.left[node], self.right[node]) if diff < 0
-                         else (self.right[node], self.left[node]))
-            if abs(diff) <= radius:
-                stack.append(int(far))
-            stack.append(int(near))
+        trace: Optional[List[int]] = [] if record_trace else None
+        steps, terminated = _range_traverse(
+            float(query[0]), float(query[1]), float(query[2]),
+            radius, max_steps, trace, found, *self._kernel_args())
         found.sort()
         if max_results is not None:
             found = found[:max_results]
         indices = np.array([i for _, i in found], dtype=np.int64)
-        distances = np.array([d for d, _ in found], dtype=np.float64)
-        return QueryResult(indices, distances, steps, terminated, trace)
+        distances = np.sqrt(np.array([d for d, _ in found],
+                                     dtype=np.float64))
+        return QueryResult(indices, distances, steps, terminated,
+                           trace if trace is not None else [])
+
+    # ------------------------------------------------------------------
+    # Batched engine
+    # ------------------------------------------------------------------
+    def _resolve_engine(self, engine: str, max_steps: Optional[int],
+                        record_traces: bool) -> str:
+        if engine not in ("auto", "scan", "traverse"):
+            raise ValidationError(
+                f"engine must be 'auto', 'scan' or 'traverse', got {engine!r}"
+            )
+        if engine == "scan":
+            if max_steps is not None:
+                raise ValidationError(
+                    "the scan engine cannot honour a step deadline; "
+                    "use engine='traverse' with max_steps"
+                )
+            if record_traces:
+                raise ValidationError(
+                    "the scan engine visits no tree nodes and cannot "
+                    "record traces"
+                )
+            return "scan"
+        if engine == "auto":
+            if (max_steps is None and not record_traces
+                    and len(self.points) <= _SCAN_MAX_POINTS):
+                return "scan"
+            return "traverse"
+        return "traverse"
+
+    def _scan_sqdist(self, queries: np.ndarray) -> np.ndarray:
+        """Exact squared distances ``(B, N)`` for a query block.
+
+        The arithmetic mirrors the scalar kernel — per-axis differences,
+        squared and summed in x, y, z order — so scan comparisons and
+        (after the final square root) distances match the traversal
+        engine bit-for-bit.
+        """
+        dx = queries[:, 0:1] - self._col_x[None, :]
+        np.multiply(dx, dx, out=dx)
+        dy = queries[:, 1:2] - self._col_y[None, :]
+        np.multiply(dy, dy, out=dy)
+        dx += dy
+        dz = queries[:, 2:3] - self._col_z[None, :]
+        np.multiply(dz, dz, out=dz)
+        dx += dz
+        return dx
+
+    def knn_batch(self, queries: np.ndarray, k: int,
+                  max_steps: Optional[int] = None,
+                  engine: str = "auto",
+                  record_traces: bool = False) -> BatchQueryResult:
+        """kNN for a ``(Q, 3)`` query block into ``(Q, min(k, N))`` arrays.
+
+        With the traversal engine the per-row results (including ``steps``
+        and ``terminated``) are identical to calling :meth:`knn` per
+        query; the scan engine returns the same neighbours as the
+        uncapped traversal with ``steps = len(tree)``.
+        """
+        queries = self._check_queries(queries)
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        if max_steps is not None and max_steps <= 0:
+            raise ValidationError("max_steps must be positive when given")
+        n = len(self.points)
+        k_eff = min(k, n)
+        n_queries = len(queries)
+        indices = np.full((n_queries, k_eff), -1, dtype=np.int64)
+        distances = np.full((n_queries, k_eff), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        engine = self._resolve_engine(engine, max_steps, record_traces)
+        if engine == "scan":
+            block = max(1, _SCAN_BLOCK_ELEMS // n)
+            for start in range(0, n_queries, block):
+                stop = min(start + block, n_queries)
+                sqdist = self._scan_sqdist(queries[start:stop])
+                idx, dst = _smallest_k(sqdist, k_eff)
+                indices[start:stop] = idx
+                distances[start:stop] = np.sqrt(dst)
+            counts[:] = k_eff
+            steps[:] = n
+            return BatchQueryResult(indices, distances, counts, steps,
+                                    terminated)
+        if (max_steps is not None and not record_traces
+                and n_queries >= _LOCKSTEP_MIN_QUERIES):
+            # Capped, untraced traversal: the lockstep engine advances
+            # every query's stack together with identical semantics.
+            return self._knn_lockstep(queries, k_eff, max_steps)
+        traces: Optional[List[List[int]]] = [] if record_traces else None
+        kernel_args = self._kernel_args()
+        for qi in range(n_queries):
+            trace: Optional[List[int]] = [] if record_traces else None
+            heap, n_steps, term = _knn_traverse(
+                queries[qi, 0], queries[qi, 1], queries[qi, 2],
+                k_eff, max_steps, trace, *kernel_args)
+            found = sorted(((-d, i) for d, i in heap))
+            count = len(found)
+            if count:
+                indices[qi, :count] = [i for _, i in found]
+                distances[qi, :count] = np.sqrt(
+                    np.array([d for d, _ in found], dtype=np.float64))
+            counts[qi] = count
+            steps[qi] = n_steps
+            terminated[qi] = term
+            if traces is not None:
+                traces.append(trace)
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated, traces)
+
+    def range_batch(self, queries: np.ndarray, radius: float,
+                    max_steps: Optional[int] = None,
+                    max_results: Optional[int] = None,
+                    engine: str = "auto",
+                    record_traces: bool = False) -> BatchQueryResult:
+        """Ball queries for a ``(Q, 3)`` block into ``(Q, C)`` arrays.
+
+        ``C`` is ``min(max_results, N)`` when ``max_results`` is given,
+        otherwise the largest observed hit count.  Engine semantics match
+        :meth:`knn_batch`.
+        """
+        queries = self._check_queries(queries)
+        if radius <= 0:
+            raise ValidationError(f"radius must be positive, got {radius}")
+        if max_steps is not None and max_steps <= 0:
+            raise ValidationError("max_steps must be positive when given")
+        if max_results is not None and max_results <= 0:
+            raise ValidationError("max_results must be positive when given")
+        n = len(self.points)
+        n_queries = len(queries)
+        engine = self._resolve_engine(engine, max_steps, record_traces)
+        if engine == "scan":
+            cap = n if max_results is None else min(max_results, n)
+            block = max(1, _SCAN_BLOCK_ELEMS // n)
+            chunks = []
+            counts = np.zeros(n_queries, dtype=np.int64)
+            r2 = radius * radius
+            for start in range(0, n_queries, block):
+                stop = min(start + block, n_queries)
+                sqdist = self._scan_sqdist(queries[start:stop])
+                # Only the closest entries per row are needed: partition
+                # to the result capacity, then order by (dist, index) —
+                # the valid prefix of each row is exactly its hits.  With
+                # a result cap, the hit count is recoverable from the
+                # partitioned columns alone (min(total hits, cap) of the
+                # cap closest distances lie within the radius), skipping
+                # a full-matrix comparison.
+                if max_results is not None:
+                    idx, dst = _smallest_k(sqdist, cap)
+                    counts[start:stop] = np.count_nonzero(
+                        dst <= r2, axis=1)
+                    chunks.append((idx, np.sqrt(dst)))
+                    continue
+                hits = np.count_nonzero(sqdist <= r2, axis=1)
+                counts[start:stop] = hits
+                width = int(hits.max()) if len(hits) else 0
+                if width:
+                    idx, dst = _smallest_k(sqdist, width)
+                    chunks.append((idx, np.sqrt(dst)))
+                else:
+                    chunks.append((
+                        np.zeros((stop - start, 0), dtype=np.int64),
+                        np.zeros((stop - start, 0), dtype=np.float64)))
+            cap_out = int(counts.max()) if n_queries else 0
+            if max_results is not None:
+                cap_out = min(max_results, n)
+            indices = np.full((n_queries, cap_out), -1, dtype=np.int64)
+            distances = np.full((n_queries, cap_out), np.inf,
+                                dtype=np.float64)
+            row = 0
+            for idx, dst in chunks:
+                width = min(idx.shape[1], cap_out)
+                stop = row + len(idx)
+                indices[row:stop, :width] = idx[:, :width]
+                distances[row:stop, :width] = dst[:, :width]
+                row = stop
+            valid = np.arange(cap_out)[None, :] < counts[:, None]
+            indices[~valid] = -1
+            distances[~valid] = np.inf
+            steps = np.full(n_queries, n, dtype=np.int64)
+            terminated = np.zeros(n_queries, dtype=bool)
+            return BatchQueryResult(indices, distances, counts, steps,
+                                    terminated)
+        if (max_steps is not None and not record_traces
+                and n_queries >= _LOCKSTEP_MIN_QUERIES):
+            return self._range_lockstep(queries, radius, max_steps,
+                                        max_results)
+        per_query: List[List[tuple]] = []
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        traces: Optional[List[List[int]]] = [] if record_traces else None
+        kernel_args = self._kernel_args()
+        for qi in range(n_queries):
+            trace: Optional[List[int]] = [] if record_traces else None
+            found: List[tuple] = []
+            n_steps, term = _range_traverse(
+                queries[qi, 0], queries[qi, 1], queries[qi, 2],
+                radius, max_steps, trace, found, *kernel_args)
+            found.sort()
+            if max_results is not None:
+                found = found[:max_results]
+            per_query.append(found)
+            steps[qi] = n_steps
+            terminated[qi] = term
+            if traces is not None:
+                traces.append(trace)
+        if max_results is not None:
+            cap_out = min(max_results, n)
+        else:
+            cap_out = max((len(f) for f in per_query), default=0)
+        indices = np.full((n_queries, cap_out), -1, dtype=np.int64)
+        distances = np.full((n_queries, cap_out), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        for qi, found in enumerate(per_query):
+            count = len(found)
+            if count:
+                indices[qi, :count] = [i for _, i in found]
+                distances[qi, :count] = np.sqrt(
+                    np.array([d for d, _ in found], dtype=np.float64))
+            counts[qi] = count
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated, traces)
+
+    # ------------------------------------------------------------------
+    # Lockstep engine: vectorized capped traversal
+    # ------------------------------------------------------------------
+    # Every query advances its own explicit traversal stack, but all
+    # queries advance together — one stack pop per query per iteration,
+    # with numpy array operations across the whole batch.  The per-query
+    # visit sequence (pop order, pruning decisions, heap-eviction
+    # tie-breaking, push-time far-child filter) replicates the scalar
+    # kernels exactly, so steps / terminated / results are identical to
+    # the per-query path.  Designed for the deterministic-termination
+    # deadline, whose small step caps keep the iteration count low; the
+    # scalar kernels remain the engine for uncapped or traced traversals.
+
+    def _knn_lockstep(self, queries: np.ndarray, k: int, cap: int):
+        n = len(self.points)
+        n_queries = len(queries)
+        # A DFS visits each node at most once, so stacks never hold more
+        # than 2 * min(cap, n) pending entries.
+        stack_cap = 2 * min(cap, n) + 2
+        indices = np.full((n_queries, k), -1, dtype=np.int64)
+        distances = np.full((n_queries, k), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        block = max(1, _SCAN_BLOCK_ELEMS // (3 * stack_cap + 2 * k + 8))
+        for start in range(0, n_queries, block):
+            stop = min(start + block, n_queries)
+            out = self._knn_lockstep_block(queries[start:stop], k,
+                                           cap, stack_cap)
+            (indices[start:stop], distances[start:stop],
+             counts[start:stop], steps[start:stop],
+             terminated[start:stop]) = out
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated)
+
+    def _knn_lockstep_block(self, q: np.ndarray, k: int, cap: int,
+                            stack_cap: int):
+        n_q = len(q)
+        axis_a, left_a, right_a = self.axis, self.left, self.right
+        pidx_a, xyz_a, split_a = (self.point_index, self._node_xyz,
+                                  self._node_split)
+        stack_nodes = np.empty((n_q, stack_cap), dtype=np.int64)
+        stack_d2 = np.empty((n_q, stack_cap), dtype=np.float64)
+        stack_nodes[:, 0] = self.root
+        stack_d2[:, 0] = 0.0
+        sp = np.ones(n_q, dtype=np.int64)
+        steps = np.zeros(n_q, dtype=np.int64)
+        terminated = np.zeros(n_q, dtype=bool)
+        best_d2 = np.full((n_q, k), np.inf, dtype=np.float64)
+        best_idx = np.full((n_q, k), -1, dtype=np.int64)
+        count = np.zeros(n_q, dtype=np.int64)
+        worst = np.full(n_q, np.inf, dtype=np.float64)
+        alive = np.ones(n_q, dtype=bool)
+        i64_max = np.iinfo(np.int64).max
+        while True:
+            act = np.nonzero(alive)[0]
+            if not len(act):
+                break
+            top = sp[act] - 1
+            sp[act] = top
+            nd = stack_nodes[act, top]
+            d2s = stack_d2[act, top]
+            # Prune: the far subtree cannot contain anything closer.
+            keep = d2s <= worst[act]
+            act, nd = act[keep], nd[keep]
+            if len(act):
+                over = steps[act] >= cap
+                if over.any():
+                    expired = act[over]
+                    terminated[expired] = True
+                    alive[expired] = False
+                    act, nd = act[~over], nd[~over]
+            if len(act):
+                steps[act] += 1
+                node_pts = xyz_a[nd]
+                dx = node_pts[:, 0] - q[act, 0]
+                dy = node_pts[:, 1] - q[act, 1]
+                dz = node_pts[:, 2] - q[act, 2]
+                d2 = dx * dx + dy * dy + dz * dz
+                pid = pidx_a[nd]
+                filling = count[act] < k
+                if filling.any():
+                    fill_rows = act[filling]
+                    slot = count[fill_rows]
+                    best_d2[fill_rows, slot] = d2[filling]
+                    best_idx[fill_rows, slot] = pid[filling]
+                    count[fill_rows] = slot + 1
+                    full_now = slot + 1 == k
+                    if full_now.any():
+                        filled = fill_rows[full_now]
+                        worst[filled] = best_d2[filled].max(axis=1)
+                replace = ~filling & (d2 < worst[act])
+                if replace.any():
+                    rep_rows = act[replace]
+                    # Evict the current worst entry; ties by lowest
+                    # point index — the heap's (-d², idx) ordering.
+                    at_worst = best_d2[rep_rows] == worst[rep_rows][:, None]
+                    tie_key = np.where(at_worst, best_idx[rep_rows],
+                                       i64_max)
+                    slot = np.argmin(tie_key, axis=1)
+                    best_d2[rep_rows, slot] = d2[replace]
+                    best_idx[rep_rows, slot] = pid[replace]
+                    worst[rep_rows] = best_d2[rep_rows].max(axis=1)
+                diff = q[act, axis_a[nd]] - split_a[nd]
+                go_left = diff < 0
+                near = np.where(go_left, left_a[nd], right_a[nd])
+                far = np.where(go_left, right_a[nd], left_a[nd])
+                f2 = diff * diff
+                push_far = (far != -1) & (f2 <= worst[act])
+                if push_far.any():
+                    rows = act[push_far]
+                    stack_nodes[rows, sp[rows]] = far[push_far]
+                    stack_d2[rows, sp[rows]] = f2[push_far]
+                    sp[rows] += 1
+                push_near = near != -1
+                if push_near.any():
+                    rows = act[push_near]
+                    stack_nodes[rows, sp[rows]] = near[push_near]
+                    stack_d2[rows, sp[rows]] = 0.0
+                    sp[rows] += 1
+            alive &= sp > 0
+        order = np.lexsort((best_idx, best_d2))
+        indices = np.take_along_axis(best_idx, order, axis=1)
+        distances = np.sqrt(np.take_along_axis(best_d2, order, axis=1))
+        return indices, distances, count, steps, terminated
+
+    def _range_lockstep(self, queries: np.ndarray, radius: float,
+                        cap: int, max_results: Optional[int]):
+        n = len(self.points)
+        n_queries = len(queries)
+        stack_cap = 2 * min(cap, n) + 2
+        hit_cap = min(cap, n)
+        block = max(1, _SCAN_BLOCK_ELEMS // (3 * stack_cap
+                                             + 2 * hit_cap + 8))
+        parts = []
+        for start in range(0, n_queries, block):
+            stop = min(start + block, n_queries)
+            parts.append(self._range_lockstep_block(
+                queries[start:stop], radius, cap, stack_cap, hit_cap))
+        hcount = np.concatenate([p[2] for p in parts]) if parts else \
+            np.zeros(0, dtype=np.int64)
+        if max_results is not None:
+            counts = np.minimum(hcount, max_results)
+            cap_out = min(max_results, n)
+        else:
+            counts = hcount
+            cap_out = int(counts.max()) if n_queries else 0
+        indices = np.full((n_queries, cap_out), -1, dtype=np.int64)
+        distances = np.full((n_queries, cap_out), np.inf, dtype=np.float64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        row = 0
+        for idx, dst, _, stp, term in parts:
+            stop = row + len(idx)
+            width = min(idx.shape[1], cap_out)
+            indices[row:stop, :width] = idx[:, :width]
+            distances[row:stop, :width] = dst[:, :width]
+            steps[row:stop] = stp
+            terminated[row:stop] = term
+            row = stop
+        valid = np.arange(cap_out)[None, :] < counts[:, None]
+        indices[~valid] = -1
+        distances[~valid] = np.inf
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated)
+
+    def _range_lockstep_block(self, q: np.ndarray, radius: float,
+                              cap: int, stack_cap: int, hit_cap: int):
+        n_q = len(q)
+        axis_a, left_a, right_a = self.axis, self.left, self.right
+        pidx_a, xyz_a, split_a = (self.point_index, self._node_xyz,
+                                  self._node_split)
+        r2 = radius * radius
+        # Range pruning is radius-fixed, so no split-distance stack.
+        stack_nodes = np.empty((n_q, stack_cap), dtype=np.int64)
+        stack_nodes[:, 0] = self.root
+        sp = np.ones(n_q, dtype=np.int64)
+        steps = np.zeros(n_q, dtype=np.int64)
+        terminated = np.zeros(n_q, dtype=bool)
+        hit_d2 = np.full((n_q, hit_cap), np.inf, dtype=np.float64)
+        hit_idx = np.full((n_q, hit_cap), -1, dtype=np.int64)
+        hcount = np.zeros(n_q, dtype=np.int64)
+        alive = np.ones(n_q, dtype=bool)
+        while True:
+            act = np.nonzero(alive)[0]
+            if not len(act):
+                break
+            top = sp[act] - 1
+            sp[act] = top
+            nd = stack_nodes[act, top]
+            over = steps[act] >= cap
+            if over.any():
+                expired = act[over]
+                terminated[expired] = True
+                alive[expired] = False
+                act, nd = act[~over], nd[~over]
+            if len(act):
+                steps[act] += 1
+                node_pts = xyz_a[nd]
+                dx = node_pts[:, 0] - q[act, 0]
+                dy = node_pts[:, 1] - q[act, 1]
+                dz = node_pts[:, 2] - q[act, 2]
+                d2 = dx * dx + dy * dy + dz * dz
+                is_hit = d2 <= r2
+                if is_hit.any():
+                    rows = act[is_hit]
+                    slot = hcount[rows]
+                    hit_d2[rows, slot] = d2[is_hit]
+                    hit_idx[rows, slot] = pidx_a[nd[is_hit]]
+                    hcount[rows] = slot + 1
+                diff = q[act, axis_a[nd]] - split_a[nd]
+                go_left = diff < 0
+                near = np.where(go_left, left_a[nd], right_a[nd])
+                far = np.where(go_left, right_a[nd], left_a[nd])
+                push_far = (far != -1) & (diff * diff <= r2)
+                if push_far.any():
+                    rows = act[push_far]
+                    stack_nodes[rows, sp[rows]] = far[push_far]
+                    sp[rows] += 1
+                push_near = near != -1
+                if push_near.any():
+                    rows = act[push_near]
+                    stack_nodes[rows, sp[rows]] = near[push_near]
+                    sp[rows] += 1
+            alive &= sp > 0
+        order = np.lexsort((hit_idx, hit_d2))
+        indices = np.take_along_axis(hit_idx, order, axis=1)
+        distances = np.sqrt(np.take_along_axis(hit_d2, order, axis=1))
+        return indices, distances, hcount, steps, terminated
 
     # ------------------------------------------------------------------
     # Profiling helpers
     # ------------------------------------------------------------------
     def profile_steps(self, queries: np.ndarray, k: int) -> np.ndarray:
-        """Full-traversal step counts for each query (Sec. 3 profile)."""
+        """Full-traversal step counts for each query (Sec. 3 profile).
+
+        Always runs the traversal engine — the whole point is measuring
+        real node-visit counts, which a scan cannot report.
+        """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        return np.array([self.knn(q, k).steps for q in queries],
-                        dtype=np.int64)
+        return self.knn_batch(queries, k, engine="traverse").steps
 
     def depth(self) -> int:
         """Maximum node depth (root = 1)."""
@@ -222,6 +849,66 @@ class KDTree:
                 f"query must have shape (3,), got {query.shape}"
             )
         return query
+
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2 or queries.shape[1] != 3:
+            raise ValidationError(
+                f"queries must have shape (Q, 3), got {queries.shape}"
+            )
+        return queries
+
+
+def _smallest_k(dist: np.ndarray, k: int):
+    """Per-row k smallest entries of a ``(B, N)`` distance matrix.
+
+    Rows come back ordered by (distance, column index) ascending, the
+    same output order the traversal produces after its final sort.
+    """
+    n = dist.shape[1]
+    if k < n:
+        part = np.argpartition(dist, k - 1, axis=1)[:, :k]
+        # Order the partition by column index first (stable), then by
+        # distance (stable) — yielding (distance, index) ordering.
+        part = np.sort(part, axis=1)
+        vals = np.take_along_axis(dist, part, axis=1)
+        order = np.argsort(vals, axis=1, kind="stable")
+        return (np.take_along_axis(part, order, axis=1),
+                np.take_along_axis(vals, order, axis=1))
+    order = np.argsort(dist, axis=1, kind="stable")
+    return order, np.take_along_axis(dist, order, axis=1)
+
+
+def nearest_point_indices(points: np.ndarray, queries: np.ndarray,
+                          block_elems: int = _SCAN_BLOCK_ELEMS
+                          ) -> np.ndarray:
+    """Index of the closest point for every query, in one blocked pass.
+
+    Vectorized replacement for per-query ``argmin(norm(points - q))``
+    loops; ties resolve to the lowest point index (argmin semantics).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValidationError("points must be (N, 3)")
+    if queries.ndim != 2 or queries.shape[1] != 3:
+        raise ValidationError("queries must be (Q, 3)")
+    if len(points) == 0:
+        raise ValidationError("cannot find neighbours in zero points")
+    out = np.empty(len(queries), dtype=np.int64)
+    px, py, pz = points[:, 0], points[:, 1], points[:, 2]
+    block = max(1, block_elems // len(points))
+    for start in range(0, len(queries), block):
+        stop = min(start + block, len(queries))
+        q = queries[start:stop]
+        d = q[:, 0:1] - px[None, :]
+        d *= d
+        dy = q[:, 1:2] - py[None, :]
+        d += dy * dy
+        dz = q[:, 2:3] - pz[None, :]
+        d += dz * dz
+        out[start:stop] = np.argmin(d, axis=1)
+    return out
 
 
 def brute_force_knn(points: np.ndarray, query: np.ndarray,

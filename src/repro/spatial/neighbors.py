@@ -8,18 +8,30 @@ paper's two techniques:
 * :func:`chunked_knn_search` / :func:`chunked_range_search` — searches
   restricted to a stencil window of chunks (**CS**), with per-query
   accessed-chunk accounting (reproduces Fig. 6).
+
+All four run on the batched engine of :mod:`repro.spatial.kdtree`:
+queries are dispatched as whole blocks, and :class:`ChunkedIndex` buckets
+a batch by serving window once, answers each window's sub-batch in a
+single call, and scatters results back in input order.  Invariants the
+batched dispatch preserves:
+
+* **input-order stability** — results come back row-for-row in the order
+  the queries were given, regardless of window bucketing;
+* **step-count parity** — whenever the traversal engine runs (any capped
+  search, and every traced search), ``steps`` / ``terminated`` / traces
+  are identical to issuing the per-query calls one at a time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.spatial.grid import ChunkGrid, ChunkWindow
-from repro.spatial.kdtree import KDTree, QueryResult
+from repro.spatial.kdtree import BatchQueryResult, KDTree, QueryResult
 
 
 @dataclass(frozen=True)
@@ -33,42 +45,41 @@ class BatchResult:
     accessed_chunks: Optional[np.ndarray] = None   # per-query chunk counts
 
 
+def _to_batch_result(result: BatchQueryResult,
+                     accessed: Optional[np.ndarray] = None) -> BatchResult:
+    """Trim a padded (Q, C) batch into the per-query-list BatchResult."""
+    counts = result.counts
+    indices = [result.indices[i, :counts[i]] for i in range(len(counts))]
+    distances = [result.distances[i, :counts[i]] for i in range(len(counts))]
+    return BatchResult(indices, distances, result.steps.astype(np.int64),
+                       result.terminated.astype(bool), accessed)
+
+
 def knn_search(points: np.ndarray, queries: np.ndarray, k: int,
                max_steps: Optional[int] = None,
-               record_traces: bool = False) -> BatchResult:
-    """Batch kNN over a single kd-tree covering all *points*."""
+               record_traces: bool = False,
+               engine: str = "auto") -> BatchResult:
+    """Batch kNN over a single kd-tree covering all *points*.
+
+    Uncapped, untraced searches may run on the vectorized scan engine
+    (which reports ``steps = len(points)``); capped or traced searches
+    always traverse, with per-query step parity.
+    """
     tree = KDTree(points)
-    return _run_batch(
-        tree, queries,
-        lambda t, q: t.knn(q, k, max_steps=max_steps,
-                           record_trace=record_traces))
+    result = tree.knn_batch(queries, k, max_steps=max_steps,
+                            engine=engine, record_traces=record_traces)
+    return _to_batch_result(result)
 
 
 def range_search(points: np.ndarray, queries: np.ndarray, radius: float,
                  max_steps: Optional[int] = None,
-                 max_results: Optional[int] = None) -> BatchResult:
+                 max_results: Optional[int] = None,
+                 engine: str = "auto") -> BatchResult:
     """Batch ball queries over a single kd-tree covering all *points*."""
     tree = KDTree(points)
-    return _run_batch(
-        tree, queries,
-        lambda t, q: t.range_search(q, radius, max_steps=max_steps,
-                                    max_results=max_results))
-
-
-def _run_batch(tree: KDTree, queries: np.ndarray, runner) -> BatchResult:
-    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    if queries.shape[1] != 3:
-        raise ValidationError("queries must be (Q, 3)")
-    indices, distances, steps, terminated = [], [], [], []
-    for query in queries:
-        result: QueryResult = runner(tree, query)
-        indices.append(result.indices)
-        distances.append(result.distances)
-        steps.append(result.steps)
-        terminated.append(result.terminated)
-    return BatchResult(indices, distances,
-                       np.array(steps, dtype=np.int64),
-                       np.array(terminated, dtype=bool))
+    result = tree.range_batch(queries, radius, max_steps=max_steps,
+                              max_results=max_results, engine=engine)
+    return _to_batch_result(result)
 
 
 # ----------------------------------------------------------------------
@@ -84,6 +95,11 @@ class ChunkedIndex:
     the window covering the query most centrally, mirroring the paper's
     sliding-window processing where each chunk's queries run when its
     window group is resident in the line buffer.
+
+    Batch dispatch (:meth:`query_knn_batch` / :meth:`query_range_batch`)
+    buckets a query block by serving window, answers each window's
+    sub-batch with one :class:`~repro.spatial.kdtree.KDTree` batch call,
+    and scatters results back in input order.
     """
 
     def __init__(self, positions: np.ndarray,
@@ -100,7 +116,7 @@ class ChunkedIndex:
         self.positions = positions
         self.assignment = chunk_assignment
         self.windows = list(windows)
-        self._window_of_chunk = {}
+        self._window_of_chunk: Dict[int, tuple] = {}
         for widx, window in enumerate(self.windows):
             for rank, chunk in enumerate(window.chunk_ids):
                 # Prefer the window holding the chunk closest to its middle.
@@ -108,11 +124,24 @@ class ChunkedIndex:
                 best = self._window_of_chunk.get(chunk)
                 if best is None or centrality < best[0]:
                     self._window_of_chunk[chunk] = (centrality, widx)
+        # Flat chunk -> window LUT for vectorized query routing.
+        max_chunk = max(self._window_of_chunk)
+        self._window_lut = np.full(max_chunk + 1, -1, dtype=np.int64)
+        for chunk, (_, widx) in self._window_of_chunk.items():
+            self._window_lut[chunk] = widx
+        # Window membership via one argsort of the chunk assignment plus
+        # searchsorted slices per chunk (replaces per-window isin scans).
+        order = np.argsort(chunk_assignment, kind="stable")
+        sorted_chunks = chunk_assignment[order]
         self._trees: List[Optional[KDTree]] = []
         self._members: List[np.ndarray] = []
         for window in self.windows:
-            mask = np.isin(chunk_assignment, window.chunk_ids)
-            members = np.nonzero(mask)[0]
+            ids = np.asarray(window.chunk_ids, dtype=np.int64)
+            starts = np.searchsorted(sorted_chunks, ids, side="left")
+            stops = np.searchsorted(sorted_chunks, ids, side="right")
+            runs = [order[s:e] for s, e in zip(starts, stops)]
+            members = np.sort(np.concatenate(runs)) if runs else \
+                np.zeros(0, dtype=np.int64)
             self._members.append(members)
             tree = KDTree(positions[members]) if len(members) else None
             self._trees.append(tree)
@@ -126,10 +155,28 @@ class ChunkedIndex:
                 f"chunk {chunk} is not covered by any window"
             ) from None
 
+    def window_of_queries(self, query_chunks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`window_for_chunk` over a chunk-id array."""
+        chunks = np.atleast_1d(np.asarray(query_chunks, dtype=np.int64))
+        in_range = (chunks >= 0) & (chunks < len(self._window_lut))
+        widx = np.where(in_range,
+                        self._window_lut[np.clip(chunks, 0,
+                                                 len(self._window_lut) - 1)],
+                        -1)
+        if (widx < 0).any():
+            bad = int(chunks[np.argmax(widx < 0)])
+            raise ValidationError(
+                f"chunk {bad} is not covered by any window"
+            )
+        return widx
+
     def covered_chunks(self) -> set:
         """All chunk ids covered by at least one window."""
         return set(self._window_of_chunk)
 
+    # ------------------------------------------------------------------
+    # Per-query entry points (kept for callers that stream one query)
+    # ------------------------------------------------------------------
     def query_knn(self, query: np.ndarray, query_chunk: int, k: int,
                   max_steps: Optional[int] = None) -> QueryResult:
         """kNN restricted to the window serving *query_chunk*.
@@ -162,6 +209,144 @@ class ChunkedIndex:
         return QueryResult(members[local.indices], local.distances,
                            local.steps, local.terminated, local.trace)
 
+    # ------------------------------------------------------------------
+    # Window-grouped batch dispatch
+    # ------------------------------------------------------------------
+    def _scatter_window(self, rows: np.ndarray, members: np.ndarray,
+                        local: BatchQueryResult,
+                        indices: np.ndarray, distances: np.ndarray,
+                        counts: np.ndarray, steps: np.ndarray,
+                        terminated: np.ndarray,
+                        traces: Optional[List[List[int]]]) -> None:
+        """Scatter one window's batch results back in input order."""
+        width = local.indices.shape[1]
+        if width:
+            valid = local.indices >= 0
+            remapped = np.where(valid,
+                                members[np.clip(local.indices, 0, None)],
+                                -1)
+            cols = np.arange(width)[None, :]
+            indices[rows[:, None], cols] = remapped
+            distances[rows[:, None], cols] = local.distances
+        counts[rows] = local.counts
+        steps[rows] = local.steps
+        terminated[rows] = local.terminated
+        if traces is not None and local.traces is not None:
+            for sub, qi in enumerate(rows):
+                traces[qi] = local.traces[sub]
+
+    def _window_trace_counts(self, window: int,
+                             traces: List[List[int]]) -> np.ndarray:
+        """Distinct-chunk counts for one window's traces (Fig. 6)."""
+        tree, members = self._trees[window], self._members[window]
+        out = np.zeros(len(traces), dtype=np.int64)
+        for i, trace in enumerate(traces):
+            if trace:
+                visited = members[tree.point_index[np.asarray(trace)]]
+                out[i] = len(np.unique(self.assignment[visited]))
+        return out
+
+    def query_knn_batch(self, queries: np.ndarray,
+                        query_chunks: np.ndarray, k: int,
+                        max_steps: Optional[int] = None,
+                        engine: str = "auto",
+                        record_traces: bool = False,
+                        accessed_out: Optional[np.ndarray] = None
+                        ) -> BatchQueryResult:
+        """Windowed kNN for a query block, results in input order.
+
+        Queries are grouped by serving window; each group runs as one
+        batch on that window's tree.  Indices refer to the original
+        point array; queries served by an empty window come back with
+        ``counts == 0`` and zero steps, exactly like :meth:`query_knn`.
+        Traces (when recorded) hold *window-local* node ids.  Passing
+        ``accessed_out`` (a ``(Q,)`` int64 array) fills per-query
+        accessed-chunk counts window by window, so traces live only as
+        long as one window's batch instead of the whole query set.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        widx = self.window_of_queries(query_chunks)
+        n_queries = len(queries)
+        indices = np.full((n_queries, k), -1, dtype=np.int64)
+        distances = np.full((n_queries, k), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        traces: Optional[List[List[int]]] = \
+            [[] for _ in range(n_queries)] if record_traces else None
+        need_traces = record_traces or accessed_out is not None
+        for w in np.unique(widx):
+            rows = np.nonzero(widx == w)[0]
+            tree = self._trees[w]
+            if tree is None:
+                continue
+            local = tree.knn_batch(queries[rows], k, max_steps=max_steps,
+                                   engine=engine,
+                                   record_traces=need_traces)
+            if accessed_out is not None and local.traces is not None:
+                accessed_out[rows] = self._window_trace_counts(
+                    int(w), local.traces)
+            self._scatter_window(rows, self._members[w], local, indices,
+                                 distances, counts, steps, terminated,
+                                 traces)
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated, traces)
+
+    def query_range_batch(self, queries: np.ndarray,
+                          query_chunks: np.ndarray, radius: float,
+                          max_steps: Optional[int] = None,
+                          max_results: Optional[int] = None,
+                          engine: str = "auto",
+                          record_traces: bool = False,
+                          accessed_out: Optional[np.ndarray] = None
+                          ) -> BatchQueryResult:
+        """Windowed ball queries for a query block, in input order.
+
+        Parameters match :meth:`query_knn_batch`, including the
+        window-at-a-time ``accessed_out`` chunk accounting.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        widx = self.window_of_queries(query_chunks)
+        n_queries = len(queries)
+        need_traces = record_traces or accessed_out is not None
+        per_window = {}
+        for w in np.unique(widx):
+            rows = np.nonzero(widx == w)[0]
+            tree = self._trees[w]
+            if tree is None:
+                continue
+            local = tree.range_batch(
+                queries[rows], radius, max_steps=max_steps,
+                max_results=max_results, engine=engine,
+                record_traces=need_traces)
+            if accessed_out is not None and local.traces is not None:
+                accessed_out[rows] = self._window_trace_counts(
+                    int(w), local.traces)
+            if local.traces is not None and not record_traces:
+                # Chunk accounting done — drop the traces before the
+                # capacity pass so only one window's live at a time.
+                local = BatchQueryResult(local.indices, local.distances,
+                                         local.counts, local.steps,
+                                         local.terminated)
+            per_window[int(w)] = (rows, local)
+        cap = max((res.indices.shape[1]
+                   for _, res in per_window.values()), default=0)
+        if max_results is not None:
+            cap = min(cap, max_results)
+        indices = np.full((n_queries, cap), -1, dtype=np.int64)
+        distances = np.full((n_queries, cap), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        traces: Optional[List[List[int]]] = \
+            [[] for _ in range(n_queries)] if record_traces else None
+        for w, (rows, local) in per_window.items():
+            self._scatter_window(rows, self._members[w], local, indices,
+                                 distances, counts, steps, terminated,
+                                 traces)
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated, traces)
+
     def chunks_touched(self, result: QueryResult, window_index: int
                        ) -> int:
         """Distinct chunks whose points the traversal visited (Fig. 6)."""
@@ -180,25 +365,19 @@ def chunked_knn_search(positions: np.ndarray, queries: np.ndarray, k: int,
 
     Also reports per-query ``accessed_chunks`` — the count of distinct
     chunks the traversal touched, reproducing the Fig. 6 measurement.
+    Because chunk accounting needs traversal traces, this always runs
+    the traversal engine, preserving seed-exact step counts.
     """
     positions = np.asarray(positions, dtype=np.float64)
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     assignment = grid.assign(positions)
     index = ChunkedIndex(positions, assignment, windows)
     query_chunks = grid.assign(queries)
-    indices, distances, steps, terminated, accessed = [], [], [], [], []
-    for query, chunk in zip(queries, query_chunks):
-        result = index.query_knn(query, int(chunk), k, max_steps=max_steps)
-        widx = index.window_for_chunk(int(chunk))
-        indices.append(result.indices)
-        distances.append(result.distances)
-        steps.append(result.steps)
-        terminated.append(result.terminated)
-        accessed.append(index.chunks_touched(result, widx))
-    return BatchResult(indices, distances,
-                       np.array(steps, dtype=np.int64),
-                       np.array(terminated, dtype=bool),
-                       np.array(accessed, dtype=np.int64))
+    accessed = np.zeros(len(queries), dtype=np.int64)
+    result = index.query_knn_batch(queries, query_chunks, k,
+                                   max_steps=max_steps,
+                                   accessed_out=accessed)
+    return _to_batch_result(result, accessed)
 
 
 def chunked_range_search(positions: np.ndarray, queries: np.ndarray,
@@ -212,18 +391,9 @@ def chunked_range_search(positions: np.ndarray, queries: np.ndarray,
     assignment = grid.assign(positions)
     index = ChunkedIndex(positions, assignment, windows)
     query_chunks = grid.assign(queries)
-    indices, distances, steps, terminated, accessed = [], [], [], [], []
-    for query, chunk in zip(queries, query_chunks):
-        result = index.query_range(query, int(chunk), radius,
-                                   max_steps=max_steps,
-                                   max_results=max_results)
-        widx = index.window_for_chunk(int(chunk))
-        indices.append(result.indices)
-        distances.append(result.distances)
-        steps.append(result.steps)
-        terminated.append(result.terminated)
-        accessed.append(index.chunks_touched(result, widx))
-    return BatchResult(indices, distances,
-                       np.array(steps, dtype=np.int64),
-                       np.array(terminated, dtype=bool),
-                       np.array(accessed, dtype=np.int64))
+    accessed = np.zeros(len(queries), dtype=np.int64)
+    result = index.query_range_batch(queries, query_chunks, radius,
+                                     max_steps=max_steps,
+                                     max_results=max_results,
+                                     accessed_out=accessed)
+    return _to_batch_result(result, accessed)

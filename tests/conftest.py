@@ -9,6 +9,12 @@ from repro.datasets import make_lidar_cloud
 from repro.pointcloud import PointCloud
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "benchsmoke: fast smoke pass through a benchmark harness")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

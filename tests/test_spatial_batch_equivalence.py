@@ -1,0 +1,377 @@
+"""Batched neighbour-search engine vs the per-query reference path.
+
+The batched engine must be a pure performance change: for every query,
+``indices``, ``distances``, ``steps`` and ``terminated`` have to match
+the per-query calls element for element — step accounting is the paper's
+deterministic-termination contribution and must not drift.  The scan
+engine is exempt from step parity by design (it visits every point and
+reports ``steps = N``), but its neighbours must still match the exact
+search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+)
+from repro.core.cotraining import (
+    GroupingContext,
+    baseline_config,
+    cs_config,
+    cs_dt_config,
+)
+from repro.core.splitting import CompulsorySplitter
+from repro.errors import ValidationError
+from repro.spatial import (
+    ChunkGrid,
+    ChunkWindow,
+    ChunkedIndex,
+    KDTree,
+    chunk_windows,
+    chunked_knn_search,
+    chunked_range_search,
+    nearest_point_indices,
+)
+
+
+@pytest.fixture
+def cloud(rng):
+    return rng.normal(size=(150, 3))
+
+
+@pytest.fixture
+def queries(rng):
+    return rng.normal(size=(23, 3))
+
+
+# ----------------------------------------------------------------------
+# KDTree batch engines vs per-query search
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("max_steps", [None, 7, 40])
+def test_knn_batch_traverse_matches_per_query(cloud, queries, max_steps):
+    tree = KDTree(cloud)
+    batch = tree.knn_batch(queries, 5, max_steps=max_steps,
+                           engine="traverse", record_traces=True)
+    for i, query in enumerate(queries):
+        ref = tree.knn(query, 5, max_steps=max_steps, record_trace=True)
+        count = int(batch.counts[i])
+        assert count == len(ref.indices)
+        np.testing.assert_array_equal(batch.indices[i, :count], ref.indices)
+        np.testing.assert_array_equal(batch.distances[i, :count],
+                                      ref.distances)
+        assert int(batch.steps[i]) == ref.steps
+        assert bool(batch.terminated[i]) == ref.terminated
+        assert batch.traces[i] == ref.trace
+
+
+def test_knn_batch_scan_matches_uncapped_search(cloud, queries):
+    tree = KDTree(cloud)
+    batch = tree.knn_batch(queries, 6, engine="scan")
+    for i, query in enumerate(queries):
+        ref = tree.knn(query, 6)
+        np.testing.assert_array_equal(batch.indices[i], ref.indices)
+        np.testing.assert_array_equal(batch.distances[i], ref.distances)
+    # The scan honestly reports a full visit of every point.
+    assert (batch.steps == len(cloud)).all()
+    assert not batch.terminated.any()
+
+
+@pytest.mark.parametrize("max_steps,max_results", [
+    (None, None), (None, 4), (9, None), (9, 4),
+])
+def test_range_batch_traverse_matches_per_query(cloud, queries,
+                                                max_steps, max_results):
+    tree = KDTree(cloud)
+    batch = tree.range_batch(queries, 0.9, max_steps=max_steps,
+                             max_results=max_results, engine="traverse",
+                             record_traces=True)
+    for i, query in enumerate(queries):
+        ref = tree.range_search(query, 0.9, max_steps=max_steps,
+                                max_results=max_results, record_trace=True)
+        count = int(batch.counts[i])
+        assert count == len(ref.indices)
+        np.testing.assert_array_equal(batch.indices[i, :count], ref.indices)
+        np.testing.assert_array_equal(batch.distances[i, :count],
+                                      ref.distances)
+        assert int(batch.steps[i]) == ref.steps
+        assert bool(batch.terminated[i]) == ref.terminated
+        assert batch.traces[i] == ref.trace
+
+
+def test_range_batch_scan_matches_uncapped_search(cloud, queries):
+    tree = KDTree(cloud)
+    batch = tree.range_batch(queries, 0.8, max_results=5, engine="scan")
+    for i, query in enumerate(queries):
+        ref = tree.range_search(query, 0.8, max_results=5)
+        count = int(batch.counts[i])
+        assert count == len(ref.indices)
+        np.testing.assert_array_equal(batch.indices[i, :count], ref.indices)
+        np.testing.assert_array_equal(batch.distances[i, :count],
+                                      ref.distances)
+    assert (batch.steps == len(cloud)).all()
+
+
+def test_scan_engine_rejects_deadlines_and_traces(cloud, queries):
+    tree = KDTree(cloud)
+    with pytest.raises(ValidationError):
+        tree.knn_batch(queries, 3, max_steps=5, engine="scan")
+    with pytest.raises(ValidationError):
+        tree.knn_batch(queries, 3, engine="scan", record_traces=True)
+    with pytest.raises(ValidationError):
+        tree.knn_batch(queries, 3, engine="warp")
+
+
+def test_auto_engine_honours_deadline_semantics(cloud, queries):
+    """auto must fall back to traversal whenever a deadline is set."""
+    tree = KDTree(cloud)
+    capped = tree.knn_batch(queries, 4, max_steps=3)
+    assert (capped.steps <= 3).all()
+    assert capped.terminated.all()
+
+
+@pytest.mark.parametrize("max_steps", [5, 33, 2000])
+def test_lockstep_engines_match_per_query(rng, max_steps):
+    """Large capped batches dispatch to the lockstep engine — results,
+    steps and termination must still match the per-query path exactly."""
+    pts = rng.normal(size=(220, 3))
+    tree = KDTree(pts)
+    queries = rng.normal(size=(70, 3))     # >= _LOCKSTEP_MIN_QUERIES
+    batch = tree.knn_batch(queries, 6, max_steps=max_steps)
+    rbatch = tree.range_batch(queries, 0.8, max_steps=max_steps,
+                              max_results=5)
+    for i, query in enumerate(queries):
+        ref = tree.knn(query, 6, max_steps=max_steps)
+        count = int(batch.counts[i])
+        assert count == len(ref.indices)
+        np.testing.assert_array_equal(batch.indices[i, :count], ref.indices)
+        np.testing.assert_array_equal(batch.distances[i, :count],
+                                      ref.distances)
+        assert int(batch.steps[i]) == ref.steps
+        assert bool(batch.terminated[i]) == ref.terminated
+        rref = tree.range_search(query, 0.8, max_steps=max_steps,
+                                 max_results=5)
+        rcount = int(rbatch.counts[i])
+        assert rcount == len(rref.indices)
+        np.testing.assert_array_equal(rbatch.indices[i, :rcount],
+                                      rref.indices)
+        np.testing.assert_array_equal(rbatch.distances[i, :rcount],
+                                      rref.distances)
+        assert int(rbatch.steps[i]) == rref.steps
+        assert bool(rbatch.terminated[i]) == rref.terminated
+
+
+# ----------------------------------------------------------------------
+# Windowed dispatch vs per-query windowed search (both splitting modes)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode,max_steps", [
+    ("spatial", None), ("spatial", 6), ("serial", None), ("serial", 6),
+])
+def test_splitter_knn_batch_matches_per_query(rng, mode, max_steps):
+    pts = rng.uniform(0, 1, size=(160, 3))
+    config = SplittingConfig(shape=(3, 3, 1) if mode == "spatial"
+                             else (4, 1, 1),
+                             kernel=(2, 2, 1) if mode == "spatial"
+                             else (2, 1, 1),
+                             mode=mode)
+    splitter = CompulsorySplitter(pts, config)
+    queries = pts[::7]
+    batch = splitter.knn_batch(queries, 5, max_steps=max_steps,
+                               engine="traverse")
+    for i, query in enumerate(queries):
+        ref = splitter.knn(query, 5, max_steps=max_steps)
+        count = int(batch.counts[i])
+        assert count == len(ref.indices)
+        np.testing.assert_array_equal(batch.indices[i, :count], ref.indices)
+        assert int(batch.steps[i]) == ref.steps
+        assert bool(batch.terminated[i]) == ref.terminated
+
+
+@pytest.mark.parametrize("mode", ["spatial", "serial"])
+def test_splitter_range_batch_matches_per_query(rng, mode):
+    pts = rng.uniform(0, 1, size=(140, 3))
+    config = SplittingConfig(shape=(3, 3, 1) if mode == "spatial"
+                             else (4, 1, 1),
+                             kernel=(2, 2, 1) if mode == "spatial"
+                             else (2, 1, 1),
+                             mode=mode)
+    splitter = CompulsorySplitter(pts, config)
+    queries = pts[::9]
+    batch = splitter.range_batch(queries, 0.25, max_results=6,
+                                 engine="traverse")
+    for i, query in enumerate(queries):
+        ref = splitter.range(query, 0.25, max_results=6)
+        count = int(batch.counts[i])
+        assert count == len(ref.indices)
+        np.testing.assert_array_equal(batch.indices[i, :count], ref.indices)
+        assert int(batch.steps[i]) == ref.steps
+
+
+def test_chunked_searches_match_per_query_loop(rng):
+    pts = rng.uniform(0, 1, size=(180, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    assignment = grid.assign(pts)
+    index = ChunkedIndex(pts, assignment, windows)
+    queries = pts[::11]
+    query_chunks = grid.assign(queries)
+    batch = chunked_knn_search(pts, queries, 4, grid, windows, max_steps=8)
+    for i, (query, chunk) in enumerate(zip(queries, query_chunks)):
+        ref = index.query_knn(query, int(chunk), 4, max_steps=8)
+        widx = index.window_for_chunk(int(chunk))
+        np.testing.assert_array_equal(batch.indices[i], ref.indices)
+        assert int(batch.steps[i]) == ref.steps
+        assert bool(batch.terminated[i]) == ref.terminated
+        assert int(batch.accessed_chunks[i]) == \
+            index.chunks_touched(ref, widx)
+    rbatch = chunked_range_search(pts, queries, 0.3, grid, windows,
+                                  max_results=5)
+    for i, (query, chunk) in enumerate(zip(queries, query_chunks)):
+        ref = index.query_range(query, int(chunk), 0.3, max_results=5)
+        np.testing.assert_array_equal(rbatch.indices[i], ref.indices)
+        assert int(rbatch.steps[i]) == ref.steps
+
+
+def test_empty_window_batch_matches_per_query():
+    """Degenerate case: a window whose chunks hold zero points."""
+    positions = np.linspace(0, 1, 30).reshape(10, 3)
+    assignment = np.zeros(10, dtype=np.int64)     # everything in chunk 0
+    windows = [ChunkWindow((0, 0, 0), (0,)), ChunkWindow((1, 0, 0), (1,))]
+    index = ChunkedIndex(positions, assignment, windows)
+    queries = np.array([[0.2, 0.3, 0.4], [0.5, 0.6, 0.7]])
+    # Chunk 1 routes to the empty second window.
+    batch = index.query_knn_batch(queries, np.array([1, 1]), 3)
+    assert (batch.counts == 0).all()
+    assert (batch.steps == 0).all()
+    assert not batch.terminated.any()
+    for i, query in enumerate(queries):
+        ref = index.query_knn(query, 1, 3)
+        assert len(ref.indices) == 0
+        assert ref.steps == 0
+    rbatch = index.query_range_batch(queries, np.array([1, 1]), 0.5,
+                                     max_results=4)
+    assert (rbatch.counts == 0).all()
+    assert (rbatch.steps == 0).all()
+
+
+# ----------------------------------------------------------------------
+# GroupingContext batch vs the per-query reference semantics
+# ----------------------------------------------------------------------
+def _reference_pad(positions, indices, size, query):
+    """The original per-query padding (repeat first hit, nearest fallback)."""
+    if len(indices) == 0:
+        nearest = int(np.argmin(
+            np.linalg.norm(positions - query, axis=1)))
+        indices = np.array([nearest], dtype=np.int64)
+    if len(indices) >= size:
+        return indices[:size]
+    pad = np.full(size - len(indices), indices[0], dtype=np.int64)
+    return np.concatenate([indices, pad])
+
+
+def _reference_knn_group(ctx, queries, k):
+    groups = []
+    for query in queries:
+        if ctx._splitter is not None:
+            result = ctx._splitter.knn(query, k, max_steps=ctx._deadline)
+        else:
+            result = ctx._tree.knn(query, k, max_steps=ctx._deadline)
+        groups.append(_reference_pad(ctx.positions, result.indices,
+                                     k, query))
+    return np.stack(groups)
+
+
+def _reference_ball_group(ctx, queries, radius, max_results):
+    groups = []
+    for query in queries:
+        if ctx._splitter is not None:
+            result = ctx._splitter.range(query, radius,
+                                         max_steps=ctx._deadline,
+                                         max_results=max_results)
+        else:
+            result = ctx._tree.range_search(query, radius,
+                                            max_steps=ctx._deadline,
+                                            max_results=max_results)
+        groups.append(_reference_pad(ctx.positions, result.indices,
+                                     max_results, query))
+    return np.stack(groups)
+
+
+def _variant_configs():
+    splitting = SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1))
+    termination = TerminationConfig(profile_queries=8)
+    base = StreamGridConfig(splitting=splitting, termination=termination,
+                            use_splitting=False, use_termination=False)
+    return [baseline_config(), cs_config(base), cs_dt_config(base)]
+
+
+@pytest.mark.parametrize("variant", range(3))
+def test_knn_group_matches_reference(rng, variant):
+    pts = rng.uniform(0, 1, size=(120, 3))
+    config = _variant_configs()[variant]
+    ctx = GroupingContext(pts, config)
+    queries = pts[::6]
+    groups = ctx.knn_group(queries, 5)
+    assert groups.shape == (len(queries), 5)
+    assert groups.dtype == np.int64
+    np.testing.assert_array_equal(
+        groups, _reference_knn_group(ctx, queries, 5))
+
+
+@pytest.mark.parametrize("variant", range(3))
+def test_ball_group_matches_reference(rng, variant):
+    pts = rng.uniform(0, 1, size=(120, 3))
+    config = _variant_configs()[variant]
+    ctx = GroupingContext(pts, config)
+    queries = pts[::6]
+    groups = ctx.ball_group(queries, 0.25, 6)
+    assert groups.shape == (len(queries), 6)
+    np.testing.assert_array_equal(
+        groups, _reference_ball_group(ctx, queries, 0.25, 6))
+
+
+def test_ball_group_empty_rows_use_vectorized_fallback(rng):
+    pts = rng.normal(size=(40, 3)) + 50.0
+    ctx = GroupingContext(pts, baseline_config())
+    far_queries = np.zeros((3, 3))
+    groups = ctx.ball_group(far_queries, 0.1, 4)
+    nearest = nearest_point_indices(pts, far_queries)
+    for i in range(3):
+        assert (groups[i] == nearest[i]).all()
+    np.testing.assert_array_equal(
+        groups, _reference_ball_group(ctx, far_queries, 0.1, 4))
+
+
+def test_serial_chunk_of_queries_matches_per_query_argmin(rng):
+    pts = rng.normal(size=(90, 3))
+    config = SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                             mode="serial")
+    splitter = CompulsorySplitter(pts, config)
+    queries = rng.normal(size=(17, 3))
+    batched = splitter.chunk_of_queries(queries)
+    for i, query in enumerate(queries):
+        nearest = int(np.argmin(np.linalg.norm(pts - query, axis=1)))
+        assert batched[i] == splitter.assignment[nearest]
+
+
+def test_window_point_counts_match_isin_reference(rng):
+    pts = rng.uniform(0, 1, size=(130, 3))
+    splitter = CompulsorySplitter(
+        pts, SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1)))
+    counts = splitter.window_point_counts()
+    for widx, window in enumerate(splitter.windows):
+        ref = int(np.isin(splitter.assignment, window.chunk_ids).sum())
+        assert int(counts[widx]) == ref
+
+
+def test_chunked_index_members_match_isin_reference(rng):
+    pts = rng.uniform(0, 1, size=(110, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    assignment = grid.assign(pts)
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, assignment, windows)
+    for widx, window in enumerate(windows):
+        ref = np.nonzero(np.isin(assignment, window.chunk_ids))[0]
+        np.testing.assert_array_equal(index._members[widx], ref)
