@@ -1,0 +1,193 @@
+"""Throughput benchmark: serial vs thread vs process window shards.
+
+Times ``CompulsorySplitter`` batch dispatch on many-window
+configurations (a serial-mode 8-window split and a spatial 16-window
+split) under the three window-shard runtime backends
+(:mod:`repro.runtime`): the inline ``SerialExecutor``, the
+``ThreadExecutor`` thread pool, and the ``ProcessShardPool`` that pins
+window ids to forked workers with the kd-tree / chunk state shipped
+once per worker.  Two operations are measured per backend:
+
+* ``knn`` — uncapped kNN (per-window vectorized scan engine);
+* ``knn_capped`` — deadline-capped kNN (per-window lockstep traversal).
+
+Before any timing is trusted, every backend's results are checked
+element-for-element against the serial reference (indices, distances,
+steps, terminated) — the runtime must be a pure *where-it-runs* change.
+
+Worker counts auto-resolve from the CPU count unless ``--workers`` pins
+them; on single-core machines the process pool intentionally falls back
+to serial execution (logged), so the recorded "process" rows measure
+the fallback path there and real shards on multi-core hosts (the
+``effective`` field says which).  Emits ``BENCH_runtime.json`` at the
+repo root (override with ``--output``) plus a text table under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.config import SplittingConfig
+from repro.core.splitting import CompulsorySplitter
+
+from _common import emit
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_runtime.json")
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _configs():
+    """Many-window splits: ≥ 8 windows each, both partition modes."""
+    return [
+        ("serial-8w", SplittingConfig(shape=(9, 1, 1), kernel=(2, 1, 1),
+                                      mode="serial")),
+        ("spatial-16w", SplittingConfig(shape=(5, 5, 1),
+                                        kernel=(2, 2, 1))),
+    ]
+
+
+def _time(fn, repeats):
+    best = np.inf
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _check_equal(name, got, want):
+    for fld in ("indices", "distances", "counts", "steps", "terminated"):
+        if not np.array_equal(getattr(got, fld), getattr(want, fld)):
+            raise AssertionError(
+                f"{name}: backend result field {fld!r} differs from the "
+                f"serial reference")
+
+
+def run(n_points=32768, n_queries=4096, k=16, max_steps=48, repeats=3,
+        workers=None, output=_DEFAULT_OUTPUT, check=True):
+    """Run the backend comparison; returns (and writes) the payload."""
+    rng = np.random.default_rng(7)
+    positions = rng.uniform(0.0, 1.0, size=(n_points, 3))
+    queries = positions[rng.choice(n_points, size=n_queries,
+                                   replace=False)]
+    results = []
+    for config_name, splitting in _configs():
+        reference = {}
+        for backend in BACKENDS:
+            splitter = CompulsorySplitter(positions, splitting,
+                                          executor=backend,
+                                          executor_workers=workers)
+            n_windows = splitter.n_windows
+            query_chunks = splitter.chunk_of_queries(queries)
+            ops = (
+                ("knn", lambda: splitter.knn_batch(
+                    queries, k, query_chunks=query_chunks)),
+                ("knn_capped", lambda: splitter.knn_batch(
+                    queries, k, max_steps=max_steps,
+                    query_chunks=query_chunks)),
+            )
+            for op, fn in ops:
+                fn()                       # warm up (fork pool, tables)
+                best_s, value = _time(fn, repeats)
+                if backend == "serial":
+                    reference[op] = value
+                elif check:
+                    _check_equal(f"{config_name}/{op}/{backend}", value,
+                                 reference[op])
+                results.append({
+                    "config": config_name,
+                    "windows": n_windows,
+                    "backend": backend,
+                    "effective":
+                        splitter.index._runtime().executor.effective,
+                    "op": op,
+                    "best_s": best_s,
+                    "throughput_qps": n_queries / best_s,
+                })
+            splitter.close()
+
+    def _tput(config, backend, op):
+        for row in results:
+            if (row["config"], row["backend"], row["op"]) == \
+                    (config, backend, op):
+                return row["throughput_qps"]
+        return 0.0
+
+    ratios = []
+    for config_name, _ in _configs():
+        for op in ("knn", "knn_capped"):
+            serial_tput = _tput(config_name, "serial", op)
+            process_tput = _tput(config_name, "process", op)
+            ratios.append({
+                "config": config_name,
+                "op": op,
+                "process_over_serial": process_tput / serial_tput
+                if serial_tput else 0.0,
+            })
+    best_ratio = max(r["process_over_serial"] for r in ratios)
+    payload = {
+        "benchmark": "runtime_shards",
+        "workload": {"n_points": n_points, "n_queries": n_queries,
+                     "k": k, "max_steps": max_steps, "repeats": repeats,
+                     "workers": workers},
+        "results": results,
+        "process_over_serial": ratios,
+        "best_process_over_serial": best_ratio,
+        "process_ge_serial": best_ratio >= 1.0,
+    }
+    if output:
+        with open(output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    lines = [f"{'config':12s} {'win':>4s} {'backend':8s} {'eff':8s} "
+             f"{'op':11s} {'best_s':>9s} {'q/s':>10s}"]
+    for row in results:
+        lines.append(
+            f"{row['config']:12s} {row['windows']:4d} "
+            f"{row['backend']:8s} {row['effective']:8s} {row['op']:11s} "
+            f"{row['best_s']:9.4f} {row['throughput_qps']:10.0f}")
+    lines.append(f"best process/serial throughput ratio: "
+                 f"{best_ratio:.2f}x (>=1.0: {payload['process_ge_serial']})")
+    emit("runtime_shards", lines)
+    if output:
+        print(f"wrote {output}")
+    return payload
+
+
+def smoke(tmp_output=None):
+    """Tiny configuration exercising the full harness (pytest smoke)."""
+    return run(n_points=240, n_queries=36, k=4, max_steps=12, repeats=1,
+               output=tmp_output)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=32768)
+    parser.add_argument("--queries", type=int, default=4096)
+    parser.add_argument("--k", type=int, default=16)
+    parser.add_argument("--max-steps", type=int, default=48)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--output", default=_DEFAULT_OUTPUT)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the tiny smoke configuration")
+    args = parser.parse_args()
+    if args.smoke:
+        smoke(tmp_output=args.output)
+        return
+    run(n_points=args.points, n_queries=args.queries, k=args.k,
+        max_steps=args.max_steps, repeats=args.repeats,
+        workers=args.workers, output=args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -102,18 +102,46 @@ class TerminationConfig:
             raise ValidationError("profile_queries must be positive")
 
 
+def _executor_choices() -> tuple:
+    """Backend names accepted by the ``executor`` knob — read from the
+    runtime registry so backends added to ``EXECUTOR_BACKENDS`` are
+    selectable through the config without touching this module."""
+    from repro.runtime.executor import EXECUTOR_BACKENDS
+
+    return tuple(sorted(EXECUTOR_BACKENDS))
+
+
 @dataclass(frozen=True)
 class StreamGridConfig:
     """Bundle of both techniques plus the variant switches of Sec. 7.
 
     ``use_splitting`` / ``use_termination`` map onto the paper's variants:
     Base (False/False), CS (True/False), CS+DT (True/True).
+
+    ``executor`` selects the window-shard runtime backend every
+    neighbour-search batch runs on (:mod:`repro.runtime`):
+    ``"serial"`` (inline loop), ``"thread"`` (shared-memory thread
+    pool), or ``"process"`` (forked worker processes with window-id
+    affinity).  ``executor_workers`` pins the worker count; ``None``
+    auto-sizes from the CPU count.  Results are backend-independent.
     """
 
     splitting: SplittingConfig = field(default_factory=SplittingConfig)
     termination: TerminationConfig = field(default_factory=TerminationConfig)
     use_splitting: bool = True
     use_termination: bool = True
+    executor: str = "serial"
+    executor_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        choices = _executor_choices()
+        if self.executor not in choices:
+            raise ValidationError(
+                f"executor must be one of {choices}, "
+                f"got {self.executor!r}"
+            )
+        if self.executor_workers is not None and self.executor_workers <= 0:
+            raise ValidationError("executor_workers must be positive")
 
     @property
     def variant_name(self) -> str:

@@ -28,6 +28,15 @@ padding semantics are unchanged from the per-query implementation:
 * rows keep the input query order (input-order stability), and capped
   (DT) searches run the traversal engine whose step accounting matches
   the per-query path exactly (step-count parity).
+
+Both calls *emit work units* rather than executing searches inline: the
+windowed path routes through :class:`~repro.spatial.neighbors.ChunkedIndex`'s
+:class:`~repro.runtime.scheduler.WindowScheduler`, and the unsplit
+(Base) path wraps its kd-tree in a
+:class:`~repro.runtime.scheduler.SingleWindowState` behind its own
+scheduler — so the ``executor`` knob of
+:class:`~repro.core.config.StreamGridConfig` selects the runtime
+backend (serial / thread / process) for every variant uniformly.
 """
 
 from __future__ import annotations
@@ -40,7 +49,17 @@ from repro.core.config import StreamGridConfig
 from repro.core.splitting import CompulsorySplitter
 from repro.core.termination import TerminationPolicy
 from repro.errors import ValidationError
-from repro.spatial.kdtree import KDTree, nearest_point_indices
+from repro.runtime import (
+    SingleWindowState,
+    WindowScheduler,
+    WorkUnit,
+    run_tree_unit,
+)
+from repro.spatial.kdtree import (
+    BatchQueryResult,
+    KDTree,
+    nearest_point_indices,
+)
 
 
 class GroupingContext:
@@ -58,11 +77,18 @@ class GroupingContext:
         self.config = config
         self._splitter: Optional[CompulsorySplitter] = None
         self._tree: Optional[KDTree] = None
+        self._scheduler: Optional[WindowScheduler] = None
         self._deadline: Optional[int] = None
+        executor = getattr(config, "executor", "serial")
+        workers = getattr(config, "executor_workers", None)
         if config.use_splitting:
-            self._splitter = CompulsorySplitter(positions, config.splitting)
+            self._splitter = CompulsorySplitter(
+                positions, config.splitting, executor=executor,
+                executor_workers=workers)
         else:
             self._tree = KDTree(positions)
+            self._scheduler = WindowScheduler(
+                SingleWindowState(self._tree), executor, workers)
         if config.use_termination:
             policy = TerminationPolicy(config.termination)
             policy.calibrate(positions, calibration_k,
@@ -73,6 +99,36 @@ class GroupingContext:
     def deadline(self) -> Optional[int]:
         """Step deadline in force (None when DT is disabled)."""
         return self._deadline
+
+    def close(self) -> None:
+        """Shut down any live executor workers (idempotent)."""
+        if self._splitter is not None:
+            self._splitter.close()
+        if self._scheduler is not None:
+            self._scheduler.close()
+
+    def __enter__(self) -> "GroupingContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _single_tree_batch(self, kind: str, queries: np.ndarray,
+                           params: dict) -> BatchQueryResult:
+        """Run the whole batch as one window-0 work unit (Base path).
+
+        A single window means at most one outcome, whose rows are
+        already the full batch in input order.
+        """
+        window_ids = np.zeros(len(queries), dtype=np.int64)
+        if not len(queries):
+            # No units to schedule; the tree's batch calls already shape
+            # zero-row results correctly, so run the kernel directly.
+            return run_tree_unit(self._tree,
+                                 WorkUnit(0, window_ids, kind, queries,
+                                          params))
+        outcomes = self._scheduler.run(queries, window_ids, kind, params)
+        return outcomes[0][1]
 
     # ------------------------------------------------------------------
     def ball_group(self, queries: np.ndarray, radius: float,
@@ -94,9 +150,10 @@ class GroupingContext:
                 queries, radius, max_steps=self._deadline,
                 max_results=max_results)
         else:
-            result = self._tree.range_batch(
-                queries, radius, max_steps=self._deadline,
-                max_results=max_results)
+            result = self._single_tree_batch(
+                "range", queries,
+                {"radius": radius, "max_steps": self._deadline,
+                 "max_results": max_results})
         return self._pad_batch(result.indices, result.counts,
                                max_results, queries)
 
@@ -109,8 +166,8 @@ class GroupingContext:
             result = self._splitter.knn_batch(queries, k,
                                               max_steps=self._deadline)
         else:
-            result = self._tree.knn_batch(queries, k,
-                                          max_steps=self._deadline)
+            result = self._single_tree_batch(
+                "knn", queries, {"k": k, "max_steps": self._deadline})
         return self._pad_batch(result.indices, result.counts, k, queries)
 
     def _pad_batch(self, indices: np.ndarray, counts: np.ndarray,
@@ -143,7 +200,9 @@ def cs_config(config: Optional[StreamGridConfig] = None) -> StreamGridConfig:
     base = config or StreamGridConfig()
     return StreamGridConfig(splitting=base.splitting,
                             termination=base.termination,
-                            use_splitting=True, use_termination=False)
+                            use_splitting=True, use_termination=False,
+                            executor=base.executor,
+                            executor_workers=base.executor_workers)
 
 
 def cs_dt_config(config: Optional[StreamGridConfig] = None
@@ -152,4 +211,6 @@ def cs_dt_config(config: Optional[StreamGridConfig] = None
     base = config or StreamGridConfig()
     return StreamGridConfig(splitting=base.splitting,
                             termination=base.termination,
-                            use_splitting=True, use_termination=True)
+                            use_splitting=True, use_termination=True,
+                            executor=base.executor,
+                            executor_workers=base.executor_workers)

@@ -36,10 +36,18 @@ from repro.spatial.neighbors import ChunkedIndex
 
 
 class CompulsorySplitter:
-    """A chunk partition of one cloud plus its windowed search index."""
+    """A chunk partition of one cloud plus its windowed search index.
+
+    ``executor`` / ``executor_workers`` select the window-shard runtime
+    backend (:mod:`repro.runtime`) the underlying
+    :class:`~repro.spatial.neighbors.ChunkedIndex` dispatches batches
+    on; results are identical across backends.
+    """
 
     def __init__(self, positions: np.ndarray,
-                 config: SplittingConfig) -> None:
+                 config: SplittingConfig,
+                 executor="serial",
+                 executor_workers: Optional[int] = None) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         if positions.ndim != 2 or positions.shape[1] != 3:
             raise ValidationError("positions must be (N, 3)")
@@ -63,7 +71,9 @@ class CompulsorySplitter:
             kernel = min(config.kernel[0], n_chunks)
             self.windows = serial_windows(n_chunks, kernel,
                                           config.stride[0])
-        self.index = ChunkedIndex(positions, self.assignment, self.windows)
+        self.index = ChunkedIndex(positions, self.assignment, self.windows,
+                                  executor=executor,
+                                  executor_workers=executor_workers)
 
     # ------------------------------------------------------------------
     @property
@@ -73,6 +83,10 @@ class CompulsorySplitter:
     @property
     def n_windows(self) -> int:
         return len(self.windows)
+
+    def close(self) -> None:
+        """Shut down any live executor workers (idempotent)."""
+        self.index.close()
 
     def chunk_of_queries(self, queries: np.ndarray) -> np.ndarray:
         """Chunk id each query falls into (spatial) or nearest point's

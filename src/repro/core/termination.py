@@ -139,19 +139,33 @@ def apply_deadline(tree: KDTree, queries: np.ndarray, k: int,
                    deadline: int) -> dict:
     """Run capped kNN over *queries*; summarise termination behaviour.
 
-    Returns a dict with the fraction of queries cut short, the mean steps
-    actually spent, and the per-query neighbour lists — a convenience used
-    by tests and examples to show latency becoming input-independent.
+    Returns a dict with the fraction of queries cut short, the mean
+    steps actually spent, the per-query ``steps`` / ``terminated`` /
+    ``counts`` arrays straight from the batch engine, and the per-query
+    neighbour lists — a convenience used by tests and examples to show
+    latency becoming input-independent.
+
+    The accounting consumes the ``(Q,)`` arrays the batch engine
+    produces directly: the neighbour lists are carved out of the padded
+    ``(Q, k)`` index block with one validity mask + split instead of a
+    per-query trimming loop.
     """
     if deadline <= 0:
         raise ValidationError("deadline must be positive")
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     result = tree.knn_batch(queries, k, max_steps=deadline)
-    neighbors = [result.indices[i, :result.counts[i]]
-                 for i in range(len(queries))]
+    counts = result.counts.astype(np.int64)
+    steps = result.steps.astype(np.int64)
+    terminated = result.terminated.astype(bool)
+    width = result.indices.shape[1]
+    valid = np.arange(width)[None, :] < counts[:, None]
+    neighbors = np.split(result.indices[valid], np.cumsum(counts)[:-1])
     return {
         "neighbors": neighbors,
-        "mean_steps": float(result.steps.mean()),
-        "max_steps": int(result.steps.max()),
-        "terminated_fraction": float(result.terminated.mean()),
+        "counts": counts,
+        "steps": steps,
+        "terminated": terminated,
+        "mean_steps": float(steps.mean()),
+        "max_steps": int(steps.max()),
+        "terminated_fraction": float(terminated.mean()),
     }

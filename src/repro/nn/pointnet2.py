@@ -77,10 +77,11 @@ def plan_sa_level(positions: np.ndarray, spec: SALevelSpec,
     n_centroids = min(spec.n_centroids, n)
     centroid_idx = farthest_point_sample(positions, n_centroids)
     centroids = positions[centroid_idx]
-    context = GroupingContext(positions, config,
-                              calibration_k=spec.n_neighbors)
-    # ball_group returns the (M, K) group-index array directly.
-    groups = context.ball_group(centroids, spec.radius, spec.n_neighbors)
+    with GroupingContext(positions, config,
+                         calibration_k=spec.n_neighbors) as context:
+        # ball_group returns the (M, K) group-index array directly.
+        groups = context.ball_group(centroids, spec.radius,
+                                    spec.n_neighbors)
     return SAPlan(centroid_idx, groups, centroids, positions)
 
 
@@ -91,8 +92,9 @@ def plan_fp_level(dense_positions: np.ndarray,
     dense_positions = np.asarray(dense_positions, dtype=np.float64)
     sparse_positions = np.asarray(sparse_positions, dtype=np.float64)
     k = min(k, len(sparse_positions))
-    context = GroupingContext(sparse_positions, config, calibration_k=k)
-    indices = context.knn_group(dense_positions, k)
+    with GroupingContext(sparse_positions, config,
+                         calibration_k=k) as context:
+        indices = context.knn_group(dense_positions, k)
     diffs = sparse_positions[indices] - dense_positions[:, None, :]
     dists = np.linalg.norm(diffs, axis=-1)
     inv = 1.0 / np.maximum(dists, 1e-8)

@@ -68,12 +68,15 @@ def registration_flops(n_features: int, icp_iterations: int) -> float:
 def build_registration(n_scan_points: int = 2048, seed: int = 0,
                        splitting: SplittingConfig = REG_SPLITTING,
                        termination: TerminationConfig = REG_TERMINATION,
-                       icp_iterations: int = ICP_ITERATIONS
-                       ) -> PipelineSpec:
+                       icp_iterations: int = ICP_ITERATIONS,
+                       executor: str = "serial",
+                       executor_workers=None) -> PipelineSpec:
     """Measure and assemble the registration pipeline.
 
     The search profile runs on a real simulated scan; every feature point
     queries the previous scan's feature cloud once per ICP iteration.
+    ``executor`` selects the window-shard runtime backend the search
+    profiling batches run on.
     """
     sequence = make_kitti_sequence(
         n_scans=1, seed=seed,
@@ -87,7 +90,8 @@ def build_registration(n_scan_points: int = 2048, seed: int = 0,
     query_idx = rng.choice(n_points, size=n_sample, replace=False)
     search = profile_search(positions, positions[query_idx], k=8,
                             splitting=splitting, termination=termination,
-                            rng=rng)
+                            rng=rng, executor=executor,
+                            executor_workers=executor_workers)
     # Feature points (~1/8 of the scan) run an edge and a plane search
     # every ICP iteration.
     n_features = max(32, n_points // 8)

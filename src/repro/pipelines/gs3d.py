@@ -54,11 +54,16 @@ def rendering_graph() -> DataflowGraph:
 
 def build_rendering(n_gaussians: int = 4096, seed: int = 0,
                     splitting: SplittingConfig = GS_SPLITTING,
-                    image_pixels: int = 64 * 64) -> PipelineSpec:
+                    image_pixels: int = 64 * 64,
+                    executor: str = "serial",
+                    executor_workers=None) -> PipelineSpec:
     """Measure and assemble the rendering pipeline.
 
     The sort profile runs the real bitonic/hierarchical sorters over the
     camera depths of a synthetic scene chunked by the splitting grid.
+    ``executor`` is accepted for interface parity with the other
+    builders: the 3DGS depth sort is deterministic and has no per-window
+    search work units to shard (yet), so the knob is a no-op here.
     """
     scene = make_blob_scene(n_gaussians, seed=seed)
     camera = PinholeCamera()

@@ -81,9 +81,14 @@ def classification_macs(n_points: int) -> float:
 
 def build_classification(n_points: int = 1024, seed: int = 0,
                          splitting: SplittingConfig = CLS_SPLITTING,
-                         termination: TerminationConfig = CLS_TERMINATION
-                         ) -> PipelineSpec:
-    """Measure and assemble the classification pipeline."""
+                         termination: TerminationConfig = CLS_TERMINATION,
+                         executor: str = "serial",
+                         executor_workers=None) -> PipelineSpec:
+    """Measure and assemble the classification pipeline.
+
+    ``executor`` selects the window-shard runtime backend the search
+    profiling batches run on (see :mod:`repro.runtime`).
+    """
     dataset = make_modelnet(1, n_points=n_points,
                             class_names=("sphere", "box", "torus"),
                             seed=seed)
@@ -94,7 +99,8 @@ def build_classification(n_points: int = 1024, seed: int = 0,
                            replace=False)
     search = profile_search(positions, positions[query_idx], k=16,
                             splitting=splitting, termination=termination,
-                            rng=rng)
+                            rng=rng, executor=executor,
+                            executor_workers=executor_workers)
     graph = classification_graph()
     workload = WorkloadProfile(
         name="classification",

@@ -71,13 +71,15 @@ def segmentation_macs(n_points: int) -> float:
 
 def build_segmentation(n_points: int = 1024, seed: int = 0,
                        splitting: SplittingConfig = SEG_SPLITTING,
-                       termination: TerminationConfig = SEG_TERMINATION
-                       ) -> PipelineSpec:
+                       termination: TerminationConfig = SEG_TERMINATION,
+                       executor: str = "serial",
+                       executor_workers=None) -> PipelineSpec:
     """Measure and assemble the segmentation pipeline.
 
     Every point queries the FP interpolation search, so the profile uses
     per-point queries (subsampled for tractability, scaled back up in
-    ``n_queries``).
+    ``n_queries``).  ``executor`` selects the window-shard runtime
+    backend the search profiling batches run on.
     """
     dataset = make_shapenet(1, n_points=n_points, seed=seed)
     positions = dataset.samples[0].cloud.positions
@@ -86,7 +88,8 @@ def build_segmentation(n_points: int = 1024, seed: int = 0,
     query_idx = rng.choice(n_points, size=n_sample, replace=False)
     search = profile_search(positions, positions[query_idx], k=12,
                             splitting=splitting, termination=termination,
-                            rng=rng)
+                            rng=rng, executor=executor,
+                            executor_workers=executor_workers)
     # FP searches are per point: scale the measured query count up.
     search.n_queries = n_points
     graph = segmentation_graph()

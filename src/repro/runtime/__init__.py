@@ -1,0 +1,87 @@
+"""Pluggable window-shard execution runtime.
+
+Per-window neighbour-search batches are independent units of work: PR 1's
+window-grouped dispatch made each window's sub-batch a single kd-tree
+call, and this package separates *what* a window needs (a
+:class:`~repro.runtime.executor.WorkUnit`) from *where* it runs (an
+:class:`~repro.runtime.executor.Executor` backend).  Everything that used
+to loop over windows inline — :class:`repro.spatial.neighbors.ChunkedIndex`,
+:class:`repro.core.cotraining.GroupingContext`,
+:class:`repro.core.splitting.CompulsorySplitter` — now *emits* work units
+and delegates execution to a :class:`~repro.runtime.scheduler.WindowScheduler`.
+
+The Executor protocol
+---------------------
+An executor backend is an object bound to a *shard state* (anything with
+``run_unit(unit) -> result`` and ``window_is_empty(window) -> bool``)
+that implements:
+
+* ``run(units) -> list`` — execute a list of work units and return their
+  results **in unit order** (the scheduler relies on this to scatter
+  results back in input order);
+* ``close()`` — release worker resources (idempotent);
+* ``name`` / ``effective`` — the requested backend name and the backend
+  actually in force (they differ when a backend had to fall back).
+
+Three interchangeable backends ship with the runtime:
+
+* :class:`~repro.runtime.executor.SerialExecutor` — an inline loop, the
+  reference backend;
+* :class:`~repro.runtime.executor.ThreadExecutor` — a
+  ``concurrent.futures.ThreadPoolExecutor``; wins when the per-window
+  kernels release the GIL (the vectorized scan / lockstep engines);
+* :class:`~repro.runtime.executor.ProcessShardPool` — forked worker
+  processes with the kd-tree / chunk state shipped **once per worker**
+  (inherited through ``fork``, never pickled per call); wins on the
+  GIL-bound scalar traversal kernels.
+
+The window-affinity sharding rule
+---------------------------------
+:class:`ProcessShardPool` pins window ``w`` to worker ``w % n_workers``:
+every unit for a given window always lands on the same process, so a
+worker only ever warms the lazily-built traversal tables of *its*
+windows and repeated batches reuse that state.  Results are matched back
+to units by sequence number, preserving the two batch invariants —
+input-order stability of scattered results and step-count parity with
+the per-query reference — for every backend.
+
+Adding a backend
+----------------
+Subclass :class:`~repro.runtime.executor.Executor`, accept
+``(state, n_workers=None)`` in the constructor, implement ``run`` /
+``close``, and either register the class in
+:data:`~repro.runtime.executor.EXECUTOR_BACKENDS` under a new name or
+pass the class (or a ready instance) directly as the ``executor=`` knob
+— :func:`~repro.runtime.executor.resolve_executor` accepts a backend
+name, a factory callable, or an :class:`Executor` instance.
+"""
+
+from repro.runtime.executor import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    ProcessShardPool,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkUnit,
+    resolve_executor,
+)
+from repro.runtime.scheduler import (
+    SingleWindowState,
+    WeakShardState,
+    WindowScheduler,
+    run_tree_unit,
+)
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "Executor",
+    "ProcessShardPool",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkUnit",
+    "resolve_executor",
+    "SingleWindowState",
+    "WeakShardState",
+    "WindowScheduler",
+    "run_tree_unit",
+]

@@ -1,0 +1,282 @@
+"""Executor backends of the window-shard runtime.
+
+A :class:`WorkUnit` is one window's slice of a query batch; an
+:class:`Executor` runs a list of them against a *shard state* — any
+object exposing ``run_unit(unit) -> result`` — and returns the results
+in unit order.  See :mod:`repro.runtime` for the protocol contract and
+the window-affinity sharding rule.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import queue as queue_mod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+logger = logging.getLogger("repro.runtime")
+
+#: Auto-resolved worker counts are capped here; one worker per window
+#: beyond this point just multiplies idle processes.
+_DEFAULT_MAX_WORKERS = 8
+#: How often the process pool re-checks worker liveness while draining.
+#: Slow units are legitimate (a window can hold most of the cloud), so
+#: the drain loop only aborts on worker *death*, never on elapsed time.
+_RESULT_POLL_S = 0.25
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One window's share of a query batch.
+
+    ``rows`` are the positions of this unit's queries in the original
+    batch (input order); executors never reorder results, so the
+    scheduler can scatter ``result[i]`` straight back to ``rows`` of
+    unit ``i``.  ``params`` must stay picklable — process backends ship
+    units through a queue.
+    """
+
+    window: int                 # serving window id (shard affinity key)
+    rows: np.ndarray            # (R,) input-order row positions
+    kind: str                   # "knn" | "range"
+    queries: np.ndarray         # (R, 3) this unit's queries
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def resolve_worker_count(n_workers: Optional[int]) -> int:
+    """Explicit count, or ``cpu_count`` capped at a small ceiling."""
+    if n_workers is not None:
+        if int(n_workers) <= 0:
+            raise ValidationError("executor worker count must be positive")
+        return int(n_workers)
+    return max(1, min(os.cpu_count() or 1, _DEFAULT_MAX_WORKERS))
+
+
+class Executor:
+    """Protocol base: run work units against a bound shard state."""
+
+    name = "base"
+
+    def run(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Execute *units*, returning their results in unit order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    @property
+    def effective(self) -> str:
+        """The backend actually in force (differs under fallback)."""
+        return self.name
+
+
+class SerialExecutor(Executor):
+    """Reference backend: an inline loop over the units."""
+
+    name = "serial"
+
+    def __init__(self, state, n_workers: Optional[int] = None) -> None:
+        self._state = state
+
+    def run(self, units: Sequence[WorkUnit]) -> List[Any]:
+        return [self._state.run_unit(unit) for unit in units]
+
+
+class ThreadExecutor(Executor):
+    """``ThreadPoolExecutor``-backed backend (shared address space)."""
+
+    name = "thread"
+
+    def __init__(self, state, n_workers: Optional[int] = None) -> None:
+        self._state = state
+        self._n_workers = resolve_worker_count(n_workers)
+        self._pool = None
+
+    def run(self, units: Sequence[WorkUnit]) -> List[Any]:
+        if self._n_workers <= 1 or len(units) <= 1:
+            return [self._state.run_unit(unit) for unit in units]
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._n_workers,
+                thread_name_prefix="repro-runtime")
+        return list(self._pool.map(self._state.run_unit, units))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def _shard_worker_main(state, inbox, outbox) -> None:
+    """Worker loop: inherited *state* (via fork), units in, results out."""
+    while True:
+        message = inbox.get()
+        if message is None:
+            return
+        seq, unit = message
+        try:
+            outbox.put((seq, True, state.run_unit(unit)))
+        except BaseException as exc:  # ship the failure, don't hang the pool
+            outbox.put((seq, False, f"{type(exc).__name__}: {exc}"))
+
+
+class ProcessShardPool(Executor):
+    """Forked worker processes with window-id affinity.
+
+    The shard state is shipped **once per worker** — workers are forked
+    from the parent after the state is fully built, so kd-trees and
+    chunk tables arrive through copy-on-write memory, never through
+    per-call pickling.  Window ``w`` is pinned to worker
+    ``w % n_workers``, so each worker only ever serves (and warms) its
+    own windows.
+
+    Falls back to :class:`SerialExecutor` automatically — with a logged
+    warning — when the ``fork`` start method is unavailable, the worker
+    count resolves to ≤ 1, or forking fails at runtime, so constrained
+    CI machines degrade to correct serial execution.
+    """
+
+    name = "process"
+
+    def __init__(self, state, n_workers: Optional[int] = None) -> None:
+        self._state = state
+        self._n_workers = resolve_worker_count(n_workers)
+        self._procs = None
+        self._inboxes = None
+        self._outbox = None
+        self._fallback: Optional[SerialExecutor] = None
+        if "fork" not in multiprocessing.get_all_start_methods():
+            self._fall_back("the 'fork' start method is unavailable")
+        elif self._n_workers <= 1:
+            self._fall_back("worker count resolved to <= 1")
+
+    @property
+    def effective(self) -> str:
+        return "serial" if self._fallback is not None else "process"
+
+    def _fall_back(self, reason: str) -> None:
+        logger.warning(
+            "ProcessShardPool: %s; falling back to SerialExecutor", reason)
+        self._fallback = SerialExecutor(self._state)
+
+    def _ensure_workers(self) -> bool:
+        """Fork the worker processes on first use; False on fallback."""
+        if self._procs is not None:
+            return True
+        context = multiprocessing.get_context("fork")
+        procs, inboxes = [], []
+        try:
+            outbox = context.Queue()
+            for _ in range(self._n_workers):
+                inbox = context.Queue()
+                proc = context.Process(
+                    target=_shard_worker_main,
+                    args=(self._state, inbox, outbox), daemon=True)
+                proc.start()
+                procs.append(proc)
+                inboxes.append(inbox)
+        except OSError as exc:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            self._fall_back(f"could not fork workers ({exc})")
+            return False
+        self._procs, self._inboxes, self._outbox = procs, inboxes, outbox
+        return True
+
+    def run(self, units: Sequence[WorkUnit]) -> List[Any]:
+        if not units:
+            return []
+        if self._fallback is None and self._procs is None \
+                and len(units) <= 1:
+            # A single unit (e.g. the unsplit Base path) gains nothing
+            # from sharding: skip the fork + pickle round-trip entirely.
+            return [self._state.run_unit(unit) for unit in units]
+        if self._fallback is None and not self._ensure_workers():
+            pass  # _ensure_workers installed the fallback
+        if self._fallback is not None:
+            return self._fallback.run(units)
+        for seq, unit in enumerate(units):
+            self._inboxes[unit.window % self._n_workers].put((seq, unit))
+        results: List[Any] = [None] * len(units)
+        received = 0
+        while received < len(units):
+            try:
+                seq, ok, payload = self._outbox.get(timeout=_RESULT_POLL_S)
+            except queue_mod.Empty:
+                if any(not proc.is_alive() for proc in self._procs):
+                    self.close()
+                    raise RuntimeError(
+                        "ProcessShardPool worker died mid-batch")
+                continue
+            if not ok:
+                self.close()
+                raise RuntimeError(f"shard worker failed: {payload}")
+            results[seq] = payload
+            received += 1
+        return results
+
+    def close(self) -> None:
+        if self._procs is None:
+            return
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+        for inbox in self._inboxes:
+            inbox.close()
+        self._outbox.close()
+        self._procs = self._inboxes = self._outbox = None
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Registry of named backends; new backends may be added here or passed
+#: directly (class / factory / instance) as the ``executor=`` knob.
+EXECUTOR_BACKENDS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessShardPool,
+}
+
+
+def resolve_executor(spec, state, n_workers: Optional[int] = None
+                     ) -> Executor:
+    """Turn an ``executor=`` knob value into a bound :class:`Executor`.
+
+    *spec* may be a backend name from :data:`EXECUTOR_BACKENDS`, an
+    :class:`Executor` instance (used as-is — the caller already bound
+    it), a factory callable ``(state, n_workers) -> Executor``, or
+    ``None`` (serial).
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        return SerialExecutor(state)
+    if callable(spec):
+        return spec(state, n_workers)
+    try:
+        backend = EXECUTOR_BACKENDS[spec]
+    except (KeyError, TypeError):
+        raise ValidationError(
+            f"unknown executor {spec!r}; options: "
+            f"{sorted(EXECUTOR_BACKENDS)} or an Executor instance"
+        ) from None
+    return backend(state, n_workers)

@@ -1,0 +1,149 @@
+"""WindowScheduler: query batches → per-window work units → executor.
+
+The scheduler owns the *shape* of per-window execution: it buckets a
+query batch by serving window, emits one :class:`WorkUnit` per non-empty
+window, hands the units to its executor backend, and offers
+:meth:`WindowScheduler.scatter` to stream the (unit, result) pairs into
+caller-owned output arrays — callers never loop over windows themselves.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.runtime.executor import Executor, WorkUnit, resolve_executor
+
+
+class WeakShardState:
+    """Shard-state adapter holding its target through a weak reference.
+
+    A state object that *owns* its scheduler (e.g.
+    :class:`repro.spatial.neighbors.ChunkedIndex`) would otherwise sit in
+    a reference cycle — state → scheduler → executor → state — that
+    defeats prompt refcount teardown of executor workers.  Wrapping the
+    state in this adapter breaks the cycle: when the owner is dropped,
+    the whole chain (and any forked worker pool, via its ``__del__``)
+    is reclaimed immediately.
+
+    Dereferencing is always safe in practice: every access happens
+    inside a batch call on the owner, so the owner is alive on the call
+    stack (and forked workers hold their own cloned copy of it).
+    """
+
+    def __init__(self, state) -> None:
+        self._ref = weakref.ref(state)
+
+    def _state(self):
+        state = self._ref()
+        if state is None:
+            raise RuntimeError(
+                "shard state was garbage-collected while its runtime "
+                "was still in use")
+        return state
+
+    def window_is_empty(self, window: int) -> bool:
+        return self._state().window_is_empty(window)
+
+    def run_unit(self, unit: WorkUnit):
+        return self._state().run_unit(unit)
+
+
+def run_tree_unit(tree, unit: WorkUnit):
+    """Execute one work unit against a kd-tree (the standard kernel).
+
+    Shard states whose windows are backed by
+    :class:`repro.spatial.kdtree.KDTree` objects delegate here; the
+    ``params`` dict carries the batch-call keyword arguments.
+    """
+    params = unit.params
+    if unit.kind == "knn":
+        return tree.knn_batch(
+            unit.queries, params["k"],
+            max_steps=params.get("max_steps"),
+            engine=params.get("engine", "auto"),
+            record_traces=params.get("record_traces", False))
+    if unit.kind == "range":
+        return tree.range_batch(
+            unit.queries, params["radius"],
+            max_steps=params.get("max_steps"),
+            max_results=params.get("max_results"),
+            engine=params.get("engine", "auto"),
+            record_traces=params.get("record_traces", False))
+    raise ValidationError(f"unknown work-unit kind {unit.kind!r}")
+
+
+class SingleWindowState:
+    """Adapter presenting one kd-tree as a single-window shard state.
+
+    Lets unsplit searches (the paper's **Base** variant) run through the
+    same scheduler/executor stack as windowed ones: every query maps to
+    window 0 and the whole batch is one work unit.
+    """
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+
+    def window_is_empty(self, window: int) -> bool:
+        return False
+
+    def run_unit(self, unit: WorkUnit):
+        return run_tree_unit(self.tree, unit)
+
+
+class WindowScheduler:
+    """Bucket a query batch by window and run it on an executor.
+
+    ``state`` is the shard state (it answers ``run_unit`` /
+    ``window_is_empty``); ``executor`` is anything
+    :func:`~repro.runtime.executor.resolve_executor` accepts.  Units are
+    emitted in ascending window order and results come back in unit
+    order, so scattering by ``unit.rows`` reassembles the batch in input
+    order regardless of backend.
+    """
+
+    def __init__(self, state, executor="serial",
+                 n_workers: Optional[int] = None) -> None:
+        self.state = state
+        self.executor: Executor = resolve_executor(executor, state,
+                                                   n_workers)
+
+    def schedule(self, queries: np.ndarray, window_ids: np.ndarray,
+                 kind: str, params: Dict[str, Any]) -> List[WorkUnit]:
+        """Emit one :class:`WorkUnit` per non-empty serving window."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        window_ids = np.asarray(window_ids, dtype=np.int64)
+        if window_ids.shape != (len(queries),):
+            raise ValidationError("one window id per query required")
+        units: List[WorkUnit] = []
+        for window in np.unique(window_ids):
+            if self.state.window_is_empty(int(window)):
+                continue
+            rows = np.nonzero(window_ids == window)[0]
+            units.append(WorkUnit(int(window), rows, kind, queries[rows],
+                                  dict(params)))
+        return units
+
+    def execute(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Run *units* on the backend; results come back in unit order."""
+        return self.executor.run(units)
+
+    def run(self, queries: np.ndarray, window_ids: np.ndarray, kind: str,
+            params: Dict[str, Any]) -> List[Tuple[WorkUnit, Any]]:
+        """Schedule + execute: ``(unit, result)`` pairs in unit order."""
+        units = self.schedule(queries, window_ids, kind, params)
+        return list(zip(units, self.execute(units)))
+
+    @staticmethod
+    def scatter(outcomes: Sequence[Tuple[WorkUnit, Any]],
+                emit: Callable[[WorkUnit, Any], None]) -> None:
+        """Stream ``(unit, result)`` pairs into caller-owned outputs."""
+        for unit, result in outcomes:
+            emit(unit, result)
+
+    def close(self) -> None:
+        """Shut down the executor backend (idempotent)."""
+        self.executor.close()

@@ -115,39 +115,52 @@ def profile_search(positions: np.ndarray, queries: np.ndarray, k: int,
                    splitting: SplittingConfig,
                    termination: TerminationConfig,
                    n_trace_samples: int = 8,
-                   rng: Optional[np.random.Generator] = None
+                   rng: Optional[np.random.Generator] = None,
+                   executor="serial",
+                   executor_workers: Optional[int] = None
                    ) -> SearchProfile:
     """Measure a kNN operation under all variants on real structures.
 
     Runs full-cloud traversals for the Base statistics, windowed
     traversals for CS, and calibrates the DT deadline by offline profiling
-    — each number comes from executing the actual kd-tree code.
+    — each number comes from executing the actual kd-tree code.  The
+    windowed pass dispatches through the window-shard runtime, so
+    ``executor`` selects the backend the profiling batches run on
+    (results and step counts are backend-independent).
     """
     positions = np.asarray(positions, dtype=np.float64)
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     rng = rng or np.random.default_rng(0)
 
-    tree = KDTree(positions)
-    full_steps = []
-    traces_full: List[List[int]] = []
-    for i, query in enumerate(queries):
-        record = i < n_trace_samples
-        result = tree.knn(query, k, record_trace=record)
-        full_steps.append(result.steps)
-        if record:
-            traces_full.append(list(result.trace))
-    full_steps = np.array(full_steps, dtype=np.int64)
+    # Traces are only kept for the first n_trace_samples queries, so the
+    # bulk of the batch runs untraced (traces cost O(steps) memory each).
+    n_traced = min(n_trace_samples, len(queries))
 
-    splitter = CompulsorySplitter(positions, splitting)
+    tree = KDTree(positions)
+    traced = tree.knn_batch(queries[:n_traced], k, engine="traverse",
+                            record_traces=True)
+    traces_full: List[List[int]] = [list(t) for t in traced.traces]
+    full_steps = traced.steps.astype(np.int64)
+    if len(queries) > n_traced:
+        rest = tree.knn_batch(queries[n_traced:], k, engine="traverse")
+        full_steps = np.concatenate([full_steps,
+                                     rest.steps.astype(np.int64)])
+
+    splitter = CompulsorySplitter(positions, splitting, executor=executor,
+                                  executor_workers=executor_workers)
     query_chunks = splitter.chunk_of_queries(queries)
-    windowed_steps = []
-    traces_windowed: List[List[int]] = []
-    for i, (query, chunk) in enumerate(zip(queries, query_chunks)):
-        result = splitter.knn(query, k, query_chunk=int(chunk))
-        windowed_steps.append(result.steps)
-        if i < n_trace_samples:
-            traces_windowed.append(list(result.trace))
-    windowed_steps = np.array(windowed_steps, dtype=np.int64)
+    traced_w = splitter.knn_batch(queries[:n_traced], k,
+                                  query_chunks=query_chunks[:n_traced],
+                                  engine="traverse", record_traces=True)
+    traces_windowed: List[List[int]] = [list(t) for t in traced_w.traces]
+    windowed_steps = traced_w.steps.astype(np.int64)
+    if len(queries) > n_traced:
+        rest_w = splitter.knn_batch(queries[n_traced:], k,
+                                    query_chunks=query_chunks[n_traced:],
+                                    engine="traverse")
+        windowed_steps = np.concatenate([windowed_steps,
+                                         rest_w.steps.astype(np.int64)])
+    splitter.close()
 
     policy = TerminationPolicy(termination)
     # Deadline is profiled on the windowed structure: DT runs on top of CS.

@@ -12,8 +12,13 @@ paper's two techniques:
 All four run on the batched engine of :mod:`repro.spatial.kdtree`:
 queries are dispatched as whole blocks, and :class:`ChunkedIndex` buckets
 a batch by serving window once, answers each window's sub-batch in a
-single call, and scatters results back in input order.  Invariants the
-batched dispatch preserves:
+single call, and scatters results back in input order.  Per-window
+execution is delegated to the window-shard runtime
+(:mod:`repro.runtime`): the index emits one
+:class:`~repro.runtime.executor.WorkUnit` per serving window and a
+:class:`~repro.runtime.scheduler.WindowScheduler` runs them on the
+selected executor backend (serial / thread / process).  Invariants the
+batched dispatch preserves on every backend:
 
 * **input-order stability** — results come back row-for-row in the order
   the queries were given, regardless of window bucketing;
@@ -30,6 +35,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.runtime import (
+    WeakShardState,
+    WindowScheduler,
+    WorkUnit,
+    run_tree_unit,
+)
 from repro.spatial.grid import ChunkGrid, ChunkWindow
 from repro.spatial.kdtree import BatchQueryResult, KDTree, QueryResult
 
@@ -97,14 +108,25 @@ class ChunkedIndex:
     window group is resident in the line buffer.
 
     Batch dispatch (:meth:`query_knn_batch` / :meth:`query_range_batch`)
-    buckets a query block by serving window, answers each window's
-    sub-batch with one :class:`~repro.spatial.kdtree.KDTree` batch call,
-    and scatters results back in input order.
+    buckets a query block by serving window and routes each window's
+    sub-batch through the window-shard runtime (:mod:`repro.runtime`);
+    the ``executor`` knob selects the backend (``"serial"``,
+    ``"thread"``, ``"process"``), and results are scattered back in
+    input order whichever backend runs them.
+
+    The chunk→window LUT, per-window membership, and per-window kd-trees
+    are built lazily and invalidated on any mutation of chunk membership
+    (:meth:`reassign_points` / :meth:`set_assignment` /
+    :meth:`invalidate`), so cached worker state can never go stale: a
+    mutation tears down the runtime and the next batch rebuilds — and
+    re-ships — fresh shard state.
     """
 
     def __init__(self, positions: np.ndarray,
                  chunk_assignment: np.ndarray,
-                 windows: Sequence[ChunkWindow]) -> None:
+                 windows: Sequence[ChunkWindow],
+                 executor="serial",
+                 executor_workers: Optional[int] = None) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
         if positions.ndim != 2 or positions.shape[1] != 3:
@@ -116,25 +138,39 @@ class ChunkedIndex:
         self.positions = positions
         self.assignment = chunk_assignment
         self.windows = list(windows)
-        self._window_of_chunk: Dict[int, tuple] = {}
+        self.executor = executor
+        self.executor_workers = executor_workers
+        self._window_of_chunk_cache: Optional[Dict[int, tuple]] = None
+        self._window_lut_cache: Optional[np.ndarray] = None
+        self._members_cache: Optional[List[np.ndarray]] = None
+        self._trees_cache: Optional[List[Optional[KDTree]]] = None
+        self._scheduler: Optional[WindowScheduler] = None
+
+    # ------------------------------------------------------------------
+    # Lazy chunk→window state (invalidated on membership mutation)
+    # ------------------------------------------------------------------
+    def _ensure_built(self) -> None:
+        if self._trees_cache is not None:
+            return
+        window_of_chunk: Dict[int, tuple] = {}
         for widx, window in enumerate(self.windows):
             for rank, chunk in enumerate(window.chunk_ids):
                 # Prefer the window holding the chunk closest to its middle.
                 centrality = abs(rank - (len(window.chunk_ids) - 1) / 2.0)
-                best = self._window_of_chunk.get(chunk)
+                best = window_of_chunk.get(chunk)
                 if best is None or centrality < best[0]:
-                    self._window_of_chunk[chunk] = (centrality, widx)
+                    window_of_chunk[chunk] = (centrality, widx)
         # Flat chunk -> window LUT for vectorized query routing.
-        max_chunk = max(self._window_of_chunk)
-        self._window_lut = np.full(max_chunk + 1, -1, dtype=np.int64)
-        for chunk, (_, widx) in self._window_of_chunk.items():
-            self._window_lut[chunk] = widx
+        max_chunk = max(window_of_chunk)
+        window_lut = np.full(max_chunk + 1, -1, dtype=np.int64)
+        for chunk, (_, widx) in window_of_chunk.items():
+            window_lut[chunk] = widx
         # Window membership via one argsort of the chunk assignment plus
         # searchsorted slices per chunk (replaces per-window isin scans).
-        order = np.argsort(chunk_assignment, kind="stable")
-        sorted_chunks = chunk_assignment[order]
-        self._trees: List[Optional[KDTree]] = []
-        self._members: List[np.ndarray] = []
+        order = np.argsort(self.assignment, kind="stable")
+        sorted_chunks = self.assignment[order]
+        trees: List[Optional[KDTree]] = []
+        members_per_window: List[np.ndarray] = []
         for window in self.windows:
             ids = np.asarray(window.chunk_ids, dtype=np.int64)
             starts = np.searchsorted(sorted_chunks, ids, side="left")
@@ -142,9 +178,103 @@ class ChunkedIndex:
             runs = [order[s:e] for s, e in zip(starts, stops)]
             members = np.sort(np.concatenate(runs)) if runs else \
                 np.zeros(0, dtype=np.int64)
-            self._members.append(members)
-            tree = KDTree(positions[members]) if len(members) else None
-            self._trees.append(tree)
+            members_per_window.append(members)
+            tree = KDTree(self.positions[members]) if len(members) else None
+            trees.append(tree)
+        self._window_of_chunk_cache = window_of_chunk
+        self._window_lut_cache = window_lut
+        self._members_cache = members_per_window
+        self._trees_cache = trees
+
+    @property
+    def _window_of_chunk(self) -> Dict[int, tuple]:
+        self._ensure_built()
+        return self._window_of_chunk_cache
+
+    @property
+    def _window_lut(self) -> np.ndarray:
+        self._ensure_built()
+        return self._window_lut_cache
+
+    @property
+    def _members(self) -> List[np.ndarray]:
+        self._ensure_built()
+        return self._members_cache
+
+    @property
+    def _trees(self) -> List[Optional[KDTree]]:
+        self._ensure_built()
+        return self._trees_cache
+
+    def invalidate(self) -> None:
+        """Drop the LUT / membership / tree caches and the runtime.
+
+        Any executor workers holding forked copies of the old state are
+        shut down; the next batch call rebuilds everything from the
+        current chunk assignment.
+        """
+        self.close()
+        self._window_of_chunk_cache = None
+        self._window_lut_cache = None
+        self._members_cache = None
+        self._trees_cache = None
+
+    def reassign_points(self, point_ids: np.ndarray,
+                        chunk_ids: np.ndarray) -> None:
+        """Move points to new chunks, invalidating all cached state."""
+        point_ids = np.atleast_1d(np.asarray(point_ids, dtype=np.int64))
+        chunk_ids = np.atleast_1d(np.asarray(chunk_ids, dtype=np.int64))
+        if point_ids.size and (point_ids.min() < 0
+                               or point_ids.max() >= len(self.positions)):
+            raise ValidationError("point_ids out of range")
+        assignment = self.assignment.copy()
+        assignment[point_ids] = chunk_ids
+        self.assignment = assignment
+        self.invalidate()
+
+    def set_assignment(self, chunk_assignment: np.ndarray) -> None:
+        """Replace the chunk assignment wholesale (invalidates caches)."""
+        chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
+        if chunk_assignment.shape != (len(self.positions),):
+            raise ValidationError("one chunk id per point required")
+        self.assignment = chunk_assignment
+        self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Window-shard runtime plumbing
+    # ------------------------------------------------------------------
+    def _runtime(self) -> WindowScheduler:
+        """The scheduler bound to the current built state (lazy).
+
+        The scheduler sees this index through a :class:`WeakShardState`
+        so dropping the index refcount-collects the whole runtime
+        (closing any forked worker pool) without waiting for cyclic GC.
+        """
+        if self._scheduler is None:
+            self._ensure_built()
+            self._scheduler = WindowScheduler(WeakShardState(self),
+                                              self.executor,
+                                              self.executor_workers)
+        return self._scheduler
+
+    def close(self) -> None:
+        """Shut down any live executor workers (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
+
+    def window_is_empty(self, window: int) -> bool:
+        """Shard-state protocol: True when the window holds no points."""
+        return self._trees[window] is None
+
+    def run_unit(self, unit: WorkUnit) -> BatchQueryResult:
+        """Shard-state protocol: answer one window's work unit.
+
+        Runs in executor workers (forked copies of this index included);
+        results are window-local — the parent remaps indices through the
+        window's member table when scattering.
+        """
+        return run_tree_unit(self._trees[unit.window], unit)
 
     def window_for_chunk(self, chunk: int) -> int:
         """Index of the window that serves queries living in *chunk*."""
@@ -255,11 +385,12 @@ class ChunkedIndex:
                         ) -> BatchQueryResult:
         """Windowed kNN for a query block, results in input order.
 
-        Queries are grouped by serving window; each group runs as one
-        batch on that window's tree.  Indices refer to the original
-        point array; queries served by an empty window come back with
-        ``counts == 0`` and zero steps, exactly like :meth:`query_knn`.
-        Traces (when recorded) hold *window-local* node ids.  Passing
+        Queries are grouped by serving window; each window's sub-batch
+        becomes one work unit, executed by the runtime backend selected
+        at construction.  Indices refer to the original point array;
+        queries served by an empty window come back with ``counts == 0``
+        and zero steps, exactly like :meth:`query_knn`.  Traces (when
+        recorded) hold *window-local* node ids.  Passing
         ``accessed_out`` (a ``(Q,)`` int64 array) fills per-query
         accessed-chunk counts window by window, so traces live only as
         long as one window's batch instead of the whole query set.
@@ -275,20 +406,19 @@ class ChunkedIndex:
         traces: Optional[List[List[int]]] = \
             [[] for _ in range(n_queries)] if record_traces else None
         need_traces = record_traces or accessed_out is not None
-        for w in np.unique(widx):
-            rows = np.nonzero(widx == w)[0]
-            tree = self._trees[w]
-            if tree is None:
-                continue
-            local = tree.knn_batch(queries[rows], k, max_steps=max_steps,
-                                   engine=engine,
-                                   record_traces=need_traces)
+        params = {"k": k, "max_steps": max_steps, "engine": engine,
+                  "record_traces": need_traces}
+        outcomes = self._runtime().run(queries, widx, "knn", params)
+
+        def emit(unit: WorkUnit, local: BatchQueryResult) -> None:
             if accessed_out is not None and local.traces is not None:
-                accessed_out[rows] = self._window_trace_counts(
-                    int(w), local.traces)
-            self._scatter_window(rows, self._members[w], local, indices,
-                                 distances, counts, steps, terminated,
-                                 traces)
+                accessed_out[unit.rows] = self._window_trace_counts(
+                    unit.window, local.traces)
+            self._scatter_window(unit.rows, self._members[unit.window],
+                                 local, indices, distances, counts,
+                                 steps, terminated, traces)
+
+        WindowScheduler.scatter(outcomes, emit)
         return BatchQueryResult(indices, distances, counts, steps,
                                 terminated, traces)
 
@@ -309,28 +439,27 @@ class ChunkedIndex:
         widx = self.window_of_queries(query_chunks)
         n_queries = len(queries)
         need_traces = record_traces or accessed_out is not None
-        per_window = {}
-        for w in np.unique(widx):
-            rows = np.nonzero(widx == w)[0]
-            tree = self._trees[w]
-            if tree is None:
-                continue
-            local = tree.range_batch(
-                queries[rows], radius, max_steps=max_steps,
-                max_results=max_results, engine=engine,
-                record_traces=need_traces)
+        params = {"radius": radius, "max_steps": max_steps,
+                  "max_results": max_results, "engine": engine,
+                  "record_traces": need_traces}
+        outcomes = self._runtime().run(queries, widx, "range", params)
+        accounted: List[tuple] = []
+
+        def account(unit: WorkUnit, local: BatchQueryResult) -> None:
             if accessed_out is not None and local.traces is not None:
-                accessed_out[rows] = self._window_trace_counts(
-                    int(w), local.traces)
+                accessed_out[unit.rows] = self._window_trace_counts(
+                    unit.window, local.traces)
             if local.traces is not None and not record_traces:
                 # Chunk accounting done — drop the traces before the
                 # capacity pass so only one window's live at a time.
                 local = BatchQueryResult(local.indices, local.distances,
                                          local.counts, local.steps,
                                          local.terminated)
-            per_window[int(w)] = (rows, local)
-        cap = max((res.indices.shape[1]
-                   for _, res in per_window.values()), default=0)
+            accounted.append((unit, local))
+
+        WindowScheduler.scatter(outcomes, account)
+        cap = max((res.indices.shape[1] for _, res in accounted),
+                  default=0)
         if max_results is not None:
             cap = min(cap, max_results)
         indices = np.full((n_queries, cap), -1, dtype=np.int64)
@@ -340,10 +469,13 @@ class ChunkedIndex:
         terminated = np.zeros(n_queries, dtype=bool)
         traces: Optional[List[List[int]]] = \
             [[] for _ in range(n_queries)] if record_traces else None
-        for w, (rows, local) in per_window.items():
-            self._scatter_window(rows, self._members[w], local, indices,
-                                 distances, counts, steps, terminated,
-                                 traces)
+
+        def emit(unit: WorkUnit, local: BatchQueryResult) -> None:
+            self._scatter_window(unit.rows, self._members[unit.window],
+                                 local, indices, distances, counts,
+                                 steps, terminated, traces)
+
+        WindowScheduler.scatter(accounted, emit)
         return BatchQueryResult(indices, distances, counts, steps,
                                 terminated, traces)
 

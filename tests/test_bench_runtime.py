@@ -1,0 +1,40 @@
+"""Smoke test for the window-shard runtime benchmark harness.
+
+Runs the serial / thread / process comparison on a tiny workload so
+tier-1 exercises the harness (including the backend-vs-serial equality
+check) without paying for the real timing run.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks"))
+
+import bench_runtime_shards  # noqa: E402
+
+
+@pytest.mark.benchsmoke
+def test_bench_runtime_shards_smoke(tmp_path):
+    output = str(tmp_path / "BENCH_runtime.json")
+    payload = bench_runtime_shards.smoke(tmp_output=output)
+    assert os.path.exists(output)
+    backends = {row["backend"] for row in payload["results"]}
+    assert backends == {"serial", "thread", "process"}
+    configs = {row["config"] for row in payload["results"]}
+    assert configs == {"serial-8w", "spatial-16w"}
+    # Both configurations qualify as many-window (>= 8 windows).
+    assert all(row["windows"] >= 8 for row in payload["results"])
+    # 2 configs x 3 backends x 2 ops.
+    assert len(payload["results"]) == 12
+    for row in payload["results"]:
+        assert row["best_s"] > 0
+        assert row["throughput_qps"] > 0
+        assert row["effective"] in ("serial", "thread", "process")
+    assert len(payload["process_over_serial"]) == 4
+    assert payload["best_process_over_serial"] > 0
+    # The equality cross-check ran inside run(); reaching here means every
+    # backend matched the serial reference on every config and op.
+    assert payload["workload"]["n_points"] == 240

@@ -1,0 +1,288 @@
+"""Executor-independence of the window-shard runtime.
+
+Mirror of ``test_spatial_batch_equivalence``: whichever backend runs the
+per-window work units — serial loop, thread pool, or forked process
+shards — ``indices``, ``distances``, ``steps`` and ``terminated`` must
+be identical, including degenerate empty windows and single-window
+inputs.  The process tests pin ``executor_workers=2`` so real forked
+workers run even on single-core CI machines (where auto-resolution
+falls back to serial by design).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+)
+from repro.core.cotraining import GroupingContext
+from repro.core.splitting import CompulsorySplitter
+from repro.errors import ValidationError
+from repro.runtime import (
+    ProcessShardPool,
+    SerialExecutor,
+    SingleWindowState,
+    ThreadExecutor,
+    WindowScheduler,
+    WorkUnit,
+    resolve_executor,
+)
+from repro.spatial import ChunkedIndex, ChunkGrid, ChunkWindow, KDTree, \
+    chunk_windows
+
+BACKENDS = ["serial", "thread", "process"]
+#: Two workers so "thread"/"process" genuinely parallelise on CI boxes.
+WORKERS = 2
+
+
+def _splitting(mode: str) -> SplittingConfig:
+    if mode == "spatial":
+        return SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1))
+    return SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                          mode="serial")
+
+
+def _assert_batches_equal(got, want, traces: bool = False) -> None:
+    np.testing.assert_array_equal(got.indices, want.indices)
+    np.testing.assert_array_equal(got.distances, want.distances)
+    np.testing.assert_array_equal(got.counts, want.counts)
+    np.testing.assert_array_equal(got.steps, want.steps)
+    np.testing.assert_array_equal(got.terminated, want.terminated)
+    if traces:
+        assert got.traces == want.traces
+
+
+# ----------------------------------------------------------------------
+# CompulsorySplitter batches across backends (both splitting modes)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["spatial", "serial"])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_splitter_knn_executor_equivalence(rng, mode, backend):
+    pts = rng.uniform(0, 1, size=(150, 3))
+    queries = pts[::5]
+    reference = CompulsorySplitter(pts, _splitting(mode))
+    want = reference.knn_batch(queries, 5, max_steps=9,
+                               engine="traverse", record_traces=True)
+    splitter = CompulsorySplitter(pts, _splitting(mode), executor=backend,
+                                  executor_workers=WORKERS)
+    got = splitter.knn_batch(queries, 5, max_steps=9,
+                             engine="traverse", record_traces=True)
+    _assert_batches_equal(got, want, traces=True)
+    splitter.close()
+
+
+@pytest.mark.parametrize("mode", ["spatial", "serial"])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_splitter_range_executor_equivalence(rng, mode, backend):
+    pts = rng.uniform(0, 1, size=(140, 3))
+    queries = pts[::7]
+    reference = CompulsorySplitter(pts, _splitting(mode))
+    want = reference.range_batch(queries, 0.3, max_results=6,
+                                 engine="traverse", record_traces=True)
+    splitter = CompulsorySplitter(pts, _splitting(mode), executor=backend,
+                                  executor_workers=WORKERS)
+    got = splitter.range_batch(queries, 0.3, max_results=6,
+                               engine="traverse", record_traces=True)
+    _assert_batches_equal(got, want, traces=True)
+    splitter.close()
+
+
+# ----------------------------------------------------------------------
+# GroupingContext honours the config executor knob on every variant
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("use_splitting,use_termination", [
+    (False, False), (True, False), (True, True),
+])
+def test_grouping_executor_equivalence(rng, backend, use_splitting,
+                                       use_termination):
+    pts = rng.uniform(0, 1, size=(120, 3))
+    queries = pts[::6]
+    termination = TerminationConfig(profile_queries=8)
+
+    def config(executor):
+        return StreamGridConfig(
+            splitting=_splitting("spatial"), termination=termination,
+            use_splitting=use_splitting, use_termination=use_termination,
+            executor=executor, executor_workers=WORKERS)
+
+    reference = GroupingContext(pts, config("serial"))
+    context = GroupingContext(pts, config(backend))
+    np.testing.assert_array_equal(context.knn_group(queries, 5),
+                                  reference.knn_group(queries, 5))
+    np.testing.assert_array_equal(context.ball_group(queries, 0.25, 6),
+                                  reference.ball_group(queries, 0.25, 6))
+    context.close()
+    reference.close()
+
+
+# ----------------------------------------------------------------------
+# Degenerate inputs: empty windows and single-window batches
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_window_all_backends(backend):
+    positions = np.linspace(0, 1, 30).reshape(10, 3)
+    assignment = np.zeros(10, dtype=np.int64)     # everything in chunk 0
+    windows = [ChunkWindow((0, 0, 0), (0,)), ChunkWindow((1, 0, 0), (1,))]
+    index = ChunkedIndex(positions, assignment, windows, executor=backend,
+                         executor_workers=WORKERS)
+    queries = np.array([[0.2, 0.3, 0.4], [0.5, 0.6, 0.7]])
+    # Chunk 1 routes every query to the empty second window.
+    batch = index.query_knn_batch(queries, np.array([1, 1]), 3)
+    assert (batch.counts == 0).all()
+    assert (batch.steps == 0).all()
+    assert not batch.terminated.any()
+    rbatch = index.query_range_batch(queries, np.array([1, 1]), 0.5,
+                                     max_results=4)
+    assert (rbatch.counts == 0).all()
+    assert (rbatch.steps == 0).all()
+    index.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_single_window_input_all_backends(rng, backend):
+    pts = rng.uniform(0, 1, size=(90, 3))
+    config = SplittingConfig(shape=(1, 1, 1), kernel=(1, 1, 1))
+    reference = CompulsorySplitter(pts, config)
+    want = reference.knn_batch(pts[::4], 4, max_steps=11,
+                               engine="traverse")
+    splitter = CompulsorySplitter(pts, config, executor=backend,
+                                  executor_workers=WORKERS)
+    got = splitter.knn_batch(pts[::4], 4, max_steps=11, engine="traverse")
+    _assert_batches_equal(got, want)
+    splitter.close()
+
+
+# ----------------------------------------------------------------------
+# WindowScheduler mechanics
+# ----------------------------------------------------------------------
+def test_scheduler_emits_one_unit_per_nonempty_window(rng):
+    pts = rng.uniform(0, 1, size=(130, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, grid.assign(pts), windows)
+    queries = pts[::3]
+    widx = index.window_of_queries(grid.assign(queries))
+    scheduler = index._runtime()
+    units = scheduler.schedule(queries, widx, "knn",
+                               {"k": 3, "engine": "traverse"})
+    served = {unit.window for unit in units}
+    assert served == {int(w) for w in np.unique(widx)
+                      if not index.window_is_empty(int(w))}
+    # Rows partition the batch and each unit's queries match its rows.
+    all_rows = np.sort(np.concatenate([unit.rows for unit in units]))
+    np.testing.assert_array_equal(all_rows, np.arange(len(queries)))
+    for unit in units:
+        np.testing.assert_array_equal(unit.queries, queries[unit.rows])
+
+
+def test_scheduler_single_tree_adapter_matches_direct_batch(rng):
+    pts = rng.normal(size=(80, 3))
+    tree = KDTree(pts)
+    scheduler = WindowScheduler(SingleWindowState(tree), "serial")
+    queries = rng.normal(size=(9, 3))
+    outcomes = scheduler.run(queries, np.zeros(9, dtype=np.int64), "knn",
+                             {"k": 4, "max_steps": 15})
+    assert len(outcomes) == 1
+    unit, local = outcomes[0]
+    want = tree.knn_batch(queries, 4, max_steps=15)
+    _assert_batches_equal(local, want)
+    np.testing.assert_array_equal(unit.rows, np.arange(9))
+
+
+def test_workunit_kind_validation(rng):
+    pts = rng.normal(size=(20, 3))
+    state = SingleWindowState(KDTree(pts))
+    unit = WorkUnit(0, np.arange(2), "sort", pts[:2], {})
+    with pytest.raises(ValidationError):
+        state.run_unit(unit)
+
+
+# ----------------------------------------------------------------------
+# ProcessShardPool fallback behaviour (satellite: constrained CI)
+# ----------------------------------------------------------------------
+def test_process_pool_falls_back_on_single_worker(rng, caplog):
+    pts = rng.normal(size=(40, 3))
+    state = SingleWindowState(KDTree(pts))
+    with caplog.at_level("WARNING", logger="repro.runtime"):
+        pool = ProcessShardPool(state, n_workers=1)
+    assert pool.effective == "serial"
+    assert "falling back to SerialExecutor" in caplog.text
+    unit = WorkUnit(0, np.arange(3), "knn", pts[:3], {"k": 2})
+    want = SerialExecutor(state).run([unit])[0]
+    got = pool.run([unit])[0]
+    _assert_batches_equal(got, want)
+    pool.close()
+
+
+def test_process_pool_falls_back_without_fork(rng, caplog, monkeypatch):
+    import repro.runtime.executor as executor_mod
+
+    monkeypatch.setattr(executor_mod.multiprocessing,
+                        "get_all_start_methods", lambda: ["spawn"])
+    pts = rng.normal(size=(30, 3))
+    state = SingleWindowState(KDTree(pts))
+    with caplog.at_level("WARNING", logger="repro.runtime"):
+        pool = ProcessShardPool(state, n_workers=4)
+    assert pool.effective == "serial"
+    assert "fork" in caplog.text
+
+
+def test_resolve_executor_rejects_unknown_backend(rng):
+    state = SingleWindowState(KDTree(rng.normal(size=(10, 3))))
+    with pytest.raises(ValidationError):
+        resolve_executor("warp-drive", state)
+    assert isinstance(resolve_executor(None, state), SerialExecutor)
+    assert isinstance(resolve_executor("thread", state, 2), ThreadExecutor)
+
+
+def test_config_rejects_unknown_executor():
+    with pytest.raises(ValidationError):
+        StreamGridConfig(executor="warp-drive")
+    with pytest.raises(ValidationError):
+        StreamGridConfig(executor_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Lazy LUT / membership invalidation (satellite: stale-state guard)
+# ----------------------------------------------------------------------
+def test_chunk_membership_mutation_invalidates_lut(rng):
+    pts = rng.uniform(0, 1, size=(120, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    assignment = grid.assign(pts)
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, assignment, windows)
+    queries = pts[::8]
+    query_chunks = grid.assign(queries)
+    index.query_knn_batch(queries, query_chunks, 4)    # builds the caches
+
+    moved = np.arange(0, len(pts), 3)
+    new_assignment = assignment.copy()
+    new_assignment[moved] = 0
+    index.reassign_points(moved, np.zeros(len(moved), dtype=np.int64))
+    fresh = ChunkedIndex(pts, new_assignment, windows)
+    got = index.query_knn_batch(queries, query_chunks, 4)
+    want = fresh.query_knn_batch(queries, query_chunks, 4)
+    _assert_batches_equal(got, want)
+    # Membership caches match a from-scratch isin rebuild.
+    for widx, window in enumerate(windows):
+        ref = np.nonzero(np.isin(new_assignment, window.chunk_ids))[0]
+        np.testing.assert_array_equal(index._members[widx], ref)
+
+
+def test_set_assignment_validates_and_invalidates(rng):
+    pts = rng.uniform(0, 1, size=(60, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, grid.assign(pts), windows)
+    with pytest.raises(ValidationError):
+        index.set_assignment(np.zeros(10, dtype=np.int64))
+    with pytest.raises(ValidationError):
+        index.reassign_points(np.array([len(pts)]), np.array([0]))
+    index.set_assignment(np.zeros(len(pts), dtype=np.int64))
+    assert index._trees_cache is None                  # caches dropped
+    # Chunk 0 now owns every point; its serving window sees all of them.
+    widx = index.window_for_chunk(0)
+    assert len(index._members[widx]) == len(pts)
