@@ -19,7 +19,6 @@ import argparse
 import heapq
 import json
 import os
-import time
 
 import numpy as np
 
@@ -28,10 +27,9 @@ from repro.core.config import SplittingConfig, StreamGridConfig, \
 from repro.core.cotraining import GroupingContext, baseline_config, \
     cs_config, cs_dt_config
 
-from _common import emit
+from _common import REPO_ROOT, RESULTS_DIR, emit, time_best
 
-_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_neighbors.json")
+_DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_neighbors.json")
 
 
 # ----------------------------------------------------------------------
@@ -186,18 +184,11 @@ def _variants():
             ("CS+DT", cs_dt_config(base))]
 
 
-def _time(fn, repeats):
-    best = np.inf
-    value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
 
 
 def run(n_points=4096, n_queries=512, k=32, radius=0.125,
-        repeats=2, output=_DEFAULT_OUTPUT, check=True):
+        repeats=2, output=_DEFAULT_OUTPUT, check=True,
+        results_dir=RESULTS_DIR):
     """Run the comparison; returns (and writes) the JSON payload."""
     rng = np.random.default_rng(42)
     positions = rng.uniform(0.0, 1.0, size=(n_points, 3))
@@ -217,8 +208,9 @@ def run(n_points=4096, n_queries=512, k=32, radius=0.125,
         ):
             # The batched side is cheap; extra trials stabilise its
             # min against scheduler noise without inflating runtime.
-            batched_s, batched_out = _time(batched_fn, max(5, repeats * 3))
-            seed_s, seed_out = _time(seed_fn, repeats)
+            batched_s, batched_out = time_best(batched_fn,
+                                               max(5, repeats * 3))
+            seed_s, seed_out = time_best(seed_fn, repeats)
             if check and not np.array_equal(batched_out, seed_out):
                 raise AssertionError(
                     f"{name}/{op}: batched result differs from seed path"
@@ -249,16 +241,20 @@ def run(n_points=4096, n_queries=512, k=32, radius=0.125,
                      f"{row['speedup']:7.1f}x")
     lines.append(f"min speedup: {payload['min_speedup']:.1f}x "
                  f"(n={n_points}, q={n_queries}, k={k})")
-    emit("perf_neighbors", lines)
+    emit("perf_neighbors", lines, results_dir=results_dir)
     if output:
         print(f"wrote {output}")
     return payload
 
 
 def smoke(tmp_output=None):
-    """Tiny configuration exercising the full harness (pytest smoke)."""
+    """Tiny configuration exercising the full harness (pytest smoke).
+
+    Smoke timings are timer noise, so the text table is never persisted
+    (``results_dir=None``) — only the JSON goes to ``tmp_output``.
+    """
     return run(n_points=160, n_queries=12, k=4, radius=0.3,
-               repeats=1, output=tmp_output)
+               repeats=1, output=tmp_output, results_dir=None)
 
 
 def main():

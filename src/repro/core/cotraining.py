@@ -79,8 +79,8 @@ class GroupingContext:
         self._tree: Optional[KDTree] = None
         self._scheduler: Optional[WindowScheduler] = None
         self._deadline: Optional[int] = None
-        executor = getattr(config, "executor", "serial")
-        workers = getattr(config, "executor_workers", None)
+        executor = config.executor
+        workers = config.executor_workers
         if config.use_splitting:
             self._splitter = CompulsorySplitter(
                 positions, config.splitting, executor=executor,

@@ -84,6 +84,11 @@ class CompulsorySplitter:
     def n_windows(self) -> int:
         return len(self.windows)
 
+    @property
+    def effective_executor(self) -> str:
+        """The backend actually in force (``"serial"`` under fallback)."""
+        return self.index.effective_executor
+
     def close(self) -> None:
         """Shut down any live executor workers (idempotent)."""
         self.index.close()

@@ -64,6 +64,7 @@ from repro.runtime.executor import (
     ThreadExecutor,
     WorkUnit,
     resolve_executor,
+    resolve_worker_count,
 )
 from repro.runtime.scheduler import (
     SingleWindowState,
@@ -80,6 +81,7 @@ __all__ = [
     "ThreadExecutor",
     "WorkUnit",
     "resolve_executor",
+    "resolve_worker_count",
     "SingleWindowState",
     "WeakShardState",
     "WindowScheduler",

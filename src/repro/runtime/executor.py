@@ -89,7 +89,15 @@ class SerialExecutor(Executor):
 
 
 class ThreadExecutor(Executor):
-    """``ThreadPoolExecutor``-backed backend (shared address space)."""
+    """``ThreadPoolExecutor``-backed backend (shared address space).
+
+    Degrades to an inline serial loop — reported through
+    :attr:`effective` and a logged warning, mirroring
+    :class:`ProcessShardPool` — when the worker count resolves to ≤ 1.
+    (Single-unit batches also run inline, but that is a per-call
+    shortcut with identical semantics, not a backend fallback, so it
+    does not change ``effective``.)
+    """
 
     name = "thread"
 
@@ -97,6 +105,14 @@ class ThreadExecutor(Executor):
         self._state = state
         self._n_workers = resolve_worker_count(n_workers)
         self._pool = None
+        if self._n_workers <= 1:
+            logger.warning(
+                "ThreadExecutor: worker count resolved to <= 1; "
+                "running units inline (serial)")
+
+    @property
+    def effective(self) -> str:
+        return "serial" if self._n_workers <= 1 else "thread"
 
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
         if self._n_workers <= 1 or len(units) <= 1:

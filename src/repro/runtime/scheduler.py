@@ -2,15 +2,16 @@
 
 The scheduler owns the *shape* of per-window execution: it buckets a
 query batch by serving window, emits one :class:`WorkUnit` per non-empty
-window, hands the units to its executor backend, and offers
-:meth:`WindowScheduler.scatter` to stream the (unit, result) pairs into
-caller-owned output arrays — callers never loop over windows themselves.
+window, and hands the units to its executor backend.  Callers iterate
+the returned ``(unit, result)`` pairs and scatter each result into
+their output arrays by ``unit.rows`` — never looping over windows
+themselves.
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -136,13 +137,6 @@ class WindowScheduler:
         """Schedule + execute: ``(unit, result)`` pairs in unit order."""
         units = self.schedule(queries, window_ids, kind, params)
         return list(zip(units, self.execute(units)))
-
-    @staticmethod
-    def scatter(outcomes: Sequence[Tuple[WorkUnit, Any]],
-                emit: Callable[[WorkUnit, Any], None]) -> None:
-        """Stream ``(unit, result)`` pairs into caller-owned outputs."""
-        for unit, result in outcomes:
-            emit(unit, result)
 
     def close(self) -> None:
         """Shut down the executor backend (idempotent)."""

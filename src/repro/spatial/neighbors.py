@@ -257,6 +257,11 @@ class ChunkedIndex:
                                               self.executor_workers)
         return self._scheduler
 
+    @property
+    def effective_executor(self) -> str:
+        """The backend actually in force (``"serial"`` under fallback)."""
+        return self._runtime().executor.effective
+
     def close(self) -> None:
         """Shut down any live executor workers (idempotent)."""
         if self._scheduler is not None:
@@ -409,16 +414,13 @@ class ChunkedIndex:
         params = {"k": k, "max_steps": max_steps, "engine": engine,
                   "record_traces": need_traces}
         outcomes = self._runtime().run(queries, widx, "knn", params)
-
-        def emit(unit: WorkUnit, local: BatchQueryResult) -> None:
+        for unit, local in outcomes:
             if accessed_out is not None and local.traces is not None:
                 accessed_out[unit.rows] = self._window_trace_counts(
                     unit.window, local.traces)
             self._scatter_window(unit.rows, self._members[unit.window],
                                  local, indices, distances, counts,
                                  steps, terminated, traces)
-
-        WindowScheduler.scatter(outcomes, emit)
         return BatchQueryResult(indices, distances, counts, steps,
                                 terminated, traces)
 
@@ -444,8 +446,7 @@ class ChunkedIndex:
                   "record_traces": need_traces}
         outcomes = self._runtime().run(queries, widx, "range", params)
         accounted: List[tuple] = []
-
-        def account(unit: WorkUnit, local: BatchQueryResult) -> None:
+        for unit, local in outcomes:
             if accessed_out is not None and local.traces is not None:
                 accessed_out[unit.rows] = self._window_trace_counts(
                     unit.window, local.traces)
@@ -456,8 +457,6 @@ class ChunkedIndex:
                                          local.counts, local.steps,
                                          local.terminated)
             accounted.append((unit, local))
-
-        WindowScheduler.scatter(outcomes, account)
         cap = max((res.indices.shape[1] for _, res in accounted),
                   default=0)
         if max_results is not None:
@@ -470,12 +469,10 @@ class ChunkedIndex:
         traces: Optional[List[List[int]]] = \
             [[] for _ in range(n_queries)] if record_traces else None
 
-        def emit(unit: WorkUnit, local: BatchQueryResult) -> None:
+        for unit, local in accounted:
             self._scatter_window(unit.rows, self._members[unit.window],
                                  local, indices, distances, counts,
                                  steps, terminated, traces)
-
-        WindowScheduler.scatter(accounted, emit)
         return BatchQueryResult(indices, distances, counts, steps,
                                 terminated, traces)
 
