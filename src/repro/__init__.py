@@ -11,10 +11,12 @@ from repro.core import (
     GroupingContext,
     SplittingConfig,
     StreamGridConfig,
+    StreamingSessionConfig,
     TerminationConfig,
     TerminationPolicy,
 )
 from repro.pointcloud import PointCloud
+from repro.streaming import StreamSession
 
 __version__ = "1.0.0"
 
@@ -23,8 +25,10 @@ __all__ = [
     "SplittingConfig",
     "TerminationConfig",
     "StreamGridConfig",
+    "StreamingSessionConfig",
     "CompulsorySplitter",
     "TerminationPolicy",
     "GroupingContext",
+    "StreamSession",
     "__version__",
 ]

@@ -3,6 +3,7 @@
 from repro.core.config import (
     SplittingConfig,
     StreamGridConfig,
+    StreamingSessionConfig,
     TerminationConfig,
 )
 from repro.core.cotraining import (
@@ -21,6 +22,8 @@ from repro.core.splitting import (
     CompulsorySplitter,
     count_accessed_chunks,
     naive_partition,
+    partition_cloud,
+    queries_to_chunks,
     splitting_for_chunks,
 )
 from repro.core.streaming import (
@@ -41,6 +44,7 @@ __all__ = [
     "SplittingConfig",
     "TerminationConfig",
     "StreamGridConfig",
+    "StreamingSessionConfig",
     "GroupingContext",
     "baseline_config",
     "cs_config",
@@ -48,6 +52,8 @@ __all__ = [
     "CompulsorySplitter",
     "count_accessed_chunks",
     "naive_partition",
+    "partition_cloud",
+    "queries_to_chunks",
     "splitting_for_chunks",
     "ChunkPipelineModel",
     "StreamStage",

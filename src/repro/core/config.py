@@ -102,6 +102,38 @@ class TerminationConfig:
             raise ValidationError("profile_queries must be positive")
 
 
+@dataclass(frozen=True)
+class StreamingSessionConfig:
+    """Frame-over-frame reuse knobs for :class:`repro.streaming.StreamSession`.
+
+    ``drift_tolerance`` is the relative step-profile mean shift beyond
+    which the session re-calibrates its termination deadline (0 means
+    any measured shift triggers re-calibration); ``drift_queries`` is
+    the sample size of the per-frame drift statistic — deliberately
+    smaller than ``TerminationConfig.profile_queries`` so checking for
+    drift is much cheaper than re-calibrating; ``drift_interval`` runs
+    the drift check every N-th frame.  ``reuse_index`` enables the
+    warm :meth:`~repro.spatial.neighbors.ChunkedIndex.update_frame`
+    path (False rebuilds the index cold every frame — the reference
+    behaviour the equivalence tests compare against).
+    """
+
+    drift_tolerance: float = 0.2
+    drift_queries: int = 16
+    drift_interval: int = 1
+    reuse_index: bool = True
+
+    def __post_init__(self) -> None:
+        if self.drift_tolerance < 0:
+            raise ValidationError(
+                "drift_tolerance must be non-negative, got "
+                f"{self.drift_tolerance}")
+        if self.drift_queries <= 0:
+            raise ValidationError("drift_queries must be positive")
+        if self.drift_interval <= 0:
+            raise ValidationError("drift_interval must be positive")
+
+
 def _executor_choices() -> tuple:
     """Backend names accepted by the ``executor`` knob — read from the
     runtime registry so backends added to ``EXECUTOR_BACKENDS`` are

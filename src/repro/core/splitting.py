@@ -35,6 +35,59 @@ from repro.spatial.kdtree import (
 from repro.spatial.neighbors import ChunkedIndex
 
 
+def partition_cloud(positions: np.ndarray, config: SplittingConfig):
+    """Partition one cloud under *config*:
+    ``(positions, grid, assignment, windows)``.
+
+    The partition step of :class:`CompulsorySplitter`, factored out so
+    frame-streaming callers (:mod:`repro.streaming`) can recompute a
+    frame's partition without constructing a throwaway search index.
+    The returned ``positions`` is the validated float64 view/copy of
+    the input (so callers convert once); ``grid`` is ``None`` in
+    serial mode.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValidationError("positions must be (N, 3)")
+    if len(positions) == 0:
+        raise ValidationError("cannot split an empty cloud")
+    if config.mode == "spatial":
+        grid: Optional[ChunkGrid] = ChunkGrid.fit(positions, config.shape)
+        assignment = grid.assign(positions)
+        windows: List[ChunkWindow] = chunk_windows(
+            config.shape, config.kernel, config.stride)
+    else:
+        grid = None
+        n_chunks = min(config.shape[0], len(positions))
+        runs = serial_chunks(len(positions), n_chunks)
+        assignment = np.empty(len(positions), dtype=np.int64)
+        for chunk_id, run in enumerate(runs):
+            assignment[run] = chunk_id
+        kernel = min(config.kernel[0], n_chunks)
+        windows = serial_windows(n_chunks, kernel, config.stride[0])
+    return positions, grid, assignment, windows
+
+
+def queries_to_chunks(queries: np.ndarray, grid: Optional[ChunkGrid],
+                      positions: np.ndarray,
+                      assignment: np.ndarray) -> np.ndarray:
+    """Chunk id each query falls into (spatial) or nearest point's chunk
+    (serial).
+
+    Shared by :meth:`CompulsorySplitter.chunk_of_queries` and the
+    streaming session, which routes queries against a reused index.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if grid is not None:
+        return grid.assign(queries)
+    # Serial mode: a query inherits the chunk of its nearest point,
+    # matching the paper's LiDAR processing where queries are the
+    # points themselves.  One blocked broadcast resolves the whole
+    # query batch instead of an O(N) norm per query.
+    nearest = nearest_point_indices(positions, queries)
+    return assignment[nearest]
+
+
 class CompulsorySplitter:
     """A chunk partition of one cloud plus its windowed search index.
 
@@ -48,36 +101,26 @@ class CompulsorySplitter:
                  config: SplittingConfig,
                  executor="serial",
                  executor_workers: Optional[int] = None) -> None:
-        positions = np.asarray(positions, dtype=np.float64)
-        if positions.ndim != 2 or positions.shape[1] != 3:
-            raise ValidationError("positions must be (N, 3)")
-        if len(positions) == 0:
-            raise ValidationError("cannot split an empty cloud")
-        self.positions = positions
+        (self.positions, self.grid, self.assignment,
+         self.windows) = partition_cloud(positions, config)
         self.config = config
-        if config.mode == "spatial":
-            self.grid: Optional[ChunkGrid] = ChunkGrid.fit(
-                positions, config.shape)
-            self.assignment = self.grid.assign(positions)
-            self.windows: List[ChunkWindow] = chunk_windows(
-                config.shape, config.kernel, config.stride)
-        else:
-            self.grid = None
-            n_chunks = min(config.shape[0], len(positions))
-            runs = serial_chunks(len(positions), n_chunks)
-            self.assignment = np.empty(len(positions), dtype=np.int64)
-            for chunk_id, run in enumerate(runs):
-                self.assignment[run] = chunk_id
-            kernel = min(config.kernel[0], n_chunks)
-            self.windows = serial_windows(n_chunks, kernel,
-                                          config.stride[0])
-        self.index = ChunkedIndex(positions, self.assignment, self.windows,
-                                  executor=executor,
+        self.index = ChunkedIndex(self.positions, self.assignment,
+                                  self.windows, executor=executor,
                                   executor_workers=executor_workers)
 
     # ------------------------------------------------------------------
     @property
     def n_chunks(self) -> int:
+        """Total chunk count of the partition.
+
+        Spatial mode counts every grid cell (``grid.n_chunks``) — trailing
+        cells left empty by the cloud still exist in the partition, so the
+        old occupancy-based ``assignment.max() + 1`` undercounted.  Serial
+        mode keeps the occupancy count: serial chunks are defined by the
+        points themselves and every chunk id is populated.
+        """
+        if self.grid is not None:
+            return self.grid.n_chunks
         return int(self.assignment.max()) + 1
 
     @property
@@ -96,15 +139,8 @@ class CompulsorySplitter:
     def chunk_of_queries(self, queries: np.ndarray) -> np.ndarray:
         """Chunk id each query falls into (spatial) or nearest point's
         chunk (serial)."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if self.grid is not None:
-            return self.grid.assign(queries)
-        # Serial mode: a query inherits the chunk of its nearest point,
-        # matching the paper's LiDAR processing where queries are the
-        # points themselves.  One blocked broadcast resolves the whole
-        # query batch instead of an O(N) norm per query.
-        nearest = nearest_point_indices(self.positions, queries)
-        return self.assignment[nearest]
+        return queries_to_chunks(queries, self.grid, self.positions,
+                                 self.assignment)
 
     def knn(self, query: np.ndarray, k: int,
             max_steps: Optional[int] = None,

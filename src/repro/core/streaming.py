@@ -76,22 +76,37 @@ class ChunkPipelineModel:
         self.stages = tuple(stages)
 
     def schedule(self, n_windows: int,
-                 window_elements: int) -> StreamSchedule:
+                 window_elements) -> StreamSchedule:
         """Compute the streaming schedule.
 
         ``window_elements`` is the element count of each window (the full
-        cloud size when ``n_windows == 1``).
+        cloud size when ``n_windows == 1``): either one scalar shared by
+        every window, or a length-``n_windows`` sequence of per-window
+        counts (used when a cloud does not split evenly).
         """
         if n_windows <= 0:
             raise ValidationError("n_windows must be positive")
-        if window_elements <= 0:
-            raise ValidationError("window_elements must be positive")
+        if np.ndim(window_elements) == 0:
+            if window_elements <= 0:
+                raise ValidationError("window_elements must be positive")
+            elements = np.full(n_windows, float(window_elements))
+        else:
+            elements = np.asarray(window_elements, dtype=np.float64)
+            if elements.shape != (n_windows,):
+                raise ValidationError(
+                    "window_elements must be a scalar or one count per "
+                    f"window; got shape {elements.shape} for "
+                    f"{n_windows} windows")
+            if (elements < 0).any() or elements.sum() <= 0:
+                raise ValidationError(
+                    "per-window element counts must be non-negative and "
+                    "sum to a positive total")
         n_stages = len(self.stages)
         start = np.zeros((n_stages, n_windows))
         end = np.zeros((n_stages, n_windows))
         for s, stage in enumerate(self.stages):
-            duration = stage.work_per_element * window_elements
             for w in range(n_windows):
+                duration = stage.work_per_element * elements[w]
                 earliest = 0.0
                 if s > 0:
                     if stage.kind == "global":
@@ -112,9 +127,21 @@ class ChunkPipelineModel:
 
     def makespan_split(self, n_windows: int,
                        total_elements: int) -> float:
-        """Makespan with the cloud split into ``n_windows`` even windows."""
-        window = max(1, total_elements // n_windows)
-        return self.schedule(n_windows, window).makespan
+        """Makespan with the cloud split into ``n_windows`` even windows.
+
+        The remainder of an uneven split is distributed one element at a
+        time over the leading windows, so the split schedule models
+        exactly ``total_elements`` — the same element count as
+        :meth:`makespan_unsplit`.  (The old floor division silently
+        modeled up to ``n_windows - 1`` fewer elements and inflated
+        :meth:`splitting_speedup`.)
+        """
+        if total_elements <= 0:
+            raise ValidationError("total_elements must be positive")
+        base, remainder = divmod(total_elements, n_windows)
+        elements = np.full(n_windows, base, dtype=np.float64)
+        elements[:remainder] += 1.0
+        return self.schedule(n_windows, elements).makespan
 
     def splitting_speedup(self, n_windows: int,
                           total_elements: int) -> float:

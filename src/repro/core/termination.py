@@ -110,15 +110,59 @@ class TerminationPolicy:
         n_queries = min(self.config.profile_queries, len(points))
         sample = rng.choice(len(points), size=n_queries, replace=False)
         steps = tree.profile_steps(points[sample], k)
+        return self.calibrate_steps(steps, min_deadline=tree.depth() + k)
+
+    def calibrate_steps(self, steps: np.ndarray,
+                        min_deadline: int = 1) -> int:
+        """Fix the deadline from an externally measured step profile.
+
+        Frame-streaming callers (:mod:`repro.streaming`) profile
+        traversal steps on the searches they actually run — the windowed
+        trees of a live :class:`~repro.spatial.neighbors.ChunkedIndex` —
+        instead of building a fresh full-cloud tree per frame; this
+        entry point accepts those measured steps directly.
+        ``min_deadline`` is the descent floor (tree depth plus ``k`` in
+        :meth:`calibrate`).
+        """
+        steps = np.asarray(steps, dtype=np.float64)
+        if steps.ndim != 1 or len(steps) == 0:
+            raise ValidationError(
+                "calibrate_steps needs a non-empty 1-D step array")
+        if min_deadline <= 0:
+            raise ValidationError("min_deadline must be positive")
         self._profile = StepProfile(
             mean=float(steps.mean()), std=float(steps.std()),
             maximum=int(steps.max()), minimum=int(steps.min()),
             n_queries=len(steps))
-        self._min_deadline = tree.depth() + k
+        self._min_deadline = int(min_deadline)
         deadline = int(np.ceil(
             self.config.deadline_fraction * self._profile.mean))
         self._deadline = max(self._min_deadline, deadline)
         return self._deadline
+
+    def step_drift(self, steps: np.ndarray,
+                   baseline: Optional[float] = None) -> float:
+        """Relative mean shift of *steps* against a calibrated baseline.
+
+        The streaming drift statistic: ``|mean(steps) - baseline| /
+        baseline``, where *baseline* defaults to the stored profile's
+        mean.  Sessions pass the mean they measured *on the same query
+        sample at calibration time* so a static scene reads exactly
+        zero drift (no sample-mismatch offset).  A session re-calibrates
+        only when this exceeds its configured tolerance, so a stable
+        stream reuses one deadline across frames.
+        """
+        if self._profile is None:
+            raise ValidationError("calibrate() must run first")
+        steps = np.asarray(steps, dtype=np.float64)
+        if steps.ndim != 1 or len(steps) == 0:
+            raise ValidationError(
+                "step_drift needs a non-empty 1-D step array")
+        if baseline is None:
+            baseline = self._profile.mean
+        if baseline <= 0:
+            return float("inf") if steps.mean() > 0 else 0.0
+        return float(abs(steps.mean() - baseline) / baseline)
 
     def scaled_deadline(self, fraction: float) -> int:
         """Deadline at a different fraction of the same profile.
@@ -153,6 +197,19 @@ def apply_deadline(tree: KDTree, queries: np.ndarray, k: int,
     if deadline <= 0:
         raise ValidationError("deadline must be positive")
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if len(queries) == 0:
+        # Match the batch engine's empty-input behaviour: empty per-query
+        # arrays and zeroed aggregates instead of nan/ValueError from
+        # mean()/max() over a zero-length array.
+        return {
+            "neighbors": [],
+            "counts": np.zeros(0, dtype=np.int64),
+            "steps": np.zeros(0, dtype=np.int64),
+            "terminated": np.zeros(0, dtype=bool),
+            "mean_steps": 0.0,
+            "max_steps": 0,
+            "terminated_fraction": 0.0,
+        }
     result = tree.knn_batch(queries, k, max_steps=deadline)
     counts = result.counts.astype(np.int64)
     steps = result.steps.astype(np.int64)

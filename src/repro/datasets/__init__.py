@@ -12,6 +12,8 @@ from repro.datasets.kitti import (
     World,
     make_kitti_sequence,
     make_lidar_cloud,
+    make_lidar_frame_sequence,
+    make_lidar_stream_frames,
     make_urban_world,
     simulate_scan,
     straight_trajectory,
@@ -28,7 +30,11 @@ from repro.datasets.shapenet import (
     SegmentedCloud,
     make_shapenet,
 )
-from repro.datasets.shapes import SHAPE_SAMPLERS, sample_shape
+from repro.datasets.shapes import (
+    SHAPE_SAMPLERS,
+    make_drifting_frames,
+    sample_shape,
+)
 
 __all__ = [
     "GaussianScene",
@@ -40,6 +46,8 @@ __all__ = [
     "World",
     "make_kitti_sequence",
     "make_lidar_cloud",
+    "make_lidar_frame_sequence",
+    "make_lidar_stream_frames",
     "make_urban_world",
     "simulate_scan",
     "straight_trajectory",
@@ -52,5 +60,6 @@ __all__ = [
     "SegmentedCloud",
     "make_shapenet",
     "SHAPE_SAMPLERS",
+    "make_drifting_frames",
     "sample_shape",
 ]

@@ -241,6 +241,80 @@ def make_kitti_sequence(
     return LidarSequence(scans=scans, poses=poses, config=config)
 
 
+def make_lidar_frame_sequence(n_frames: int = 6, n_points: int = 2048,
+                              seed: int = 0, step: float = 0.4,
+                              yaw_rate: float = 0.0,
+                              config: Optional[ScannerConfig] = None
+                              ) -> List[PointCloud]:
+    """Constant-size LiDAR frames for streaming sessions.
+
+    Simulates a short drive and trims every scan to a common point
+    count (at most *n_points*), so consecutive frames share the exact
+    chunk occupancy serial splitting derives from the point count —
+    the condition for a :class:`repro.streaming.StreamSession` to take
+    its index fast path, just like fixed-return-count LiDAR packets.
+    Points stay serialized by scan angle (azimuth-major), preserving
+    the arrival-order property serial splitting exploits.
+    """
+    if n_points <= 0:
+        raise DatasetError(f"n_points must be positive, got {n_points}")
+    config = config or ScannerConfig(n_azimuth=max(8, n_points // 8),
+                                     n_beams=8, range_noise_sigma=0.02)
+    sequence = make_kitti_sequence(n_scans=n_frames, seed=seed,
+                                   config=config, step=step,
+                                   yaw_rate=yaw_rate)
+    size = min(min(len(scan) for scan in sequence.scans), n_points)
+    return [scan.select(np.arange(size)) for scan in sequence.scans]
+
+
+def make_lidar_stream_frames(n_frames: int = 6, n_points: int = 4608,
+                             advance: int = 512, seed: int = 0,
+                             step: float = 0.3, yaw_rate: float = 0.0,
+                             config: Optional[ScannerConfig] = None
+                             ) -> List[PointCloud]:
+    """Sliding-window frames over one continuous LiDAR point stream.
+
+    The Lisco-style streaming model: the scanner emits an unbroken
+    stream of points in arrival order while driving, and frame *f* is
+    the window ``stream[f * advance : f * advance + n_points]``.
+    Consecutive frames overlap in ``n_points - advance`` points, so
+    when ``advance`` equals the serial chunk size of a splitting config
+    (``n_points`` divisible by the chunk count), each frame's stencil
+    windows hold exactly the coordinates of the previous frame's
+    shifted windows — the condition for a streaming session to reuse
+    window kd-trees outright, not just chunk membership.
+    """
+    if n_frames <= 0:
+        raise DatasetError(f"n_frames must be positive, got {n_frames}")
+    if n_points <= 0 or advance <= 0:
+        raise DatasetError("n_points and advance must be positive")
+    config = config or ScannerConfig(n_azimuth=max(8, n_points // 8),
+                                     n_beams=8, range_noise_sigma=0.02)
+    world = make_urban_world(seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    needed = n_points + (n_frames - 1) * advance
+    pieces: List[np.ndarray] = []
+    total = 0
+    x, y, yaw = 0.0, 0.0, 0.0
+    while total < needed:
+        pose = np.eye(4)
+        c, s = np.cos(yaw), np.sin(yaw)
+        pose[:3, :3] = np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]])
+        pose[:3, 3] = [x, y, 0.0]
+        scan = simulate_scan(world, pose, config, rng)
+        # Arrival order is preserved; the stream lives in the world
+        # frame so consecutive scans form one spatial sequence.
+        world_points = scan.positions @ pose[:3, :3].T + pose[:3, 3]
+        pieces.append(world_points)
+        total += len(world_points)
+        x += step * np.cos(yaw)
+        y += step * np.sin(yaw)
+        yaw += yaw_rate
+    stream = np.concatenate(pieces)[:needed]
+    return [PointCloud(stream[f * advance: f * advance + n_points])
+            for f in range(n_frames)]
+
+
 def make_lidar_cloud(n_points: int = 4096, seed: int = 0) -> PointCloud:
     """A single dense LiDAR-like cloud for kNN profiling experiments.
 

@@ -8,7 +8,7 @@ classification experiments need.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 import numpy as np
 
@@ -211,6 +211,43 @@ def sample_shape(name: str, n: int, rng: np.random.Generator) -> PointCloud:
             f"unknown shape {name!r}; available: {sorted(SHAPE_SAMPLERS)}"
         ) from None
     return PointCloud(sampler(n, rng))
+
+
+def make_drifting_frames(name: str, n_frames: int, n: int,
+                         seed: int = 0,
+                         drift=(0.05, 0.0, 0.0),
+                         spin: float = 0.02,
+                         jitter: float = 0.01) -> List[PointCloud]:
+    """A synthetic frame stream: one rigid shape drifting through space.
+
+    Frame *f* is the base shape rotated by ``f * spin`` radians about z,
+    translated by ``f * drift``, with fresh per-frame sensor jitter —
+    the spatial-mode analogue of a slowly moving scene for streaming
+    sessions (:mod:`repro.streaming`).  All frames share one point
+    count, and consecutive frames are spatially close, so chunk
+    occupancy changes slowly.
+    """
+    if n_frames <= 0:
+        raise DatasetError(
+            f"number of frames must be positive, got {n_frames}")
+    if jitter < 0:
+        raise DatasetError(f"jitter must be non-negative, got {jitter}")
+    drift = np.asarray(drift, dtype=np.float64)
+    if drift.shape != (3,):
+        raise DatasetError(f"drift must be a 3-vector, got {drift.shape}")
+    rng = np.random.default_rng(seed)
+    base = sample_shape(name, n, rng).positions
+    frames = []
+    for f in range(n_frames):
+        angle = spin * f
+        c, s = np.cos(angle), np.sin(angle)
+        rotation = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+        positions = base @ rotation.T + f * drift
+        if jitter > 0:
+            positions = positions + rng.normal(0.0, jitter,
+                                               size=positions.shape)
+        frames.append(PointCloud(positions))
+    return frames
 
 
 def _check_n(n: int) -> None:

@@ -1,4 +1,8 @@
-"""Application pipelines (Tbl. 2): graphs + measured workloads."""
+"""Application pipelines (Tbl. 2): graphs + measured workloads.
+
+One-shot specs come from the registry (:func:`build_pipeline`);
+frame-streaming entry points live in :mod:`repro.pipelines.session`.
+"""
 
 from repro.pipelines.registry import (
     PipelineSpec,
@@ -6,10 +10,18 @@ from repro.pipelines.registry import (
     build_pipeline,
     intermediate_values_of,
 )
+from repro.pipelines.session import (
+    session_for_pipeline,
+    session_pipelines,
+    stream_pipeline,
+)
 
 __all__ = [
     "PipelineSpec",
     "available_pipelines",
     "build_pipeline",
     "intermediate_values_of",
+    "session_for_pipeline",
+    "session_pipelines",
+    "stream_pipeline",
 ]

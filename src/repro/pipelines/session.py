@@ -1,0 +1,92 @@
+"""Session-mode pipeline entry: stream frame sequences, not one-shots.
+
+The registry builders (:func:`~repro.pipelines.registry.build_pipeline`)
+produce one-shot :class:`PipelineSpec`\\ s — a dataflow graph plus a
+workload measured on a single cloud.  This module is the *streaming*
+entry for the same four domains: :func:`session_for_pipeline` maps a
+pipeline name onto the paper's per-domain splitting/termination settings
+and returns a live :class:`~repro.streaming.StreamSession`;
+:func:`stream_pipeline` drives a whole frame sequence through it and
+returns the per-frame results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.config import (
+    SplittingConfig,
+    StreamGridConfig,
+    StreamingSessionConfig,
+    TerminationConfig,
+)
+from repro.errors import ValidationError
+from repro.streaming import FrameResult, StreamSession
+
+#: Per-domain evaluation settings (paper Sec. 7): spatial 3x3x1 / 2x2x1
+#: splitting for the CAD-derived domains, serial 4-chunk splitting for
+#: LiDAR registration, and a dense spatial grid with *no* termination
+#: for 3DGS rendering (its pipeline has no non-deterministic ops).
+_SESSION_SETTINGS = {
+    "classification": (SplittingConfig(shape=(3, 3, 1),
+                                       kernel=(2, 2, 1)), True),
+    "segmentation": (SplittingConfig(shape=(3, 3, 1),
+                                     kernel=(2, 2, 1)), True),
+    "registration": (SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                                     mode="serial"), True),
+    "rendering": (SplittingConfig(shape=(4, 4, 1),
+                                  kernel=(2, 2, 1)), False),
+}
+
+
+def session_pipelines() -> tuple:
+    """Pipeline names accepted by :func:`session_for_pipeline`."""
+    return tuple(sorted(_SESSION_SETTINGS))
+
+
+def session_for_pipeline(name: str, k: int = 16,
+                         deadline_fraction: float = 0.25,
+                         executor: str = "serial",
+                         executor_workers: Optional[int] = None,
+                         session: Optional[StreamingSessionConfig] = None
+                         ) -> StreamSession:
+    """A :class:`StreamSession` configured like the named pipeline.
+
+    ``executor`` / ``executor_workers`` select the window-shard runtime
+    backend exactly as on the one-shot builders; ``session`` carries
+    the frame-reuse knobs (drift tolerance etc.).
+    """
+    try:
+        splitting, use_termination = _SESSION_SETTINGS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown session pipeline {name!r}; available: "
+            f"{sorted(_SESSION_SETTINGS)}"
+        ) from None
+    config = StreamGridConfig(
+        splitting=splitting,
+        termination=TerminationConfig(deadline_fraction=deadline_fraction),
+        use_termination=use_termination,
+        executor=executor,
+        executor_workers=executor_workers)
+    return StreamSession(config, k=k, session=session)
+
+
+def stream_pipeline(name: str, frames: Sequence, k: int = 16,
+                    deadline_fraction: float = 0.25,
+                    executor: str = "serial",
+                    executor_workers: Optional[int] = None,
+                    session: Optional[StreamingSessionConfig] = None
+                    ) -> List[FrameResult]:
+    """Stream *frames* through the named pipeline's session.
+
+    ``frames`` holds ``(N, 3)`` arrays or point clouds (anything with a
+    ``positions`` attribute).  The session is torn down afterwards;
+    keep one yourself via :func:`session_for_pipeline` when frames
+    arrive incrementally.
+    """
+    with session_for_pipeline(
+            name, k=k, deadline_fraction=deadline_fraction,
+            executor=executor, executor_workers=executor_workers,
+            session=session) as live:
+        return live.run(frames)

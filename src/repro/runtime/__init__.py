@@ -20,6 +20,11 @@ that implements:
   results **in unit order** (the scheduler relies on this to scatter
   results back in input order);
 * ``close()`` — release worker resources (idempotent);
+* ``reset_workers()`` — discard worker-held *snapshots* of the shard
+  state while keeping the executor itself warm (a no-op for backends
+  that read live state; the forked pool drops its workers and re-forks
+  on the next batch).  Frame-streaming callers invoke this after
+  mutating shard state in place;
 * ``name`` / ``effective`` — the requested backend name and the backend
   actually in force (they differ when a backend had to fall back).
 

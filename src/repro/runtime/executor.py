@@ -70,6 +70,18 @@ class Executor:
     def close(self) -> None:
         """Release any worker resources (idempotent)."""
 
+    def reset_workers(self) -> None:
+        """Discard any worker-held *snapshots* of the shard state.
+
+        Backends that read the live state on every unit (serial, thread)
+        need do nothing; backends whose workers hold a forked
+        copy-on-write snapshot must drop their workers so the next batch
+        re-ships fresh state.  Called by frame-streaming state owners
+        (:meth:`repro.spatial.neighbors.ChunkedIndex.update_frame`)
+        after mutating state in place, keeping the executor — and any
+        live thread pool — warm across frames.
+        """
+
     @property
     def effective(self) -> str:
         """The backend actually in force (differs under fallback)."""
@@ -239,6 +251,13 @@ class ProcessShardPool(Executor):
             results[seq] = payload
             received += 1
         return results
+
+    def reset_workers(self) -> None:
+        """Kill the forked workers; the next batch re-forks from the
+        parent's *current* state.  The fallback decision (if any) and
+        the pool object itself survive, so a streaming caller keeps one
+        executor for the whole session."""
+        self.close()
 
     def close(self) -> None:
         if self._procs is None:

@@ -138,6 +138,14 @@ class WindowScheduler:
         units = self.schedule(queries, window_ids, kind, params)
         return list(zip(units, self.execute(units)))
 
+    def reset_workers(self) -> None:
+        """Drop worker-held state snapshots; the executor stays warm.
+
+        See :meth:`repro.runtime.executor.Executor.reset_workers` — used
+        by streaming state owners after in-place state mutation.
+        """
+        self.executor.reset_workers()
+
     def close(self) -> None:
         """Shut down the executor backend (idempotent)."""
         self.executor.close()

@@ -145,6 +145,8 @@ class ChunkedIndex:
         self._members_cache: Optional[List[np.ndarray]] = None
         self._trees_cache: Optional[List[Optional[KDTree]]] = None
         self._scheduler: Optional[WindowScheduler] = None
+        #: Trees carried over by the last :meth:`update_frame` call.
+        self.last_reused_trees = 0
 
     # ------------------------------------------------------------------
     # Lazy chunk→window state (invalidated on membership mutation)
@@ -239,6 +241,110 @@ class ChunkedIndex:
             raise ValidationError("one chunk id per point required")
         self.assignment = chunk_assignment
         self.invalidate()
+
+    def update_frame(self, positions: np.ndarray,
+                     chunk_assignment: np.ndarray,
+                     windows: Optional[Sequence[ChunkWindow]] = None
+                     ) -> bool:
+        """Ingest a new frame of the same stream; reuse what still holds.
+
+        The warm path of :class:`repro.streaming.StreamSession`: unlike
+        :meth:`set_assignment` (which tears the whole runtime down),
+        this keeps the :class:`~repro.runtime.scheduler.WindowScheduler`
+        — and any live thread pool — alive for the session's lifetime
+        and only asks the executor to drop worker-held *snapshots*
+        (forked processes re-fork from the new state on the next
+        batch; serial and thread backends read live state and keep
+        running untouched).
+
+        When the new frame's chunk occupancy matches the previous
+        frame's (same point count, identical chunk assignment, same
+        windows), the chunk→window LUT and per-window membership are
+        reused and only the per-window kd-trees are rebuilt over the
+        moved coordinates — and a window whose point coordinates are
+        *identical* to some previous window's (the rolling-stream case:
+        a sliding frame advancing by whole chunks shifts window ``w``'s
+        content into window ``w - 1``) reuses that window's tree object
+        outright.  Tree construction is a deterministic function of the
+        coordinates, so reuse is bit-exact.  Returns ``True`` when the
+        occupancy fast path fired; :attr:`last_reused_trees` counts the
+        trees it carried over.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValidationError("positions must be (N, 3)")
+        if chunk_assignment.shape != (len(positions),):
+            raise ValidationError("one chunk id per point required")
+        new_windows = list(windows) if windows is not None else \
+            self.windows
+        if not new_windows:
+            raise ValidationError("at least one window required")
+        same_occupancy = (
+            self._members_cache is not None
+            and len(positions) == len(self.positions)
+            and new_windows == self.windows
+            and np.array_equal(chunk_assignment, self.assignment))
+        self.positions = positions
+        self.assignment = chunk_assignment
+        self.windows = new_windows
+        self.last_reused_trees = 0
+        if same_occupancy:
+            # Membership pattern unchanged — only coordinates moved, so
+            # the LUT / members survive and only the trees rebuild.
+            old_trees = self._trees_cache
+            self._trees_cache = [
+                self._frame_tree(positions[members], widx, old_trees)
+                if len(members) else None
+                for widx, members in enumerate(self._members_cache)]
+        else:
+            self._window_of_chunk_cache = None
+            self._window_lut_cache = None
+            self._members_cache = None
+            self._trees_cache = None
+        if self._scheduler is not None:
+            self._scheduler.reset_workers()
+        return same_occupancy
+
+    def _frame_tree(self, points: np.ndarray, window: int,
+                    old_trees: List[Optional[KDTree]]) -> KDTree:
+        """A tree over *points*: reuse any old tree with identical
+        coordinates (warm traversal tables included), else build fresh.
+
+        Probes the rolling-forward neighbours first (the sliding-stream
+        hit), then the rest.  A cheap first/last-row fingerprint screens
+        each candidate before the full array compare, so the common
+        all-coordinates-moved frame pays O(W) scalar checks per window
+        instead of O(W) full scans (``np.array_equal`` does not
+        short-circuit).
+        """
+        n_old = len(old_trees)
+        probe_order = [window + 1, window, window - 1]
+        probe_order += [w for w in range(n_old) if w not in probe_order]
+        for old_window in probe_order:
+            if not 0 <= old_window < n_old:
+                continue
+            old = old_trees[old_window]
+            if old is not None and old.points.shape == points.shape \
+                    and np.array_equal(old.points[0], points[0]) \
+                    and np.array_equal(old.points[-1], points[-1]) \
+                    and np.array_equal(old.points, points):
+                self.last_reused_trees += 1
+                return old
+        return KDTree(points)
+
+    def max_tree_depth(self) -> int:
+        """Deepest node depth over the non-empty window trees.
+
+        The descent floor a streaming deadline calibration needs (cf.
+        :meth:`repro.core.termination.TerminationPolicy.calibrate`):
+        a capped windowed search must at least finish one root-to-leaf
+        descent of its serving tree.
+        """
+        depths = [tree.depth() for tree in self._trees if tree is not None]
+        if not depths:
+            raise ValidationError("all windows are empty")
+        return max(depths)
 
     # ------------------------------------------------------------------
     # Window-shard runtime plumbing

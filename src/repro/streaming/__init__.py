@@ -1,0 +1,22 @@
+"""Streaming frame sessions: per-frame StreamGrid with warm state reuse.
+
+:class:`StreamSession` drives frame sequences end-to-end — ingest →
+compulsory-split partition → calibrated termination deadline → windowed
+batch kNN on the window-shard runtime — keeping executor pools, the
+profiled deadline, and (when chunk occupancy is stable) the chunk→window
+tables warm across frames.  See :mod:`repro.streaming.session` for the
+reuse contract and :class:`~repro.core.config.StreamingSessionConfig`
+for the knobs.
+"""
+
+from repro.streaming.session import (
+    FrameResult,
+    SessionStats,
+    StreamSession,
+)
+
+__all__ = [
+    "FrameResult",
+    "SessionStats",
+    "StreamSession",
+]

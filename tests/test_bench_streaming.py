@@ -1,0 +1,58 @@
+"""Smoke test for the streaming-session benchmark harness.
+
+Runs the cold-rebuild vs warm-session comparison on a tiny workload so
+tier-1 exercises the harness (including the warm-vs-cold equality check
+at matched deadlines) without paying for the real timing run.  Mirrors
+``test_bench_runtime.py``: the text table is print-only
+(``results_dir=None``), so smoke runs can never overwrite tracked
+results.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks"))
+
+import bench_streaming_session  # noqa: E402
+
+
+@pytest.mark.benchsmoke
+def test_bench_streaming_session_smoke(tmp_path):
+    output = str(tmp_path / "BENCH_streaming.json")
+    payload = bench_streaming_session.smoke(tmp_output=output)
+    assert os.path.exists(output)
+    backends = {row["backend"] for row in payload["results"]}
+    assert backends == {"serial", "thread", "process"}
+    configs = {row["config"] for row in payload["results"]}
+    assert configs == {"serial-8w", "spatial-16w"}
+    # Both configurations qualify as many-window (>= 8 windows).
+    assert all(row["windows"] >= 8 for row in payload["results"])
+    # 2 configs x 3 backends.
+    assert len(payload["results"]) == 6
+    n_frames = payload["workload"]["n_frames"]
+    for row in payload["results"]:
+        assert row["cold_s"] > 0 and row["warm_s"] > 0
+        assert row["cold_fps"] > 0 and row["warm_fps"] > 0
+        assert row["warm_over_cold"] == pytest.approx(
+            row["cold_s"] / row["warm_s"])
+        assert row["warm_effective"] in ("serial", "thread", "process")
+        assert row["cold_effective"] in ("serial", "thread", "process")
+        # The warm session calibrates once on frame 0 and only
+        # re-calibrates when drift fires; it can never profile more
+        # often than the cold flow's once-per-frame.
+        assert 1 <= row["calibrations"] <= n_frames
+        assert 0 <= row["index_fast_path_frames"] <= n_frames - 1
+        # Serial-mode constant-size frames always match occupancy.
+        if row["config"] == "serial-8w":
+            assert row["index_fast_path_frames"] == n_frames - 1
+    assert payload["best_warm_over_cold"] == pytest.approx(
+        max(row["warm_over_cold"] for row in payload["results"]))
+    assert payload["warm_ge_2x"] == (
+        payload["best_warm_over_cold"] >= 2.0)
+    # The warm-vs-cold equality cross-check ran inside run(); reaching
+    # here means every backend's warm results matched the cold rebuild
+    # at the same deadline on every config and frame.
+    assert payload["workload"]["n_points"] == 300

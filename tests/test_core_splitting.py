@@ -33,6 +33,34 @@ def test_splitter_rejects_empty():
         CompulsorySplitter(np.zeros((0, 3)), SplittingConfig())
 
 
+def test_spatial_n_chunks_counts_empty_cells(rng):
+    """Regression: trailing empty grid cells are still chunks.
+
+    A cloud hugging one corner of its bounding box leaves high-id grid
+    cells empty; the occupancy-derived ``assignment.max() + 1`` used to
+    undercount the partition."""
+    pts = rng.uniform(0, 1, size=(80, 3))
+    pts[:, 2] = 0.0
+    # One outlier stretches the bounding box along x only, so the
+    # highest-id grid cells (large x AND large y) hold nothing.
+    pts = np.vstack([pts, [[4.0, 0.0, 0.0]]])
+    splitter = CompulsorySplitter(pts, SplittingConfig(shape=(4, 4, 1),
+                                                       kernel=(2, 2, 1)))
+    assert splitter.n_chunks == 16
+    assert splitter.n_chunks == splitter.grid.n_chunks
+    # The occupancy-derived count really is smaller — the old
+    # ``assignment.max() + 1`` would undercount here.
+    assert int(splitter.assignment.max()) + 1 < 16
+
+
+def test_serial_n_chunks_stays_occupancy_based(lidar_cloud):
+    """Serial chunks are defined by the points: every id is populated."""
+    config = SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                             mode="serial")
+    splitter = CompulsorySplitter(lidar_cloud.positions, config)
+    assert splitter.n_chunks == len(np.unique(splitter.assignment)) == 4
+
+
 def test_window_points_bound_buffer(clustered_positions):
     """The splitter's window working set is below the full cloud —
     the buffer reduction mechanism."""

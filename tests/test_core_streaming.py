@@ -64,6 +64,48 @@ def test_unsplit_equals_one_window():
         model.schedule(1, 512).makespan)
 
 
+def test_makespan_split_models_all_elements():
+    """Regression: an uneven split must model the full element count.
+
+    For a single busy local stage the split makespan is exactly the
+    total work — the old ``total // n_windows`` dropped the remainder
+    and under-modeled the split side."""
+    model = ChunkPipelineModel([StreamStage("only", "local")])
+    assert model.makespan_split(3, 10) == pytest.approx(10.0)
+    assert model.makespan_unsplit(10) == pytest.approx(10.0)
+    # Remainder distribution: three windows of 4/3/3 elements.
+    assert model.schedule(3, [4, 3, 3]).makespan == pytest.approx(10.0)
+
+
+def test_uneven_split_speedup_not_inflated():
+    """splitting_speedup on a prime total stays below the even-split
+    bound instead of benefiting from silently dropped elements."""
+    model = pointnet_fig8_pipeline()
+    prime = model.splitting_speedup(4, 1021)
+    even = model.splitting_speedup(4, 1024)
+    assert prime == pytest.approx(even, rel=0.02)
+    # The old floor-divide modeled 1020 split elements against 1021
+    # unsplit ones; the fixed model can never beat the perfect-split
+    # lower bound of the same element count.
+    unsplit = model.makespan_unsplit(1021)
+    assert model.makespan_split(4, 1021) >= unsplit / 4
+
+
+def test_schedule_per_window_elements_validation():
+    model = pointnet_fig8_pipeline()
+    with pytest.raises(ValidationError):
+        model.schedule(3, [4, 3])            # wrong length
+    with pytest.raises(ValidationError):
+        model.schedule(2, [-1, 3])           # negative count
+    with pytest.raises(ValidationError):
+        model.schedule(2, [0, 0])            # no work at all
+    with pytest.raises(ValidationError):
+        model.makespan_split(3, 0)
+    # Degenerate but legal: more windows than elements gives some
+    # zero-element windows.
+    assert model.makespan_split(4, 3) > 0
+
+
 def test_schedule_validations():
     model = pointnet_fig8_pipeline()
     with pytest.raises(ValidationError):

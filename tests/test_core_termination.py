@@ -95,3 +95,56 @@ def test_apply_deadline_validation(lidar_cloud):
     tree = KDTree(lidar_cloud.positions)
     with pytest.raises(ValidationError):
         apply_deadline(tree, lidar_cloud.positions[:4], 4, deadline=0)
+
+
+def test_apply_deadline_empty_batch(lidar_cloud):
+    """Regression: an empty query batch used to crash on
+    ``steps.mean()`` / ``steps.max()`` of a zero-length array."""
+    tree = KDTree(lidar_cloud.positions)
+    summary = apply_deadline(tree, np.zeros((0, 3)), k=4, deadline=7)
+    assert summary["neighbors"] == []
+    assert summary["counts"].shape == (0,)
+    assert summary["steps"].shape == (0,)
+    assert summary["terminated"].shape == (0,)
+    assert summary["mean_steps"] == 0.0
+    assert summary["max_steps"] == 0
+    assert summary["terminated_fraction"] == 0.0
+
+
+def test_calibrate_steps_matches_calibrate(lidar_cloud):
+    """calibrate() is calibrate_steps() fed the full-tree profile."""
+    pts = lidar_cloud.positions
+    config = TerminationConfig(profile_queries=16)
+    policy = TerminationPolicy(config)
+    deadline = policy.calibrate(pts, k=8)
+    tree = KDTree(pts)
+    rows = np.random.default_rng(0).choice(len(pts), size=16,
+                                           replace=False)
+    steps = tree.profile_steps(pts[rows], 8)
+    manual = TerminationPolicy(config)
+    assert manual.calibrate_steps(
+        steps, min_deadline=tree.depth() + 8) == deadline
+    assert manual.profile.mean == policy.profile.mean
+
+
+def test_calibrate_steps_floor_and_validation():
+    policy = TerminationPolicy(TerminationConfig(deadline_fraction=0.25))
+    # Fraction of the mean would be 3; the floor of 20 binds.
+    assert policy.calibrate_steps(np.array([10, 12, 14]),
+                                  min_deadline=20) == 20
+    with pytest.raises(ValidationError):
+        policy.calibrate_steps(np.zeros(0))
+    with pytest.raises(ValidationError):
+        policy.calibrate_steps(np.array([5, 6]), min_deadline=0)
+
+
+def test_step_drift_statistic():
+    policy = TerminationPolicy()
+    with pytest.raises(ValidationError):
+        policy.step_drift(np.array([4.0]))     # not calibrated yet
+    policy.calibrate_steps(np.array([100.0, 100.0]), min_deadline=1)
+    assert policy.step_drift(np.array([100.0, 100.0])) == 0.0
+    assert policy.step_drift(np.array([150.0])) == pytest.approx(0.5)
+    assert policy.step_drift(np.array([50.0])) == pytest.approx(0.5)
+    with pytest.raises(ValidationError):
+        policy.step_drift(np.zeros(0))

@@ -1,0 +1,330 @@
+"""Streaming frame sessions: warm reuse must be a pure when-built change.
+
+The core contract: a warm :class:`StreamSession` replay yields
+bit-identical results (indices / distances / counts / steps /
+terminated) to cold per-frame rebuilds at the same deadline, on every
+executor backend.  Plus the session semantics around drift-gated
+re-calibration, the chunk-occupancy index fast path, and the
+session-mode pipeline entry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    SplittingConfig,
+    StreamGridConfig,
+    StreamingSessionConfig,
+    TerminationConfig,
+)
+from repro.core.splitting import CompulsorySplitter
+from repro.core.termination import TerminationPolicy
+from repro.datasets import make_drifting_frames, make_lidar_frame_sequence
+from repro.errors import ValidationError
+from repro.pipelines import (
+    session_for_pipeline,
+    session_pipelines,
+    stream_pipeline,
+)
+from repro.spatial import ChunkGrid, ChunkedIndex, chunk_windows
+from repro.streaming import StreamSession
+
+BACKENDS = ["serial", "thread", "process"]
+#: Two workers so "thread"/"process" genuinely parallelise on CI boxes.
+WORKERS = 2
+
+
+def _splitting(mode: str) -> SplittingConfig:
+    if mode == "spatial":
+        return SplittingConfig(shape=(3, 3, 1), kernel=(2, 2, 1))
+    return SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                           mode="serial")
+
+
+def _config(mode: str, backend: str = "serial") -> StreamGridConfig:
+    return StreamGridConfig(
+        splitting=_splitting(mode),
+        termination=TerminationConfig(profile_queries=12),
+        executor=backend,
+        executor_workers=None if backend == "serial" else WORKERS)
+
+
+def _frames(n_frames: int = 3, n: int = 220, seed: int = 5):
+    return [cloud.positions for cloud in make_drifting_frames(
+        "two_spheres", n_frames, n, seed=seed, drift=(0.03, 0.0, 0.0),
+        spin=0.02, jitter=0.01)]
+
+
+def _assert_batches_equal(got, want) -> None:
+    np.testing.assert_array_equal(got.indices, want.indices)
+    np.testing.assert_array_equal(got.distances, want.distances)
+    np.testing.assert_array_equal(got.counts, want.counts)
+    np.testing.assert_array_equal(got.steps, want.steps)
+    np.testing.assert_array_equal(got.terminated, want.terminated)
+
+
+# ----------------------------------------------------------------------
+# The headline equivalence: warm session == cold rebuilds, all backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["spatial", "serial"])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_session_equivalence_cold_rebuild(mode, backend):
+    frames = _frames()
+    with StreamSession(_config(mode, backend), k=5) as session:
+        outcomes = session.run(frames)
+    assert [o.frame_id for o in outcomes] == [0, 1, 2]
+    for positions, outcome in zip(frames, outcomes):
+        cold = CompulsorySplitter(positions, _splitting(mode))
+        want = cold.knn_batch(positions, 5, max_steps=outcome.deadline,
+                              query_chunks=cold.assignment)
+        _assert_batches_equal(outcome.result, want)
+        cold.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_session_deadlines_backend_independent(backend):
+    frames = _frames()
+    with StreamSession(_config("serial", "serial"), k=5) as reference:
+        want = [o.deadline for o in reference.run(frames)]
+    with StreamSession(_config("serial", backend), k=5) as session:
+        got = [o.deadline for o in session.run(frames)]
+    assert got == want
+
+
+def test_session_explicit_queries_match_cold(rng):
+    frames = _frames()
+    queries = [frame[::7] for frame in frames]
+    with StreamSession(_config("spatial"), k=4) as session:
+        outcomes = session.run(frames, queries=queries)
+    for positions, query_block, outcome in zip(frames, queries, outcomes):
+        cold = CompulsorySplitter(positions, _splitting("spatial"))
+        want = cold.knn_batch(query_block, 4, max_steps=outcome.deadline)
+        _assert_batches_equal(outcome.result, want)
+        cold.close()
+
+
+def test_session_reuse_off_matches_reuse_on():
+    frames = _frames()
+    cold_mode = StreamingSessionConfig(reuse_index=False)
+    with StreamSession(_config("serial"), k=5) as warm:
+        warm_out = warm.run(frames)
+    with StreamSession(_config("serial"), k=5, session=cold_mode) as cold:
+        cold_out = cold.run(frames)
+    for got, want in zip(warm_out, cold_out):
+        assert got.deadline == want.deadline
+        assert not want.index_reused
+        _assert_batches_equal(got.result, want.result)
+
+
+# ----------------------------------------------------------------------
+# Calibration and drift semantics
+# ----------------------------------------------------------------------
+def test_frame0_deadline_matches_windowed_calibration():
+    """Frame 0 calibrates like a cold windowed profile at the same k."""
+    frames = _frames()
+    k = 5
+    termination = TerminationConfig(profile_queries=12)
+    with StreamSession(StreamGridConfig(
+            splitting=_splitting("spatial"), termination=termination),
+            k=k) as session:
+        frame0 = session.process(frames[0])
+    cold = CompulsorySplitter(frames[0], _splitting("spatial"))
+    rows = np.random.default_rng(0).choice(
+        len(frames[0]), size=min(12, len(frames[0])), replace=False)
+    steps = cold.knn_batch(frames[0][rows], k,
+                           query_chunks=cold.assignment[rows],
+                           engine="traverse").steps
+    policy = TerminationPolicy(termination)
+    want = policy.calibrate_steps(
+        steps, min_deadline=cold.index.max_tree_depth() + k)
+    assert frame0.deadline == want
+    assert frame0.recalibrated
+    cold.close()
+
+
+def test_identical_frames_never_recalibrate():
+    positions = _frames(1)[0]
+    frames = [positions, positions.copy(), positions.copy()]
+    session_config = StreamingSessionConfig(drift_tolerance=0.0)
+    with StreamSession(_config("serial"), k=5,
+                       session=session_config) as session:
+        outcomes = session.run(frames)
+    # Zero drift never exceeds even a zero tolerance.
+    assert [o.recalibrated for o in outcomes] == [True, False, False]
+    assert outcomes[1].drift == 0.0
+    assert len({o.deadline for o in outcomes}) == 1
+    assert session.stats.calibrations == 1
+    _assert_batches_equal(outcomes[2].result, outcomes[0].result)
+
+
+def test_drastic_shift_triggers_recalibration(rng):
+    base = rng.uniform(0, 1, size=(60, 3))
+    # Frame 1 is a much bigger, denser cloud: full-traversal step
+    # profiles shift far beyond the tolerance.
+    grown = rng.uniform(0, 1, size=(900, 3))
+    with StreamSession(_config("serial"), k=5) as session:
+        first = session.process(base)
+        second = session.process(grown)
+    assert first.recalibrated and second.recalibrated
+    assert second.drift is not None and second.drift > 0.2
+    assert session.stats.calibrations == 2
+
+
+def test_drift_interval_skips_checks():
+    frames = _frames(4)
+    session_config = StreamingSessionConfig(drift_interval=2)
+    with StreamSession(_config("serial"), k=5,
+                       session=session_config) as session:
+        outcomes = session.run(frames)
+    # Frames 1 and 3 fall between checks; frame 2 is checked.
+    assert outcomes[1].drift is None
+    assert outcomes[2].drift is not None
+    assert outcomes[3].drift is None
+    assert session.stats.drift_checks == 1
+
+
+def test_pinned_deadline_never_profiles():
+    frames = _frames()
+    config = StreamGridConfig(
+        splitting=_splitting("serial"),
+        termination=TerminationConfig(deadline_steps=9))
+    with StreamSession(config, k=5) as session:
+        outcomes = session.run(frames)
+    assert all(o.deadline == 9 for o in outcomes)
+    assert not any(o.recalibrated for o in outcomes)
+    assert session.stats.calibrations == 0
+
+
+def test_session_without_termination_is_uncapped():
+    frames = _frames()
+    config = StreamGridConfig(splitting=_splitting("spatial"),
+                              use_termination=False)
+    with StreamSession(config, k=5) as session:
+        outcomes = session.run(frames)
+    assert all(o.deadline is None for o in outcomes)
+    assert not any(o.result.terminated.any() for o in outcomes)
+    assert session.stats.calibrations == 0
+
+
+# ----------------------------------------------------------------------
+# Index reuse: the chunk-occupancy fast path
+# ----------------------------------------------------------------------
+def test_serial_constant_size_frames_take_fast_path():
+    frames = [cloud.positions for cloud in make_lidar_frame_sequence(
+        n_frames=3, n_points=240, seed=2)]
+    assert len({len(f) for f in frames}) == 1
+    with StreamSession(_config("serial"), k=4) as session:
+        outcomes = session.run(frames)
+    assert [o.index_reused for o in outcomes] == [False, True, True]
+    assert session.stats.index_fast_path_frames == 2
+
+
+def test_update_frame_matches_fresh_index(rng):
+    pts = rng.uniform(0, 1, size=(150, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, grid.assign(pts), windows,
+                         executor="thread", executor_workers=WORKERS)
+    queries = pts[::6]
+    index.query_knn_batch(queries, grid.assign(queries), 4)
+    scheduler = index._scheduler
+    assert scheduler is not None
+
+    # Same occupancy: coordinates jitter but chunk membership holds.
+    moved = pts + rng.normal(0, 1e-4, size=pts.shape)
+    same = np.array_equal(grid.assign(moved), index.assignment)
+    assert same     # jitter this small cannot cross cell boundaries
+    assert index.update_frame(moved, grid.assign(moved)) is True
+    assert index._scheduler is scheduler       # pool stayed warm
+    fresh = ChunkedIndex(moved, grid.assign(moved), windows)
+    got = index.query_knn_batch(moved[::6], grid.assign(moved[::6]), 4,
+                                max_steps=13)
+    want = fresh.query_knn_batch(moved[::6], grid.assign(moved[::6]), 4,
+                                 max_steps=13)
+    _assert_batches_equal(got, want)
+
+    # Occupancy change: caches drop, results still match a fresh build.
+    shifted = rng.uniform(0, 1, size=(150, 3))
+    new_grid = ChunkGrid.fit(shifted, (3, 3, 1))
+    assert index.update_frame(shifted, new_grid.assign(shifted)) is False
+    fresh2 = ChunkedIndex(shifted, new_grid.assign(shifted), windows)
+    got2 = index.query_knn_batch(shifted[::6],
+                                 new_grid.assign(shifted[::6]), 4)
+    want2 = fresh2.query_knn_batch(shifted[::6],
+                                   new_grid.assign(shifted[::6]), 4)
+    _assert_batches_equal(got2, want2)
+    index.close()
+    fresh.close()
+    fresh2.close()
+
+
+def test_update_frame_validation(rng):
+    pts = rng.uniform(0, 1, size=(40, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, grid.assign(pts), windows)
+    with pytest.raises(ValidationError):
+        index.update_frame(pts[:, :2], grid.assign(pts))
+    with pytest.raises(ValidationError):
+        index.update_frame(pts, np.zeros(3, dtype=np.int64))
+    with pytest.raises(ValidationError):
+        index.update_frame(pts, grid.assign(pts), windows=[])
+
+
+# ----------------------------------------------------------------------
+# Session-mode pipeline entry
+# ----------------------------------------------------------------------
+def test_session_pipeline_names():
+    assert set(session_pipelines()) == {
+        "classification", "segmentation", "registration", "rendering"}
+    with pytest.raises(ValidationError):
+        session_for_pipeline("warp-drive")
+
+
+def test_stream_pipeline_registration_serial_mode():
+    clouds = make_lidar_frame_sequence(n_frames=3, n_points=200, seed=4)
+    outcomes = stream_pipeline("registration", clouds, k=4)
+    assert len(outcomes) == 3
+    assert all(o.deadline is not None for o in outcomes)
+    # Serial 4-chunk / kernel-2 splitting: 3 windows per frame.
+    assert all(o.n_windows == 3 for o in outcomes)
+    assert [o.index_reused for o in outcomes] == [False, True, True]
+
+
+def test_stream_pipeline_rendering_has_no_deadline():
+    frames = _frames(2)
+    outcomes = stream_pipeline("rendering", frames, k=4)
+    assert all(o.deadline is None for o in outcomes)
+
+
+# ----------------------------------------------------------------------
+# Misc session mechanics
+# ----------------------------------------------------------------------
+def test_session_validation():
+    with pytest.raises(ValidationError):
+        StreamSession(k=0)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_tolerance=-0.1)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_queries=0)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_interval=0)
+    session = StreamSession(_config("serial"), k=3)
+    with pytest.raises(ValidationError):
+        session.run(_frames(2), queries=[None])
+    assert session.effective_executor == "serial"
+    session.close()
+
+
+def test_frame_sequence_generators():
+    lidar = make_lidar_frame_sequence(n_frames=3, n_points=150, seed=1)
+    assert len(lidar) == 3
+    assert len({len(cloud) for cloud in lidar}) == 1
+    assert len(lidar[0]) <= 150
+    drifting = make_drifting_frames("torus", 4, 90, seed=2)
+    assert [len(cloud) for cloud in drifting] == [90] * 4
+    # Frame-over-frame motion is small but real.
+    delta = np.linalg.norm(
+        drifting[1].positions - drifting[0].positions, axis=1)
+    assert delta.max() < 0.5
+    assert delta.mean() > 0
