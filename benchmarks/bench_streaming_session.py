@@ -10,7 +10,14 @@ configurations under all three window-shard runtime backends:
   holds the previous frame's window ``w + 1`` coordinates verbatim);
 * ``spatial-16w`` — a **drifting rigid cloud**: every point moves every
   frame, so trees must rebuild and the warm win comes from the pooled
-  scheduler lifetime and the drift-gated deadline calibration alone.
+  scheduler lifetime and the drift-gated deadline calibration alone;
+* ``partial-9w`` — a **partial-drift scene**: only a rotating fraction
+  of chunk cells moves per frame (chunk occupancy held constant), so
+  the warm win comes from incremental dirty-window repair (clean
+  windows keep their kd-trees and workers) plus the cross-frame result
+  cache (clean windows replay their query blocks without traversal).
+  Per-frame rebuilt-window counts land in the payload
+  (``rebuilt_per_frame``) alongside the cache hit/miss totals.
 
 Each sequence runs two ways:
 
@@ -51,7 +58,11 @@ from repro.core.config import (
 )
 from repro.core.splitting import CompulsorySplitter
 from repro.core.termination import TerminationPolicy
-from repro.datasets import make_drifting_frames, make_lidar_stream_frames
+from repro.datasets import (
+    make_drifting_frames,
+    make_lidar_stream_frames,
+    make_partial_drift_frames,
+)
 from repro.runtime import resolve_worker_count
 from repro.streaming import StreamSession
 
@@ -84,6 +95,14 @@ def _drifting_frames(n_frames, n_points, seed=7):
     return [frame.positions for frame in frames]
 
 
+def _partial_frames(n_frames, n_points, seed=7):
+    """Partial drift: one eighth of the chunk cells move per frame."""
+    frames = make_partial_drift_frames(
+        "two_spheres", n_frames, n_points, shape=(4, 4, 1),
+        fraction=0.125, seed=seed, jitter=0.01)
+    return [frame.positions for frame in frames]
+
+
 def _configs():
     """Many-window workloads: ≥ 8 windows each, both partition modes."""
     return [
@@ -92,6 +111,9 @@ def _configs():
         ("spatial-16w", SplittingConfig(shape=(5, 5, 1),
                                         kernel=(2, 2, 1)),
          _drifting_frames),
+        ("partial-9w", SplittingConfig(shape=(4, 4, 1),
+                                       kernel=(2, 2, 1)),
+         _partial_frames),
     ]
 
 
@@ -199,8 +221,18 @@ def run(n_points=8192, n_queries=512, k=16, n_frames=5, repeats=3,
                 "drift_checks": stats.drift_checks,
                 "index_fast_path_frames": stats.index_fast_path_frames,
                 "trees_reused": stats.trees_reused,
+                "windows_clean": stats.windows_clean,
+                "windows_rebuilt": stats.windows_rebuilt,
+                "rebuilt_per_frame": [frame.rebuilt_windows
+                                      for frame in warm_frames],
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
             })
     best_ratio = max(row["warm_over_cold"] for row in results)
+    best_partial = max((row["warm_over_cold"] for row in results
+                        if row["config"] == "partial-9w"), default=0.0)
+    best_drifting = max((row["warm_over_cold"] for row in results
+                         if row["config"] == "spatial-16w"), default=0.0)
     payload = {
         "benchmark": "streaming_session",
         "workload": {"n_points": n_points, "n_queries": n_queries,
@@ -210,6 +242,12 @@ def run(n_points=8192, n_queries=512, k=16, n_frames=5, repeats=3,
         "results": results,
         "best_warm_over_cold": best_ratio,
         "warm_ge_2x": best_ratio >= 2.0,
+        # Incremental repair + result caching must beat the
+        # all-windows-rebuilt drifting baseline (pool + calibration
+        # reuse alone).
+        "best_partial_warm_over_cold": best_partial,
+        "best_drifting_warm_over_cold": best_drifting,
+        "partial_beats_drifting": best_partial > best_drifting,
     }
     if output:
         with open(output, "w") as handle:
@@ -217,7 +255,8 @@ def run(n_points=8192, n_queries=512, k=16, n_frames=5, repeats=3,
             handle.write("\n")
     lines = [f"{'config':12s} {'win':>4s} {'backend':8s} {'eff(w/c)':14s} "
              f"{'cold_fps':>9s} {'warm_fps':>9s} {'warm/cold':>10s} "
-             f"{'recal':>6s} {'fast':>5s} {'trees':>6s}"]
+             f"{'recal':>6s} {'fast':>5s} {'trees':>6s} {'clean':>6s} "
+             f"{'hits':>6s}"]
     for row in results:
         eff = f"{row['warm_effective']}/{row['cold_effective']}"
         lines.append(
@@ -226,10 +265,15 @@ def run(n_points=8192, n_queries=512, k=16, n_frames=5, repeats=3,
             f"{row['cold_fps']:9.2f} {row['warm_fps']:9.2f} "
             f"{row['warm_over_cold']:9.2f}x "
             f"{row['calibrations']:6d} {row['index_fast_path_frames']:5d} "
-            f"{row['trees_reused']:6d}")
+            f"{row['trees_reused']:6d} {row['windows_clean']:6d} "
+            f"{row['cache_hits']:6d}")
     lines.append(
         f"best warm/cold frames-per-second ratio: {best_ratio:.2f}x "
         f"(>=2.0: {payload['warm_ge_2x']})")
+    lines.append(
+        f"partial-drift best {best_partial:.2f}x vs all-rebuilt drifting "
+        f"best {best_drifting:.2f}x (incremental repair wins: "
+        f"{payload['partial_beats_drifting']})")
     lines.append(
         f"workload: n={n_points}, q={n_queries}, k={k}, "
         f"frames={n_frames}, repeats={repeats}, "

@@ -8,6 +8,9 @@
 4. Stream a LiDAR frame sequence through a warm StreamSession — the
    frame-over-frame engine that keeps pools, deadlines, and chunk
    tables alive between frames.
+5. Stream a partial-drift scene: only a few chunk cells move per frame,
+   so the session repairs just the dirty windows and replays clean
+   windows' repeated query blocks from the cross-frame result cache.
 
 Run:  python examples/quickstart.py
 """
@@ -23,7 +26,11 @@ from repro import (
     TerminationPolicy,
 )
 from repro.dataflow import DataflowGraph, global_op, sink, source, stencil
-from repro.datasets import make_lidar_cloud, make_lidar_stream_frames
+from repro.datasets import (
+    make_lidar_cloud,
+    make_lidar_stream_frames,
+    make_partial_drift_frames,
+)
 from repro.optimizer import extend_to_chunks, optimize_buffers
 from repro.sim import simulate_streaming
 
@@ -93,6 +100,27 @@ def main() -> None:
               f"{stats.frames} frames, {stats.index_fast_path_frames} "
               f"occupancy fast-path frames, {stats.trees_reused} window "
               "kd-trees carried over")
+
+    # --- partial drift: dirty-window repair + result caching ----------
+    partial = make_partial_drift_frames("two_spheres", 4, 640,
+                                        shape=(4, 4, 1), fraction=0.125,
+                                        seed=0)
+    query_rows = np.arange(0, 640, 7)
+    print(f"\npartial-drift session: {len(partial)} frames of "
+          f"{len(partial[0])} points, 2 of 16 chunk cells move per frame")
+    with StreamSession(StreamGridConfig(
+            splitting=SplittingConfig(shape=(4, 4, 1), kernel=(2, 2, 1))),
+            k=8) as session:
+        for cloud in partial:
+            frame = session.process(cloud.positions,
+                                    cloud.positions[query_rows])
+            print(f"  frame {frame.frame_id}: {frame.clean_windows} of "
+                  f"{frame.n_windows} windows clean, "
+                  f"{frame.rebuilt_windows} rebuilt")
+        stats = session.stats
+        print(f"  result cache: {stats.cache_hits} unit replays, "
+              f"{stats.cache_misses} executed "
+              f"({stats.windows_clean} window-frames never rebuilt)")
 
 
 if __name__ == "__main__":

@@ -112,16 +112,27 @@ class StreamingSessionConfig:
     the sample size of the per-frame drift statistic — deliberately
     smaller than ``TerminationConfig.profile_queries`` so checking for
     drift is much cheaper than re-calibrating; ``drift_interval`` runs
-    the drift check every N-th frame.  ``reuse_index`` enables the
+    the drift check every N-th frame *since the last calibration* (a
+    re-calibration restarts the cadence).  ``reuse_index`` enables the
     warm :meth:`~repro.spatial.neighbors.ChunkedIndex.update_frame`
     path (False rebuilds the index cold every frame — the reference
     behaviour the equivalence tests compare against).
+
+    ``result_cache`` enables the cross-frame result cache: per-window
+    batch results are keyed by the window's coordinate content version
+    plus a digest of the query block, so a frame whose window didn't
+    move and whose query block repeats replays the cached result
+    without traversal (bit-exact — see
+    :class:`~repro.spatial.neighbors.WindowResultCache`).
+    ``cache_max_entries`` bounds the cache with LRU eviction.
     """
 
     drift_tolerance: float = 0.2
     drift_queries: int = 16
     drift_interval: int = 1
     reuse_index: bool = True
+    result_cache: bool = True
+    cache_max_entries: int = 256
 
     def __post_init__(self) -> None:
         if self.drift_tolerance < 0:
@@ -132,6 +143,10 @@ class StreamingSessionConfig:
             raise ValidationError("drift_queries must be positive")
         if self.drift_interval <= 0:
             raise ValidationError("drift_interval must be positive")
+        if self.cache_max_entries <= 0:
+            raise ValidationError(
+                "cache_max_entries must be positive, got "
+                f"{self.cache_max_entries}")
 
 
 def _executor_choices() -> tuple:

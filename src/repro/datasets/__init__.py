@@ -33,6 +33,7 @@ from repro.datasets.shapenet import (
 from repro.datasets.shapes import (
     SHAPE_SAMPLERS,
     make_drifting_frames,
+    make_partial_drift_frames,
     sample_shape,
 )
 
@@ -61,5 +62,6 @@ __all__ = [
     "make_shapenet",
     "SHAPE_SAMPLERS",
     "make_drifting_frames",
+    "make_partial_drift_frames",
     "sample_shape",
 ]

@@ -250,6 +250,65 @@ def make_drifting_frames(name: str, n_frames: int, n: int,
     return frames
 
 
+def make_partial_drift_frames(name: str, n_frames: int, n: int,
+                              shape=(4, 4, 1),
+                              fraction: float = 0.25,
+                              seed: int = 0,
+                              jitter: float = 0.01) -> List[PointCloud]:
+    """A frame stream where only a *fraction* of chunk cells move.
+
+    The partially-changing scene real streams produce (view-dependent
+    updates, localized motion): frame 0 samples the base shape and fits
+    a ``shape`` chunk grid to it; every later frame jitters the points
+    of a rotating subset of ``fraction * n_chunks`` grid cells and
+    leaves every other cell's points untouched.  Moved points are
+    clipped to stay strictly inside their cell, and the per-axis
+    bounding-box extremes never move, so every frame refits the *same*
+    grid and keeps chunk occupancy identical — the workload
+    :class:`repro.streaming.StreamSession`'s incremental dirty-window
+    repair is built for: most windows stay clean frame over frame,
+    only those covering a moved cell rebuild.
+    """
+    if n_frames <= 0:
+        raise DatasetError(
+            f"number of frames must be positive, got {n_frames}")
+    if not 0.0 < fraction <= 1.0:
+        raise DatasetError(
+            f"fraction must lie in (0, 1], got {fraction}")
+    if jitter < 0:
+        raise DatasetError(f"jitter must be non-negative, got {jitter}")
+    from repro.spatial.grid import ChunkGrid
+
+    rng = np.random.default_rng(seed)
+    base = sample_shape(name, n, rng).positions
+    grid = ChunkGrid.fit(base, shape)
+    assignment = grid.assign(base)
+    cells = grid.cell_of(base)
+    cell_lo = grid.lower[None, :] + cells * grid.cell_size[None, :]
+    cell_hi = cell_lo + grid.cell_size[None, :]
+    margin = grid.cell_size * 1e-6
+    # The bounding-box extremes are pinned so every frame's refitted
+    # grid — and therefore every point's chunk — is bit-identical.
+    movable = np.ones(len(base), dtype=bool)
+    for axis in range(3):
+        movable[int(np.argmin(base[:, axis]))] = False
+        movable[int(np.argmax(base[:, axis]))] = False
+    n_moving = max(1, int(round(fraction * grid.n_chunks)))
+    current = base.copy()
+    frames = [PointCloud(current.copy())]
+    for f in range(1, n_frames):
+        moving_chunks = (np.arange(n_moving)
+                         + (f - 1) * n_moving) % grid.n_chunks
+        mask = movable & np.isin(assignment, moving_chunks)
+        if mask.any():
+            moved = current[mask] + rng.normal(
+                0.0, jitter, size=(int(mask.sum()), 3))
+            current[mask] = np.clip(moved, cell_lo[mask] + margin,
+                                    cell_hi[mask] - margin)
+        frames.append(PointCloud(current.copy()))
+    return frames
+
+
 def _check_n(n: int) -> None:
     if n <= 0:
         raise DatasetError(f"number of points must be positive, got {n}")

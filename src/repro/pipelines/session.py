@@ -12,7 +12,7 @@ returns the per-frame results.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.core.config import (
     SplittingConfig,
@@ -54,7 +54,9 @@ def session_for_pipeline(name: str, k: int = 16,
 
     ``executor`` / ``executor_workers`` select the window-shard runtime
     backend exactly as on the one-shot builders; ``session`` carries
-    the frame-reuse knobs (drift tolerance etc.).
+    the frame-reuse knobs — drift tolerance and cadence, incremental
+    index repair (``reuse_index``), and the cross-frame result cache
+    (``result_cache`` / ``cache_max_entries``, on by default).
     """
     try:
         splitting, use_termination = _SESSION_SETTINGS[name]
@@ -72,7 +74,7 @@ def session_for_pipeline(name: str, k: int = 16,
     return StreamSession(config, k=k, session=session)
 
 
-def stream_pipeline(name: str, frames: Sequence, k: int = 16,
+def stream_pipeline(name: str, frames: Iterable, k: int = 16,
                     deadline_fraction: float = 0.25,
                     executor: str = "serial",
                     executor_workers: Optional[int] = None,
@@ -80,7 +82,8 @@ def stream_pipeline(name: str, frames: Sequence, k: int = 16,
                     ) -> List[FrameResult]:
     """Stream *frames* through the named pipeline's session.
 
-    ``frames`` holds ``(N, 3)`` arrays or point clouds (anything with a
+    ``frames`` is any iterable — a list, a generator, a live feed —
+    holding ``(N, 3)`` arrays or point clouds (anything with a
     ``positions`` attribute).  The session is torn down afterwards;
     keep one yourself via :func:`session_for_pipeline` when frames
     arrive incrementally.

@@ -25,6 +25,12 @@ that implements:
   that read live state; the forked pool drops its workers and re-forks
   on the next batch).  Frame-streaming callers invoke this after
   mutating shard state in place;
+* ``invalidate_windows(windows)`` — the per-window refinement of
+  ``reset_workers``: discard only the snapshots serving the given
+  windows (the forked pool stops just the workers those windows map to
+  under the affinity rule and re-forks them lazily).  Streaming callers
+  with dirty-window tracking use this so clean windows' workers stay
+  warm across frames;
 * ``name`` / ``effective`` — the requested backend name and the backend
   actually in force (they differ when a backend had to fall back).
 

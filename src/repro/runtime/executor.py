@@ -82,6 +82,19 @@ class Executor:
         live thread pool — warm across frames.
         """
 
+    def invalidate_windows(self, windows: Sequence[int]) -> None:
+        """Discard worker snapshots serving any of *windows* only.
+
+        The per-window refinement of :meth:`reset_workers`: streaming
+        state owners that know exactly which windows' state changed
+        (:meth:`repro.spatial.neighbors.ChunkedIndex.update_frame`'s
+        dirty-window fast path) call this so workers whose windows are
+        all *clean* keep their warm snapshots.  Backends that read live
+        state need do nothing; the forked pool drops only the affected
+        workers (window ``w`` lives on worker ``w % n_workers``) and
+        re-forks them lazily from the current state on the next batch.
+        """
+
     @property
     def effective(self) -> str:
         """The backend actually in force (differs under fallback)."""
@@ -170,6 +183,13 @@ class ProcessShardPool(Executor):
     warning — when the ``fork`` start method is unavailable, the worker
     count resolves to ≤ 1, or forking fails at runtime, so constrained
     CI machines degrade to correct serial execution.
+
+    Worker lifecycle is per-slot: :meth:`invalidate_windows` stops only
+    the workers whose affinity set intersects the invalidated windows,
+    and :meth:`run` re-forks dead slots lazily — only the slots the
+    batch actually targets — from the parent's current state.
+    ``spawn_count`` counts forks over the pool's lifetime (a streaming
+    caller can verify that clean-window workers were never respawned).
     """
 
     name = "process"
@@ -177,10 +197,12 @@ class ProcessShardPool(Executor):
     def __init__(self, state, n_workers: Optional[int] = None) -> None:
         self._state = state
         self._n_workers = resolve_worker_count(n_workers)
-        self._procs = None
+        self._procs: Optional[List] = None
         self._inboxes = None
         self._outbox = None
+        self._context = None
         self._fallback: Optional[SerialExecutor] = None
+        self.spawn_count = 0
         if "fork" not in multiprocessing.get_all_start_methods():
             self._fall_back("the 'fork' start method is unavailable")
         elif self._n_workers <= 1:
@@ -195,29 +217,62 @@ class ProcessShardPool(Executor):
             "ProcessShardPool: %s; falling back to SerialExecutor", reason)
         self._fallback = SerialExecutor(self._state)
 
-    def _ensure_workers(self) -> bool:
-        """Fork the worker processes on first use; False on fallback."""
-        if self._procs is not None:
-            return True
-        context = multiprocessing.get_context("fork")
-        procs, inboxes = [], []
+    def _spawn_worker(self, slot: int) -> None:
+        """Fork one worker for *slot*, inheriting the current state."""
+        proc = self._context.Process(
+            target=_shard_worker_main,
+            args=(self._state, self._inboxes[slot], self._outbox),
+            daemon=True)
+        proc.start()
+        self._procs[slot] = proc
+        self.spawn_count += 1
+
+    def _stop_worker(self, slot: int) -> None:
+        """Shut down one worker slot; its queues stay reusable."""
+        proc = self._procs[slot]
+        if proc is None:
+            return
         try:
-            outbox = context.Queue()
-            for _ in range(self._n_workers):
-                inbox = context.Queue()
-                proc = context.Process(
-                    target=_shard_worker_main,
-                    args=(self._state, inbox, outbox), daemon=True)
-                proc.start()
-                procs.append(proc)
-                inboxes.append(inbox)
+            self._inboxes[slot].put(None)
+        except (OSError, ValueError):
+            pass
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+        self._procs[slot] = None
+
+    def _ensure_workers(self, slots) -> bool:
+        """Fork workers for *slots* (lazily); False on fallback."""
+        try:
+            if self._procs is None:
+                context = multiprocessing.get_context("fork")
+                queues = []
+                try:
+                    outbox = context.Queue()
+                    queues.append(outbox)
+                    inboxes = []
+                    for _ in range(self._n_workers):
+                        inbox = context.Queue()
+                        queues.append(inbox)
+                        inboxes.append(inbox)
+                except OSError:
+                    # Partial queue creation (e.g. EMFILE): release what
+                    # exists before falling back — close() below would
+                    # early-return with _procs still None.
+                    for queue in queues:
+                        queue.close()
+                    raise
+                self._context = context
+                self._outbox = outbox
+                self._inboxes = inboxes
+                self._procs = [None] * self._n_workers
+            for slot in slots:
+                if self._procs[slot] is None:
+                    self._spawn_worker(slot)
         except OSError as exc:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
+            self.close()
             self._fall_back(f"could not fork workers ({exc})")
             return False
-        self._procs, self._inboxes, self._outbox = procs, inboxes, outbox
         return True
 
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
@@ -228,8 +283,10 @@ class ProcessShardPool(Executor):
             # A single unit (e.g. the unsplit Base path) gains nothing
             # from sharding: skip the fork + pickle round-trip entirely.
             return [self._state.run_unit(unit) for unit in units]
-        if self._fallback is None and not self._ensure_workers():
-            pass  # _ensure_workers installed the fallback
+        if self._fallback is None:
+            slots = sorted({unit.window % self._n_workers
+                            for unit in units})
+            self._ensure_workers(slots)
         if self._fallback is not None:
             return self._fallback.run(units)
         for seq, unit in enumerate(units):
@@ -240,7 +297,8 @@ class ProcessShardPool(Executor):
             try:
                 seq, ok, payload = self._outbox.get(timeout=_RESULT_POLL_S)
             except queue_mod.Empty:
-                if any(not proc.is_alive() for proc in self._procs):
+                if any(proc is not None and not proc.is_alive()
+                       for proc in self._procs):
                     self.close()
                     raise RuntimeError(
                         "ProcessShardPool worker died mid-batch")
@@ -259,22 +317,35 @@ class ProcessShardPool(Executor):
         executor for the whole session."""
         self.close()
 
+    def invalidate_windows(self, windows: Sequence[int]) -> None:
+        """Stop only the workers whose affinity set holds a stale window.
+
+        Window ``w`` is pinned to worker ``w % n_workers``, so the stale
+        snapshots live exactly on the workers those windows map to.
+        Untouched workers keep their forked state (their windows are all
+        clean — the caller's contract); stopped slots re-fork lazily on
+        the next batch that targets them.
+        """
+        if self._fallback is not None or self._procs is None:
+            return
+        for slot in sorted({int(w) % self._n_workers for w in windows}):
+            self._stop_worker(slot)
+            # Only a live worker consumes the shutdown sentinel; if the
+            # process was already dead, the sentinel would linger and a
+            # re-forked worker would read it and exit immediately.  A
+            # fresh inbox guarantees the slot restarts clean.
+            self._inboxes[slot].close()
+            self._inboxes[slot] = self._context.Queue()
+
     def close(self) -> None:
         if self._procs is None:
             return
-        for inbox in self._inboxes:
-            try:
-                inbox.put(None)
-            except (OSError, ValueError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():
-                proc.terminate()
+        for slot in range(self._n_workers):
+            self._stop_worker(slot)
         for inbox in self._inboxes:
             inbox.close()
         self._outbox.close()
-        self._procs = self._inboxes = self._outbox = None
+        self._procs = self._inboxes = self._outbox = self._context = None
 
     def __del__(self) -> None:
         try:

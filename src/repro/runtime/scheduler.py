@@ -146,6 +146,13 @@ class WindowScheduler:
         """
         self.executor.reset_workers()
 
+    def invalidate_windows(self, windows: Sequence[int]) -> None:
+        """Drop worker snapshots serving *windows* only; see
+        :meth:`repro.runtime.executor.Executor.invalidate_windows` —
+        the per-window refinement streaming state owners use when they
+        know exactly which windows' state changed."""
+        self.executor.invalidate_windows(windows)
+
     def close(self) -> None:
         """Shut down the executor backend (idempotent)."""
         self.executor.close()

@@ -18,6 +18,7 @@ from repro.spatial.kdtree import (
 from repro.spatial.neighbors import (
     BatchResult,
     ChunkedIndex,
+    WindowResultCache,
     chunked_knn_search,
     chunked_range_search,
     knn_search,
@@ -47,6 +48,7 @@ __all__ = [
     "nearest_point_indices",
     "BatchResult",
     "ChunkedIndex",
+    "WindowResultCache",
     "chunked_knn_search",
     "chunked_range_search",
     "knn_search",

@@ -94,6 +94,25 @@ class BatchQueryResult:
     terminated: np.ndarray     # (Q,) deadline flags
     traces: Optional[List[List[int]]] = None
 
+    @classmethod
+    def empty(cls, n_queries: int = 0, width: int = 0
+              ) -> "BatchQueryResult":
+        """A well-formed all-padding result: ``n_queries`` rows, each
+        with zero valid entries, zero steps, and no termination.
+
+        The batch analogue of the empty :class:`QueryResult` an empty
+        window returns — streaming callers use it for frames with no
+        points (:meth:`repro.streaming.StreamSession.process`).
+        """
+        if n_queries < 0 or width < 0:
+            raise ValidationError(
+                "empty batch dimensions must be non-negative")
+        return cls(np.full((n_queries, width), -1, dtype=np.int64),
+                   np.full((n_queries, width), np.inf, dtype=np.float64),
+                   np.zeros(n_queries, dtype=np.int64),
+                   np.zeros(n_queries, dtype=np.int64),
+                   np.zeros(n_queries, dtype=bool))
+
     def row(self, i: int) -> QueryResult:
         """Row *i* as a per-query :class:`QueryResult` (trimmed)."""
         c = int(self.counts[i])

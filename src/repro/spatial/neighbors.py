@@ -29,6 +29,9 @@ batched dispatch preserves on every backend:
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -96,6 +99,78 @@ def range_search(points: np.ndarray, queries: np.ndarray, radius: float,
 # ----------------------------------------------------------------------
 # Chunk-windowed (compulsory splitting) searches
 # ----------------------------------------------------------------------
+#: Window content versions are drawn from one process-wide counter so a
+#: version uniquely identifies a window's *coordinate content* across
+#: every :class:`ChunkedIndex` instance ever built — a result cache
+#: keyed on versions can therefore outlive any single index (e.g. a
+#: streaming session rebuilding its index cold every frame) without
+#: stale hits.
+_WINDOW_VERSION_COUNTER = itertools.count()
+
+
+class WindowResultCache:
+    """LRU cache of per-window batch results, keyed by content version.
+
+    A cache entry maps ``(window content version, query-block digest,
+    batch parameters)`` to the *window-local*
+    :class:`~repro.spatial.kdtree.BatchQueryResult` the window's kd-tree
+    produced.  Content versions (see :meth:`ChunkedIndex.window_version`)
+    change whenever a window's member coordinates change, so a hit
+    guarantees the tree that would serve the unit holds coordinates
+    identical to the tree that produced the cached result — replaying it
+    is bit-exact, and the caller remaps local indices through the
+    *current* member table as usual.
+
+    ``hits`` / ``misses`` count lookups over the cache's lifetime;
+    ``max_entries`` bounds memory with least-recently-used eviction.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValidationError(
+                f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(version: int, unit: WorkUnit) -> tuple:
+        """Cache key of one work unit against a window content version.
+
+        The query block is keyed by shape plus a SHA-1 digest of its
+        raw bytes; the parameters (k / radius, deadline, engine, …) are
+        folded in sorted order so dict ordering never splits entries.
+        """
+        queries = np.ascontiguousarray(unit.queries)
+        digest = hashlib.sha1(queries.tobytes()).digest()
+        params = tuple(sorted(unit.params.items()))
+        return (version, unit.kind, params, queries.shape, digest)
+
+    def lookup(self, key: tuple) -> Optional[BatchQueryResult]:
+        """The cached window-local result for *key*, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, result: BatchQueryResult) -> None:
+        """Insert one window-local result, evicting LRU entries."""
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class ChunkedIndex:
     """Per-window kd-trees over a chunk partition of a point cloud.
 
@@ -119,7 +194,14 @@ class ChunkedIndex:
     (:meth:`reassign_points` / :meth:`set_assignment` /
     :meth:`invalidate`), so cached worker state can never go stale: a
     mutation tears down the runtime and the next batch rebuilds — and
-    re-ships — fresh shard state.
+    re-ships — fresh shard state.  Frame streams use
+    :meth:`update_frame` instead: it detects the *dirty* windows (those
+    whose member coordinates actually moved), repairs only them, and
+    invalidates only their workers.  Every window carries a coordinate
+    content *version* (:meth:`window_version`); attaching a
+    :class:`WindowResultCache` as :attr:`result_cache` replays batch
+    results for (unchanged window, identical query block, identical
+    parameters) work units without traversal.
     """
 
     def __init__(self, positions: np.ndarray,
@@ -144,9 +226,16 @@ class ChunkedIndex:
         self._window_lut_cache: Optional[np.ndarray] = None
         self._members_cache: Optional[List[np.ndarray]] = None
         self._trees_cache: Optional[List[Optional[KDTree]]] = None
+        self._versions_cache: Optional[List[int]] = None
         self._scheduler: Optional[WindowScheduler] = None
+        #: Optional :class:`WindowResultCache` consulted per work unit
+        #: before dispatch (attached by streaming sessions).
+        self.result_cache: Optional[WindowResultCache] = None
         #: Trees carried over by the last :meth:`update_frame` call.
         self.last_reused_trees = 0
+        #: Windows left untouched / rebuilt by the last frame ingest.
+        self.last_clean_windows = 0
+        self.last_dirty_windows = len(self.windows)
 
     # ------------------------------------------------------------------
     # Lazy chunk→window state (invalidated on membership mutation)
@@ -187,6 +276,8 @@ class ChunkedIndex:
         self._window_lut_cache = window_lut
         self._members_cache = members_per_window
         self._trees_cache = trees
+        self._versions_cache = [next(_WINDOW_VERSION_COUNTER)
+                                for _ in self.windows]
 
     @property
     def _window_of_chunk(self) -> Dict[int, tuple]:
@@ -208,6 +299,23 @@ class ChunkedIndex:
         self._ensure_built()
         return self._trees_cache
 
+    @property
+    def _versions(self) -> List[int]:
+        self._ensure_built()
+        return self._versions_cache
+
+    def window_version(self, window: int) -> int:
+        """The window's coordinate-content version.
+
+        Versions come from a process-wide counter and change whenever a
+        window's member coordinates change (:meth:`update_frame` keeps
+        a *clean* window's version, and a rotation-reused tree carries
+        its source window's version along).  Equal versions therefore
+        guarantee bit-identical window coordinates — the fingerprint the
+        cross-frame :class:`WindowResultCache` keys on.
+        """
+        return self._versions[window]
+
     def invalidate(self) -> None:
         """Drop the LUT / membership / tree caches and the runtime.
 
@@ -220,6 +328,7 @@ class ChunkedIndex:
         self._window_lut_cache = None
         self._members_cache = None
         self._trees_cache = None
+        self._versions_cache = None
 
     def reassign_points(self, point_ids: np.ndarray,
                         chunk_ids: np.ndarray) -> None:
@@ -260,15 +369,23 @@ class ChunkedIndex:
         When the new frame's chunk occupancy matches the previous
         frame's (same point count, identical chunk assignment, same
         windows), the chunk→window LUT and per-window membership are
-        reused and only the per-window kd-trees are rebuilt over the
-        moved coordinates — and a window whose point coordinates are
-        *identical* to some previous window's (the rolling-stream case:
-        a sliding frame advancing by whole chunks shifts window ``w``'s
-        content into window ``w - 1``) reuses that window's tree object
-        outright.  Tree construction is a deterministic function of the
-        coordinates, so reuse is bit-exact.  Returns ``True`` when the
-        occupancy fast path fired; :attr:`last_reused_trees` counts the
-        trees it carried over.
+        reused and the per-window kd-trees are repaired *incrementally*:
+        a vectorized dirty-window detector (per-point change mask →
+        per-chunk rollup → per-window membership test) finds the windows
+        whose member coordinates actually moved, and only those rebuild.
+        Clean windows keep their kd-tree objects, content versions, and
+        — on the process backend — their workers' forked snapshots
+        (:meth:`~repro.runtime.scheduler.WindowScheduler.invalidate_windows`
+        drops only the dirty windows' workers).  A dirty window whose
+        new coordinates are *identical* to some previous window's (the
+        rolling-stream case: a sliding frame advancing by whole chunks
+        shifts window ``w``'s content into window ``w - 1``) reuses that
+        window's tree object — and content version — outright.  Tree
+        construction is a deterministic function of the coordinates, so
+        both reuse paths are bit-exact.  Returns ``True`` when the
+        occupancy fast path fired; :attr:`last_clean_windows` /
+        :attr:`last_dirty_windows` record the dirty split and
+        :attr:`last_reused_trees` counts rotation-reused trees.
         """
         positions = np.asarray(positions, dtype=np.float64)
         chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
@@ -285,32 +402,81 @@ class ChunkedIndex:
             and len(positions) == len(self.positions)
             and new_windows == self.windows
             and np.array_equal(chunk_assignment, self.assignment))
-        self.positions = positions
-        self.assignment = chunk_assignment
-        self.windows = new_windows
         self.last_reused_trees = 0
         if same_occupancy:
-            # Membership pattern unchanged — only coordinates moved, so
-            # the LUT / members survive and only the trees rebuild.
+            # Membership pattern unchanged — the LUT / members survive,
+            # and only windows whose member coordinates moved rebuild.
+            dirty = self._dirty_windows(positions)
+            self.positions = positions
+            self.assignment = chunk_assignment
+            self.windows = new_windows
             old_trees = self._trees_cache
-            self._trees_cache = [
-                self._frame_tree(positions[members], widx, old_trees)
-                if len(members) else None
-                for widx, members in enumerate(self._members_cache)]
+            old_versions = self._versions_cache
+            new_trees: List[Optional[KDTree]] = []
+            new_versions: List[int] = []
+            for widx, members in enumerate(self._members_cache):
+                if not dirty[widx]:
+                    new_trees.append(old_trees[widx])
+                    new_versions.append(old_versions[widx])
+                    continue
+                tree, source = self._frame_tree(positions[members],
+                                                widx, old_trees)
+                new_trees.append(tree)
+                new_versions.append(
+                    old_versions[source] if source is not None
+                    else next(_WINDOW_VERSION_COUNTER))
+            self._trees_cache = new_trees
+            self._versions_cache = new_versions
+            dirty_ids = [int(w) for w in np.nonzero(dirty)[0]]
+            self.last_dirty_windows = len(dirty_ids)
+            self.last_clean_windows = \
+                len(new_windows) - self.last_dirty_windows
+            if self._scheduler is not None and dirty_ids:
+                self._scheduler.invalidate_windows(dirty_ids)
         else:
+            self.positions = positions
+            self.assignment = chunk_assignment
+            self.windows = new_windows
             self._window_of_chunk_cache = None
             self._window_lut_cache = None
             self._members_cache = None
             self._trees_cache = None
-        if self._scheduler is not None:
-            self._scheduler.reset_workers()
+            self._versions_cache = None
+            self.last_clean_windows = 0
+            self.last_dirty_windows = len(new_windows)
+            if self._scheduler is not None:
+                self._scheduler.reset_workers()
         return same_occupancy
 
-    def _frame_tree(self, points: np.ndarray, window: int,
-                    old_trees: List[Optional[KDTree]]) -> KDTree:
-        """A tree over *points*: reuse any old tree with identical
-        coordinates (warm traversal tables included), else build fresh.
+    def _dirty_windows(self, new_positions: np.ndarray) -> np.ndarray:
+        """Boolean per-window mask: did any member coordinate change?
 
+        Runs against the *previous* frame still held in
+        ``self.positions`` (callers compare before overwriting), under
+        the same-occupancy precondition, in three vectorized stages: a
+        per-point change mask, a per-chunk rollup (``bincount``), and a
+        per-window any() over member chunk ids — O(N + W·K) total, no
+        per-window coordinate scans.
+        """
+        changed = np.any(new_positions != self.positions, axis=1)
+        dirty = np.zeros(len(self.windows), dtype=bool)
+        if not changed.any():
+            return dirty
+        chunk_changed = np.bincount(self.assignment[changed]) > 0
+        for widx, window in enumerate(self.windows):
+            ids = np.asarray(window.chunk_ids, dtype=np.int64)
+            ids = ids[ids < len(chunk_changed)]
+            dirty[widx] = bool(chunk_changed[ids].any())
+        return dirty
+
+    def _frame_tree(self, points: np.ndarray, window: int,
+                    old_trees: List[Optional[KDTree]]):
+        """A tree over *points*: ``(tree, source window or None)``.
+
+        Reuses any old tree with identical coordinates (warm traversal
+        tables included) and reports which window it came from — the
+        caller carries that window's content version along with the
+        tree.  Builds fresh (source ``None``) when nothing matches.
         Probes the rolling-forward neighbours first (the sliding-stream
         hit), then the rest.  A cheap first/last-row fingerprint screens
         each candidate before the full array compare, so the common
@@ -318,6 +484,8 @@ class ChunkedIndex:
         instead of O(W) full scans (``np.array_equal`` does not
         short-circuit).
         """
+        if not len(points):
+            return None, None
         n_old = len(old_trees)
         probe_order = [window + 1, window, window - 1]
         probe_order += [w for w in range(n_old) if w not in probe_order]
@@ -330,8 +498,8 @@ class ChunkedIndex:
                     and np.array_equal(old.points[-1], points[-1]) \
                     and np.array_equal(old.points, points):
                 self.last_reused_trees += 1
-                return old
-        return KDTree(points)
+                return old, old_window
+        return KDTree(points), None
 
     def max_tree_depth(self) -> int:
         """Deepest node depth over the non-empty window trees.
@@ -386,6 +554,40 @@ class ChunkedIndex:
         window's member table when scattering.
         """
         return run_tree_unit(self._trees[unit.window], unit)
+
+    def _dispatch(self, queries: np.ndarray, widx: np.ndarray,
+                  kind: str, params: Dict, cacheable: bool) -> List[tuple]:
+        """Schedule + execute one batch, replaying cached units.
+
+        With a :attr:`result_cache` attached and a cacheable batch (no
+        trace recording — traces are dropped before caching would see
+        them), each unit is first looked up by (window content version,
+        query digest, params); hits are replayed without touching the
+        executor, misses run as one (smaller) executor batch and are
+        stored.  Returns ``(unit, window-local result)`` pairs in unit
+        order, exactly like
+        :meth:`~repro.runtime.scheduler.WindowScheduler.run`.
+        """
+        runtime = self._runtime()
+        cache = self.result_cache
+        if cache is None or not cacheable:
+            return runtime.run(queries, widx, kind, params)
+        units = runtime.schedule(queries, widx, kind, params)
+        outcomes: List = [None] * len(units)
+        to_run: List[tuple] = []
+        for i, unit in enumerate(units):
+            key = cache.key(self._versions[unit.window], unit)
+            local = cache.lookup(key)
+            if local is not None:
+                outcomes[i] = (unit, local)
+            else:
+                to_run.append((i, unit, key))
+        if to_run:
+            fresh = runtime.executor.run([u for _, u, _ in to_run])
+            for (i, unit, key), local in zip(to_run, fresh):
+                cache.store(key, local)
+                outcomes[i] = (unit, local)
+        return outcomes
 
     def window_for_chunk(self, chunk: int) -> int:
         """Index of the window that serves queries living in *chunk*."""
@@ -519,7 +721,8 @@ class ChunkedIndex:
         need_traces = record_traces or accessed_out is not None
         params = {"k": k, "max_steps": max_steps, "engine": engine,
                   "record_traces": need_traces}
-        outcomes = self._runtime().run(queries, widx, "knn", params)
+        outcomes = self._dispatch(queries, widx, "knn", params,
+                                  cacheable=not need_traces)
         for unit, local in outcomes:
             if accessed_out is not None and local.traces is not None:
                 accessed_out[unit.rows] = self._window_trace_counts(
@@ -550,7 +753,8 @@ class ChunkedIndex:
         params = {"radius": radius, "max_steps": max_steps,
                   "max_results": max_results, "engine": engine,
                   "record_traces": need_traces}
-        outcomes = self._runtime().run(queries, widx, "range", params)
+        outcomes = self._dispatch(queries, widx, "range", params,
+                                  cacheable=not need_traces)
         accounted: List[tuple] = []
         for unit, local in outcomes:
             if accessed_out is not None and local.traces is not None:

@@ -21,14 +21,24 @@ frame over frame:
   windowed trees) and re-profiled only when a cheap per-frame drift
   statistic — the step-profile mean shift of a small query sample —
   exceeds ``StreamingSessionConfig.drift_tolerance``;
-* **chunk-occupancy fast path** — frames whose chunk assignment matches
-  the previous frame's (the common case for serial/LiDAR streams of
-  constant size) keep the chunk→window LUT and per-window membership
-  and rebuild only the kd-trees over the moved coordinates; a window
-  whose coordinates are *identical* to some previous window's — a
-  rolling stream advancing by whole chunks slides window ``w + 1``'s
-  content into window ``w`` — reuses that tree outright (bit-exact:
-  tree construction is deterministic in the coordinates).
+* **incremental dirty-window repair** — frames whose chunk assignment
+  matches the previous frame's (the common case for serial/LiDAR
+  streams of constant size) keep the chunk→window LUT and per-window
+  membership, and rebuild *only the windows whose member coordinates
+  actually moved* (a vectorized per-window change detector in
+  :meth:`~repro.spatial.neighbors.ChunkedIndex.update_frame`); clean
+  windows keep their kd-tree objects — and, on the process backend,
+  their workers' forked snapshots — while a dirty window whose
+  coordinates are *identical* to some previous window's (a rolling
+  stream advancing by whole chunks slides window ``w + 1``'s content
+  into window ``w``) reuses that tree outright (bit-exact: tree
+  construction is deterministic in the coordinates);
+* **cross-frame result caching** — per-window batch results are cached
+  under (window coordinate-content version, query-block digest, batch
+  parameters); a clean window receiving an identical query block at
+  the same deadline replays its cached result without any traversal
+  (``StreamingSessionConfig.result_cache`` / ``cache_max_entries``,
+  hit/miss counters in :class:`SessionStats`).
 
 State reuse is a pure *when-it-is-built* change: given the same
 deadline, a warm session's frame results are bit-identical to cold
@@ -48,7 +58,7 @@ from repro.core.splitting import partition_cloud, queries_to_chunks
 from repro.core.termination import TerminationPolicy
 from repro.errors import ValidationError
 from repro.spatial.kdtree import BatchQueryResult
-from repro.spatial.neighbors import ChunkedIndex
+from repro.spatial.neighbors import ChunkedIndex, WindowResultCache
 
 #: Deterministic per-frame sampling seeds: calibration mirrors
 #: :meth:`TerminationPolicy.calibrate`'s default generator; the drift
@@ -66,7 +76,10 @@ class FrameResult:
     this frame's point array).  ``deadline`` is the step cap in force
     (``None`` when termination is off), ``recalibrated`` / ``drift``
     record the deadline bookkeeping, and ``index_reused`` flags the
-    chunk-occupancy fast path.
+    chunk-occupancy fast path.  ``clean_windows`` / ``rebuilt_windows``
+    split this frame's windows into untouched versus not-carried-over
+    (dirty minus rotation-reused; a cold ingest reports every window
+    rebuilt).
     """
 
     frame_id: int
@@ -78,17 +91,31 @@ class FrameResult:
     n_points: int
     n_chunks: int
     n_windows: int
+    clean_windows: int = 0
+    rebuilt_windows: int = 0
 
 
 @dataclass
 class SessionStats:
-    """Aggregate reuse counters over a session's lifetime."""
+    """Aggregate reuse counters over a session's lifetime.
+
+    ``windows_clean`` / ``windows_rebuilt`` total the per-frame
+    dirty-window split (clean windows kept their kd-trees;
+    ``trees_reused`` counts the dirty windows that rotation-reuse
+    covered instead of a rebuild).  ``cache_hits`` / ``cache_misses``
+    mirror the cross-frame result cache's lifetime counters — every
+    per-window work unit the session replayed versus executed.
+    """
 
     frames: int = 0
     calibrations: int = 0
     drift_checks: int = 0
     index_fast_path_frames: int = 0
     trees_reused: int = 0
+    windows_clean: int = 0
+    windows_rebuilt: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class StreamSession:
@@ -129,6 +156,15 @@ class StreamSession:
         #: Mean steps of the drift query sample, measured at calibration
         #: time — the like-for-like baseline of the drift statistic.
         self._drift_baseline: Optional[float] = None
+        #: Frames since the deadline was last profiled — the drift-check
+        #: cadence anchor (a re-calibration resets it, so checks land
+        #: every ``drift_interval`` frames *after* each calibration, not
+        #: on absolute frame-id multiples).
+        self._since_calibration = 0
+        self._result_cache: Optional[WindowResultCache] = None
+        if self.session_config.result_cache:
+            self._result_cache = WindowResultCache(
+                self.session_config.cache_max_entries)
 
     # ------------------------------------------------------------------
     @property
@@ -162,8 +198,16 @@ class StreamSession:
         ``positions`` is the frame's ``(N, 3)`` cloud; ``queries``
         defaults to the points themselves (the LiDAR self-query
         pattern), in which case each query is routed to its own chunk's
-        serving window.
+        serving window.  A zero-point frame (a sensor dropout) is
+        well-defined: it returns an empty :class:`FrameResult` without
+        touching the session's index, deadline, or drift cadence.
         """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim == 2 and positions.shape[1] == 3 \
+                and len(positions) == 0:
+            # Only a well-formed (0, 3) frame short-circuits; malformed
+            # shapes still fail partition_cloud's validation below.
+            return self._empty_frame(queries)
         positions, grid, assignment, windows = partition_cloud(
             positions, self.config.splitting)
         reused = self._ingest(positions, assignment, windows)
@@ -186,56 +230,117 @@ class StreamSession:
                                              self.k, max_steps=deadline)
         n_chunks = grid.n_chunks if grid is not None else \
             int(assignment.max()) + 1
+        index = self._index
         frame = FrameResult(
             frame_id=self._frame_id, result=result, deadline=deadline,
             recalibrated=recalibrated, index_reused=reused, drift=drift,
             n_points=len(positions), n_chunks=n_chunks,
-            n_windows=len(windows))
+            n_windows=len(windows),
+            clean_windows=index.last_clean_windows,
+            rebuilt_windows=(index.last_dirty_windows
+                             - index.last_reused_trees))
         self._frame_id += 1
         self.stats.frames += 1
         if reused:
             self.stats.index_fast_path_frames += 1
-        self.stats.trees_reused += self._index.last_reused_trees
+        self.stats.trees_reused += index.last_reused_trees
+        self.stats.windows_clean += index.last_clean_windows
+        self.stats.windows_rebuilt += frame.rebuilt_windows
+        if self._result_cache is not None:
+            self.stats.cache_hits = self._result_cache.hits
+            self.stats.cache_misses = self._result_cache.misses
         return frame
 
-    def run(self, frames, queries: Optional[List] = None
-            ) -> List[FrameResult]:
+    def _empty_frame(self, queries: Optional[np.ndarray]) -> FrameResult:
+        """A well-defined result for a frame with no points."""
+        if queries is None:
+            n_queries = 0
+        else:
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+            n_queries = len(queries)
+        deadline: Optional[int] = None
+        if self.config.use_termination and (
+                self.config.termination.deadline_steps is not None
+                or self.policy.profile is not None):
+            deadline = self.policy.deadline
+        frame = FrameResult(
+            frame_id=self._frame_id,
+            result=BatchQueryResult.empty(n_queries, self.k),
+            deadline=deadline,
+            recalibrated=False, index_reused=False, drift=None,
+            n_points=0, n_chunks=0, n_windows=0)
+        self._frame_id += 1
+        self.stats.frames += 1
+        return frame
+
+    def run(self, frames, queries=None) -> List[FrameResult]:
         """Process a whole frame sequence; returns per-frame results.
 
-        ``frames`` may hold ``(N, 3)`` arrays or anything with a
-        ``positions`` attribute (:class:`~repro.pointcloud.PointCloud`).
-        ``queries`` optionally pairs one query block with each frame.
+        ``frames`` is any iterable — a list, a generator, a live feed —
+        holding ``(N, 3)`` arrays or anything with a ``positions``
+        attribute (:class:`~repro.pointcloud.PointCloud`).  ``queries``
+        optionally pairs one query block with each frame; it may be any
+        iterable too — the two are consumed in lockstep, and a length
+        mismatch raises once the shorter side runs out (sized inputs
+        are not required, so mismatches cannot always be detected
+        up front).
         """
-        if queries is not None and len(queries) != len(frames):
+        results: List[FrameResult] = []
+        if queries is None:
+            for frame in frames:
+                results.append(self.process(
+                    getattr(frame, "positions", frame)))
+            return results
+        if hasattr(frames, "__len__") and hasattr(queries, "__len__") \
+                and len(frames) != len(queries):
+            # Both sides are sized: fail before any frame is processed
+            # instead of committing session state first.
             raise ValidationError(
-                "queries must pair one block per frame")
-        results = []
-        for i, frame in enumerate(frames):
-            positions = getattr(frame, "positions", frame)
+                "queries must pair one block per frame: got "
+                f"{len(frames)} frames and {len(queries)} query blocks")
+        frames_it = iter(frames)
+        queries_it = iter(queries)
+        missing = object()
+        while True:
+            frame = next(frames_it, missing)
+            block = next(queries_it, missing)
+            if frame is missing and block is missing:
+                return results
+            if frame is missing or block is missing:
+                raise ValidationError(
+                    "queries must pair one block per frame: "
+                    + ("frames" if frame is missing else "queries")
+                    + " ran out first")
             results.append(self.process(
-                positions, None if queries is None else queries[i]))
-        return results
+                getattr(frame, "positions", frame), block))
 
     # ------------------------------------------------------------------
     def _ingest(self, positions: np.ndarray, assignment: np.ndarray,
                 windows) -> bool:
-        """Route the frame into the session index; True on the fast path."""
-        if self._index is None:
+        """Route the frame into the session index; True on the fast path.
+
+        The session-owned result cache is (re)attached after every warm
+        ingest.  The cold rebuild-per-frame reference mode skips it:
+        each rebuild assigns fresh process-global window versions, so
+        every lookup would miss — pure digest-and-store overhead.
+        """
+        if self._index is not None and self.session_config.reuse_index:
+            reused = self._index.update_frame(positions, assignment,
+                                              windows)
+        else:
+            if self._index is not None:
+                # Cold reference mode: rebuild the index (and its
+                # runtime) from scratch every frame, like one-shot
+                # callers do.
+                self._index.close()
             self._index = ChunkedIndex(
                 positions, assignment, windows,
                 executor=self.config.executor,
                 executor_workers=self.config.executor_workers)
-            return False
-        if not self.session_config.reuse_index:
-            # Cold reference mode: rebuild the index (and its runtime)
-            # from scratch every frame, like one-shot callers do.
-            self._index.close()
-            self._index = ChunkedIndex(
-                positions, assignment, windows,
-                executor=self.config.executor,
-                executor_workers=self.config.executor_workers)
-            return False
-        return self._index.update_frame(positions, assignment, windows)
+            reused = False
+        if self.session_config.reuse_index:
+            self._index.result_cache = self._result_cache
+        return reused
 
     def _frame_deadline(self, positions: np.ndarray,
                         assignment: np.ndarray):
@@ -248,7 +353,13 @@ class StreamSession:
             return self.policy.deadline, True, None
         drift = None
         recalibrated = False
-        if self._frame_id % session.drift_interval == 0:
+        # The cadence anchors to the last calibration, not the absolute
+        # frame id: a drift-triggered re-calibration restarts the
+        # count, so the next check always lands drift_interval frames
+        # later (frame ids can drift out of phase with calibrations —
+        # e.g. an empty frame skips deadline resolution entirely).
+        self._since_calibration += 1
+        if self._since_calibration % session.drift_interval == 0:
             drift = self.policy.step_drift(
                 self._drift_steps(positions, assignment),
                 baseline=self._drift_baseline)
@@ -274,6 +385,7 @@ class StreamSession:
         self._drift_baseline = float(
             self._drift_steps(positions, assignment).mean())
         self.stats.calibrations += 1
+        self._since_calibration = 0
 
     def _drift_steps(self, positions: np.ndarray,
                      assignment: np.ndarray) -> np.ndarray:

@@ -27,11 +27,11 @@ def test_bench_streaming_session_smoke(tmp_path):
     backends = {row["backend"] for row in payload["results"]}
     assert backends == {"serial", "thread", "process"}
     configs = {row["config"] for row in payload["results"]}
-    assert configs == {"serial-8w", "spatial-16w"}
-    # Both configurations qualify as many-window (>= 8 windows).
+    assert configs == {"serial-8w", "spatial-16w", "partial-9w"}
+    # Every configuration qualifies as many-window (>= 8 windows).
     assert all(row["windows"] >= 8 for row in payload["results"])
-    # 2 configs x 3 backends.
-    assert len(payload["results"]) == 6
+    # 3 configs x 3 backends.
+    assert len(payload["results"]) == 9
     n_frames = payload["workload"]["n_frames"]
     for row in payload["results"]:
         assert row["cold_s"] > 0 and row["warm_s"] > 0
@@ -45,13 +45,32 @@ def test_bench_streaming_session_smoke(tmp_path):
         # often than the cold flow's once-per-frame.
         assert 1 <= row["calibrations"] <= n_frames
         assert 0 <= row["index_fast_path_frames"] <= n_frames - 1
+        assert len(row["rebuilt_per_frame"]) == n_frames
+        assert row["cache_hits"] >= 0 and row["cache_misses"] > 0
+        # Frame 0 is always a cold ingest of every window.
+        assert row["rebuilt_per_frame"][0] == row["windows"]
         # Serial-mode constant-size frames always match occupancy.
         if row["config"] == "serial-8w":
             assert row["index_fast_path_frames"] == n_frames - 1
+        # Partial drift: constant occupancy, and later frames repair a
+        # strict subset of windows (clean windows survive), replaying
+        # clean windows' repeated query blocks from the result cache.
+        if row["config"] == "partial-9w":
+            assert row["index_fast_path_frames"] == n_frames - 1
+            assert row["windows_clean"] > 0
+            assert row["cache_hits"] > 0
+            assert all(n < row["windows"]
+                       for n in row["rebuilt_per_frame"][1:])
     assert payload["best_warm_over_cold"] == pytest.approx(
         max(row["warm_over_cold"] for row in payload["results"]))
     assert payload["warm_ge_2x"] == (
         payload["best_warm_over_cold"] >= 2.0)
+    assert payload["best_partial_warm_over_cold"] == pytest.approx(
+        max(row["warm_over_cold"] for row in payload["results"]
+            if row["config"] == "partial-9w"))
+    assert payload["partial_beats_drifting"] == (
+        payload["best_partial_warm_over_cold"]
+        > payload["best_drifting_warm_over_cold"])
     # The warm-vs-cold equality cross-check ran inside run(); reaching
     # here means every backend's warm results matched the cold rebuild
     # at the same deadline on every config and frame.

@@ -7,6 +7,7 @@ from repro.core import (
     StreamGridConfig,
     TerminationConfig,
 )
+from repro.core.config import StreamingSessionConfig
 from repro.core.cotraining import baseline_config, cs_config, cs_dt_config
 from repro.core.splitting import naive_partition, splitting_for_chunks
 from repro.errors import ValidationError
@@ -46,6 +47,28 @@ def test_termination_validations():
         TerminationConfig(deadline_steps=0)
     assert TerminationConfig(deadline_fraction=0.25).deadline_fraction \
         == 0.25
+
+
+def test_streaming_session_validations():
+    # Drift knobs: a zero or negative interval would break the
+    # frames-since-calibration cadence arithmetic outright.
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_interval=0)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_interval=-2)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_queries=0)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_tolerance=-0.5)
+    # Result-cache knobs.
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(cache_max_entries=0)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(cache_max_entries=-8)
+    config = StreamingSessionConfig()
+    assert config.result_cache and config.cache_max_entries > 0
+    off = StreamingSessionConfig(result_cache=False, cache_max_entries=7)
+    assert not off.result_cache and off.cache_max_entries == 7
 
 
 def test_variant_names():

@@ -19,14 +19,23 @@ from repro.core.config import (
 )
 from repro.core.splitting import CompulsorySplitter
 from repro.core.termination import TerminationPolicy
-from repro.datasets import make_drifting_frames, make_lidar_frame_sequence
+from repro.datasets import (
+    make_drifting_frames,
+    make_lidar_frame_sequence,
+    make_partial_drift_frames,
+)
 from repro.errors import ValidationError
 from repro.pipelines import (
     session_for_pipeline,
     session_pipelines,
     stream_pipeline,
 )
-from repro.spatial import ChunkGrid, ChunkedIndex, chunk_windows
+from repro.spatial import (
+    ChunkGrid,
+    ChunkedIndex,
+    WindowResultCache,
+    chunk_windows,
+)
 from repro.streaming import StreamSession
 
 BACKENDS = ["serial", "thread", "process"]
@@ -272,6 +281,225 @@ def test_update_frame_validation(rng):
 
 
 # ----------------------------------------------------------------------
+# Incremental dirty-window repair + cross-frame result cache
+# ----------------------------------------------------------------------
+def _partial_splitting() -> SplittingConfig:
+    return SplittingConfig(shape=(4, 4, 1), kernel=(2, 2, 1))
+
+
+def _partial_frames(n_frames: int = 4, n: int = 320, seed: int = 3):
+    return [cloud.positions for cloud in make_partial_drift_frames(
+        "two_spheres", n_frames, n, shape=(4, 4, 1), fraction=0.125,
+        seed=seed)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_partial_drift_bit_identical_to_cold(backend):
+    """Incremental repair is a pure when-built change on every backend."""
+    frames = _partial_frames()
+    queries = [frame[::5] for frame in frames]
+    config = StreamGridConfig(
+        splitting=_partial_splitting(),
+        termination=TerminationConfig(profile_queries=12),
+        executor=backend,
+        executor_workers=None if backend == "serial" else WORKERS)
+    with StreamSession(config, k=5) as session:
+        outcomes = session.run(frames, queries=queries)
+        stats = session.stats
+    n = len(frames)
+    assert [o.index_reused for o in outcomes] == [False] + [True] * (n - 1)
+    # Partial drift: later frames repair a strict subset of windows.
+    assert all(o.clean_windows > 0 for o in outcomes[1:])
+    assert all(0 < o.rebuilt_windows < o.n_windows for o in outcomes[1:])
+    assert stats.cache_hits > 0
+    for positions, query_block, outcome in zip(frames, queries, outcomes):
+        cold = CompulsorySplitter(positions, _partial_splitting())
+        want = cold.knn_batch(query_block, 5, max_steps=outcome.deadline)
+        _assert_batches_equal(outcome.result, want)
+        cold.close()
+
+
+def test_update_frame_dirty_window_tracking(rng):
+    """Moving one chunk's points dirties exactly its covering windows."""
+    pts = rng.uniform(0, 1, size=(240, 3))
+    grid = ChunkGrid.fit(pts, (4, 4, 1))
+    windows = chunk_windows((4, 4, 1), (2, 2, 1))
+    assignment = grid.assign(pts)
+    index = ChunkedIndex(pts, assignment, windows)
+    index.query_knn_batch(pts[::7], assignment[::7], 4)
+    trees_before = list(index._trees)
+    versions_before = [index.window_version(w)
+                       for w in range(len(windows))]
+    mask = assignment == 0
+    assert mask.any()
+    moved = pts.copy()
+    moved[mask] += 0.01
+    assert index.update_frame(moved, assignment) is True
+    dirty = {w for w, win in enumerate(windows) if 0 in win.chunk_ids}
+    assert index.last_dirty_windows == len(dirty)
+    assert index.last_clean_windows == len(windows) - len(dirty)
+    for w in range(len(windows)):
+        if w in dirty:
+            assert index._trees[w] is not trees_before[w]
+            assert index.window_version(w) != versions_before[w]
+        else:
+            # Clean windows keep the tree object and content version.
+            assert index._trees[w] is trees_before[w]
+            assert index.window_version(w) == versions_before[w]
+    fresh = ChunkedIndex(moved, assignment, windows)
+    got = index.query_knn_batch(moved[::7], assignment[::7], 4,
+                                max_steps=11)
+    want = fresh.query_knn_batch(moved[::7], assignment[::7], 4,
+                                 max_steps=11)
+    _assert_batches_equal(got, want)
+    index.close()
+    fresh.close()
+
+
+def test_process_pool_invalidates_only_dirty_workers(rng):
+    """Per-window invalidation respawns only the affected worker slot."""
+    pts = rng.uniform(0, 1, size=(200, 3))
+    grid = ChunkGrid.fit(pts, (4, 4, 1))
+    windows = chunk_windows((4, 4, 1), (2, 2, 1))
+    assignment = grid.assign(pts)
+    index = ChunkedIndex(pts, assignment, windows, executor="process",
+                         executor_workers=2)
+    index.query_knn_batch(pts[::5], assignment[::5], 4, max_steps=15)
+    pool = index._scheduler.executor
+    if pool.effective != "process":
+        index.close()
+        pytest.skip("fork start method unavailable; pool fell back")
+    assert pool.spawn_count == 2       # both slots served the batch
+    mask = assignment == 0
+    assert mask.any()
+    moved = pts.copy()
+    moved[mask] += 0.01
+    assert index.update_frame(moved, assignment) is True
+    assert index.last_dirty_windows < len(windows)
+    fresh = ChunkedIndex(moved, assignment, windows)
+    got = index.query_knn_batch(moved[::5], assignment[::5], 4,
+                                max_steps=15)
+    want = fresh.query_knn_batch(moved[::5], assignment[::5], 4,
+                                 max_steps=15)
+    _assert_batches_equal(got, want)
+    # Chunk 0 maps to window 0 → worker slot 0; slot 1's windows were
+    # all clean, so only one fork happened.
+    assert pool.spawn_count == 3
+    index.close()
+    fresh.close()
+
+
+def test_process_pool_recovers_after_silent_worker_death(rng):
+    """Invalidating a slot whose worker already died restarts cleanly.
+
+    The shutdown sentinel is only consumed by a live worker; a dead
+    slot's inbox must be replaced, or the re-forked worker would read
+    the leftover sentinel and exit mid-batch.
+    """
+    pts = rng.uniform(0, 1, size=(180, 3))
+    grid = ChunkGrid.fit(pts, (4, 4, 1))
+    windows = chunk_windows((4, 4, 1), (2, 2, 1))
+    assignment = grid.assign(pts)
+    index = ChunkedIndex(pts, assignment, windows, executor="process",
+                         executor_workers=2)
+    index.query_knn_batch(pts[::5], assignment[::5], 4, max_steps=15)
+    pool = index._scheduler.executor
+    if pool.effective != "process":
+        index.close()
+        pytest.skip("fork start method unavailable; pool fell back")
+    pool._procs[0].kill()
+    pool._procs[0].join()
+    mask = assignment == 0          # window 0 → slot 0, the dead worker
+    assert mask.any()
+    moved = pts.copy()
+    moved[mask] += 0.01
+    assert index.update_frame(moved, assignment) is True
+    fresh = ChunkedIndex(moved, assignment, windows)
+    got = index.query_knn_batch(moved[::5], assignment[::5], 4,
+                                max_steps=15)
+    want = fresh.query_knn_batch(moved[::5], assignment[::5], 4,
+                                 max_steps=15)
+    _assert_batches_equal(got, want)
+    index.close()
+    fresh.close()
+
+
+def test_result_cache_replays_static_frames():
+    """Clean windows + identical query blocks replay from the cache."""
+    positions = _frames(1)[0]
+    frames = [positions, positions.copy(), positions.copy()]
+    query_block = positions[::6].copy()
+    queries = [query_block.copy() for _ in frames]
+    # A huge drift interval keeps drift-sample traffic out of the
+    # counters, so the expected hit count is exact.
+    session_config = StreamingSessionConfig(drift_interval=10 ** 6)
+    with StreamSession(_config("spatial"), k=4,
+                       session=session_config) as session:
+        outcomes = session.run(frames, queries=queries)
+        stats = session.stats
+    # Expected units per main batch: distinct non-empty serving windows.
+    cold = CompulsorySplitter(positions, _splitting("spatial"))
+    widx = cold.index.window_of_queries(cold.grid.assign(query_block))
+    units = len({int(w) for w in widx
+                 if not cold.index.window_is_empty(int(w))})
+    cold.close()
+    assert units > 0
+    # Frames 1 and 2 replay every main-batch unit; frame 0 missed them.
+    assert stats.cache_hits == 2 * units
+    assert stats.cache_misses >= units
+    # Static frames: all windows clean after frame 0, nothing rebuilt.
+    n_windows = outcomes[0].n_windows
+    assert stats.windows_clean == 2 * n_windows
+    assert stats.windows_rebuilt == n_windows
+    assert [o.deadline for o in outcomes] == [outcomes[0].deadline] * 3
+    _assert_batches_equal(outcomes[1].result, outcomes[0].result)
+    _assert_batches_equal(outcomes[2].result, outcomes[0].result)
+
+
+def test_result_cache_off_matches_on():
+    frames = _partial_frames(3)
+    queries = [frame[::5] for frame in frames]
+    on = StreamingSessionConfig(result_cache=True)
+    off = StreamingSessionConfig(result_cache=False)
+    with StreamSession(_config("spatial"), k=4, session=on) as session:
+        got = session.run(frames, queries=queries)
+        assert session.stats.cache_hits + session.stats.cache_misses > 0
+    with StreamSession(_config("spatial"), k=4, session=off) as session:
+        want = session.run(frames, queries=queries)
+        assert session.stats.cache_hits == 0
+        assert session.stats.cache_misses == 0
+    for g, w in zip(got, want):
+        assert g.deadline == w.deadline
+        _assert_batches_equal(g.result, w.result)
+
+
+def test_result_cache_eviction_stays_correct():
+    frames = _partial_frames(3)
+    tiny = StreamingSessionConfig(cache_max_entries=1)
+    with StreamSession(_config("spatial"), k=4, session=tiny) as session:
+        got = session.run(frames)
+    with StreamSession(_config("spatial"), k=4,
+                       session=StreamingSessionConfig(
+                           result_cache=False)) as session:
+        want = session.run(frames)
+    for g, w in zip(got, want):
+        assert g.deadline == w.deadline
+        _assert_batches_equal(g.result, w.result)
+
+
+def test_window_result_cache_validation_and_lru():
+    with pytest.raises(ValidationError):
+        WindowResultCache(max_entries=0)
+    cache = WindowResultCache(max_entries=2)
+    for key in ("a", "b", "c"):
+        cache.store(key, key.upper())
+    assert len(cache) == 2
+    assert cache.lookup("a") is None        # evicted (LRU)
+    assert cache.lookup("c") == "C"
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+# ----------------------------------------------------------------------
 # Session-mode pipeline entry
 # ----------------------------------------------------------------------
 def test_session_pipeline_names():
@@ -298,6 +526,130 @@ def test_stream_pipeline_rendering_has_no_deadline():
 
 
 # ----------------------------------------------------------------------
+# Streaming-robustness regressions
+# ----------------------------------------------------------------------
+def test_run_accepts_frame_generator():
+    """A streaming engine must consume unsized iterables of frames."""
+    frames = _frames(3)
+    with StreamSession(_config("serial"), k=4) as session:
+        want = session.run(frames)
+    with StreamSession(_config("serial"), k=4) as session:
+        got = session.run(frame for frame in frames)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.deadline == w.deadline
+        _assert_batches_equal(g.result, w.result)
+
+
+def test_run_pairs_generator_queries_lazily():
+    frames = _frames(3)
+    queries = [frame[::9] for frame in frames]
+    with StreamSession(_config("spatial"), k=4) as session:
+        want = session.run(frames, queries=queries)
+    with StreamSession(_config("spatial"), k=4) as session:
+        got = session.run(iter(frames), queries=iter(queries))
+    for g, w in zip(got, want):
+        _assert_batches_equal(g.result, w.result)
+
+
+def test_run_detects_length_mismatch_at_exhaustion():
+    frames = _frames(3)
+    queries = [frame[::9] for frame in frames]
+    with StreamSession(_config("spatial"), k=4) as session:
+        with pytest.raises(ValidationError, match="queries ran out"):
+            session.run(iter(frames), queries=iter(queries[:2]))
+    with StreamSession(_config("spatial"), k=4) as session:
+        with pytest.raises(ValidationError, match="frames ran out"):
+            session.run(iter(frames[:2]), queries=iter(queries))
+    # Sized sequences still fail fast, before any frame is processed.
+    with StreamSession(_config("spatial"), k=4) as session:
+        with pytest.raises(ValidationError, match="one block per frame"):
+            session.run(frames, queries=queries[:2])
+        assert session.stats.frames == 0
+
+
+def test_empty_frame_returns_empty_result():
+    """A zero-point frame (sensor dropout) must not crash the session."""
+    with StreamSession(_config("spatial"), k=4) as session:
+        empty = session.process(np.zeros((0, 3)))
+        assert empty.n_points == 0
+        assert empty.n_chunks == 0 and empty.n_windows == 0
+        assert empty.result.counts.shape == (0,)
+        assert not empty.recalibrated and empty.drift is None
+        # With an explicit query block: one all-padding row per query,
+        # width k like every non-empty frame's result.
+        queried = session.process(np.zeros((0, 3)),
+                                  np.array([[0.1, 0.2, 0.3]]))
+        assert queried.result.counts.tolist() == [0]
+        assert queried.result.indices.shape == (1, 4)
+        assert (queried.result.indices == -1).all()
+        assert not queried.result.terminated.any()
+        # The session recovers on the next real frame.
+        frame = session.process(_frames(1)[0])
+        assert frame.n_points > 0 and frame.recalibrated
+        assert session.stats.frames == 3
+        assert session.stats.calibrations == 1
+        # Only a well-formed (0, 3) frame is an empty frame; malformed
+        # zero-size arrays still fail validation.
+        with pytest.raises(ValidationError):
+            session.process(np.zeros((0, 7)))
+        with pytest.raises(ValidationError):
+            session.process(np.array([]))
+
+
+def test_empty_frame_serial_mode_with_queries():
+    """Serial mode routes queries via nearest points — none exist."""
+    with StreamSession(_config("serial"), k=4) as session:
+        queried = session.process(np.zeros((0, 3)),
+                                  np.array([[0.0, 0.0, 0.0],
+                                            [1.0, 1.0, 1.0]]))
+        assert queried.result.counts.tolist() == [0, 0]
+        # And a non-empty serial frame with an empty query block works.
+        frame = session.process(_frames(1)[0], np.zeros((0, 3)))
+        assert frame.result.counts.shape == (0,)
+
+
+def test_drift_cadence_anchors_to_calibration():
+    """Checks land drift_interval frames after the last calibration.
+
+    An empty head frame shifts the first calibration to frame 1, so
+    absolute ``frame_id % interval`` phase (the old behaviour: checks
+    at frames 2 and 4) diverges from the calibration-anchored cadence
+    (checks at frames 3 and 5).
+    """
+    frames = [np.zeros((0, 3))] + _frames(4)
+    session_config = StreamingSessionConfig(drift_interval=2)
+    with StreamSession(_config("serial"), k=5,
+                       session=session_config) as session:
+        outcomes = session.run(frames)
+    assert outcomes[0].n_points == 0
+    assert outcomes[1].recalibrated            # first real frame
+    assert outcomes[2].drift is None           # 1 frame since calibration
+    assert outcomes[3].drift is not None       # 2 frames since
+    assert outcomes[4].drift is None
+    assert session.stats.drift_checks == 1
+
+
+def test_recalibration_resets_drift_cadence(rng):
+    base = rng.uniform(0, 1, size=(70, 3))
+    grown = rng.uniform(0, 1, size=(900, 3))
+    frames = [base, base.copy(), grown, grown.copy(), grown.copy(),
+              grown.copy()]
+    session_config = StreamingSessionConfig(drift_interval=2)
+    with StreamSession(_config("serial"), k=5,
+                       session=session_config) as session:
+        outcomes = session.run(frames)
+    # Frame 0 calibrates; the frame-2 check fires a re-calibration,
+    # restarting the cadence there: next check two frames later.
+    assert outcomes[2].recalibrated
+    assert outcomes[3].drift is None
+    assert outcomes[4].drift is not None and not outcomes[4].recalibrated
+    assert outcomes[5].drift is None
+    assert session.stats.drift_checks == 2
+    assert session.stats.calibrations == 2
+
+
+# ----------------------------------------------------------------------
 # Misc session mechanics
 # ----------------------------------------------------------------------
 def test_session_validation():
@@ -309,6 +661,10 @@ def test_session_validation():
         StreamingSessionConfig(drift_queries=0)
     with pytest.raises(ValidationError):
         StreamingSessionConfig(drift_interval=0)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(drift_interval=-3)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(cache_max_entries=0)
     session = StreamSession(_config("serial"), k=3)
     with pytest.raises(ValidationError):
         session.run(_frames(2), queries=[None])
