@@ -11,6 +11,7 @@ from repro.core.cotraining import (
     baseline_config,
     cs_config,
     cs_dt_config,
+    pad_group_batch,
 )
 from repro.core.extensions import (
     RecallCalibration,
@@ -49,6 +50,7 @@ __all__ = [
     "baseline_config",
     "cs_config",
     "cs_dt_config",
+    "pad_group_batch",
     "CompulsorySplitter",
     "count_accessed_chunks",
     "naive_partition",

@@ -62,6 +62,31 @@ from repro.spatial.kdtree import (
 )
 
 
+def pad_group_batch(indices: np.ndarray, counts: np.ndarray, size: int,
+                    queries: np.ndarray,
+                    positions: np.ndarray) -> np.ndarray:
+    """Vectorized repeat-padding of a ``(Q, C)`` batch to width *size*.
+
+    The PointNet++ grouping semantics shared by
+    :class:`GroupingContext` and the session-backed registration
+    estimator (:mod:`repro.registration.odometry`): rows are filled
+    with real hits first (closest first), then the first hit repeated
+    up to *size*; empty rows (no hits — capped searches or empty
+    windows) are all resolved in a single blocked nearest-point pass
+    over *positions* so downstream consumers always have support.
+    """
+    n_queries, width = indices.shape
+    out = np.full((n_queries, size), -1, dtype=np.int64)
+    out[:, :min(width, size)] = indices[:, :size]
+    counts = np.minimum(counts.astype(np.int64), size)
+    empty = counts == 0
+    if empty.any():
+        out[empty, 0] = nearest_point_indices(positions, queries[empty])
+        counts = np.where(empty, 1, counts)
+    cols = np.arange(size)[None, :]
+    return np.where(cols < counts[:, None], out, out[:, 0:1])
+
+
 class GroupingContext:
     """Per-cloud neighbour-search context honouring a StreamGrid config."""
 
@@ -99,6 +124,14 @@ class GroupingContext:
     def deadline(self) -> Optional[int]:
         """Step deadline in force (None when DT is disabled)."""
         return self._deadline
+
+    @property
+    def effective_executor(self) -> str:
+        """The runtime backend actually in force (``"serial"`` under
+        fallback), whichever variant path this context took."""
+        if self._splitter is not None:
+            return self._splitter.effective_executor
+        return self._scheduler.executor.effective
 
     def close(self) -> None:
         """Shut down any live executor workers (idempotent)."""
@@ -172,22 +205,9 @@ class GroupingContext:
 
     def _pad_batch(self, indices: np.ndarray, counts: np.ndarray,
                    size: int, queries: np.ndarray) -> np.ndarray:
-        """Vectorized repeat-padding of a ``(Q, C)`` batch to width *size*.
-
-        Empty rows (no hits — capped searches or empty windows) are all
-        resolved in a single blocked nearest-point pass over the cloud.
-        """
-        n_queries, width = indices.shape
-        out = np.full((n_queries, size), -1, dtype=np.int64)
-        out[:, :min(width, size)] = indices[:, :size]
-        counts = np.minimum(counts.astype(np.int64), size)
-        empty = counts == 0
-        if empty.any():
-            out[empty, 0] = nearest_point_indices(self.positions,
-                                                  queries[empty])
-            counts = np.where(empty, 1, counts)
-        cols = np.arange(size)[None, :]
-        return np.where(cols < counts[:, None], out, out[:, 0:1])
+        """:func:`pad_group_batch` against this context's cloud."""
+        return pad_group_batch(indices, counts, size, queries,
+                               self.positions)
 
 
 def baseline_config() -> StreamGridConfig:

@@ -8,6 +8,13 @@ pipeline name onto the paper's per-domain splitting/termination settings
 and returns a live :class:`~repro.streaming.StreamSession`;
 :func:`stream_pipeline` drives a whole frame sequence through it and
 returns the per-frame results.
+
+The registration domain additionally runs **end to end**: with
+``odometry=True`` the entry points return / drive a session-backed
+:class:`~repro.registration.odometry.OdometrySession` — the A-LOAM
+scan-to-scan estimator as a streaming operator over two warm feature
+sessions — and each per-frame result carries the chained pose estimate
+in its ``payload`` (``frame.payload["pose"]``).
 """
 
 from __future__ import annotations
@@ -44,20 +51,9 @@ def session_pipelines() -> tuple:
     return tuple(sorted(_SESSION_SETTINGS))
 
 
-def session_for_pipeline(name: str, k: int = 16,
-                         deadline_fraction: float = 0.25,
-                         executor: str = "serial",
-                         executor_workers: Optional[int] = None,
-                         session: Optional[StreamingSessionConfig] = None
-                         ) -> StreamSession:
-    """A :class:`StreamSession` configured like the named pipeline.
-
-    ``executor`` / ``executor_workers`` select the window-shard runtime
-    backend exactly as on the one-shot builders; ``session`` carries
-    the frame-reuse knobs — drift tolerance and cadence, incremental
-    index repair (``reuse_index``), and the cross-frame result cache
-    (``result_cache`` / ``cache_max_entries``, on by default).
-    """
+def _pipeline_config(name: str, deadline_fraction: float, executor: str,
+                     executor_workers: Optional[int]) -> StreamGridConfig:
+    """The named pipeline's paper-settings :class:`StreamGridConfig`."""
     try:
         splitting, use_termination = _SESSION_SETTINGS[name]
     except KeyError:
@@ -65,12 +61,50 @@ def session_for_pipeline(name: str, k: int = 16,
             f"unknown session pipeline {name!r}; available: "
             f"{sorted(_SESSION_SETTINGS)}"
         ) from None
-    config = StreamGridConfig(
+    return StreamGridConfig(
         splitting=splitting,
         termination=TerminationConfig(deadline_fraction=deadline_fraction),
         use_termination=use_termination,
         executor=executor,
         executor_workers=executor_workers)
+
+
+def session_for_pipeline(name: str, k: int = 16,
+                         deadline_fraction: float = 0.25,
+                         executor: str = "serial",
+                         executor_workers: Optional[int] = None,
+                         session: Optional[StreamingSessionConfig] = None,
+                         odometry: bool = False,
+                         feature_config=None,
+                         max_iterations: int = 8):
+    """A live session configured like the named pipeline.
+
+    ``executor`` / ``executor_workers`` select the window-shard runtime
+    backend exactly as on the one-shot builders; ``session`` carries
+    the frame-reuse knobs — drift tolerance and cadence, incremental
+    index repair (``reuse_index``), and the cross-frame result cache
+    (``result_cache`` / ``cache_max_entries``, on by default).
+
+    ``odometry=True`` (registration only) returns the domain operator
+    instead of a raw session: a
+    :class:`~repro.registration.odometry.OdometrySession` running
+    A-LOAM scan-to-scan alignment over two warm feature-cloud sessions
+    under the paper's registration settings (``k`` is ignored — the
+    estimator uses the A-LOAM correspondence ks, 2 edges / 3 planars;
+    ``feature_config`` / ``max_iterations`` tune the frontend and the
+    Gauss-Newton solve).
+    """
+    config = _pipeline_config(name, deadline_fraction, executor,
+                              executor_workers)
+    if odometry:
+        if name != "registration":
+            raise ValidationError(
+                f"odometry mode is a registration operator; got {name!r}")
+        from repro.registration.odometry import OdometrySession
+
+        return OdometrySession(config, feature_config=feature_config,
+                               max_iterations=max_iterations,
+                               session=session)
     return StreamSession(config, k=k, session=session)
 
 
@@ -78,8 +112,10 @@ def stream_pipeline(name: str, frames: Iterable, k: int = 16,
                     deadline_fraction: float = 0.25,
                     executor: str = "serial",
                     executor_workers: Optional[int] = None,
-                    session: Optional[StreamingSessionConfig] = None
-                    ) -> List[FrameResult]:
+                    session: Optional[StreamingSessionConfig] = None,
+                    odometry: bool = False,
+                    feature_config=None,
+                    max_iterations: int = 8) -> List[FrameResult]:
     """Stream *frames* through the named pipeline's session.
 
     ``frames`` is any iterable — a list, a generator, a live feed —
@@ -87,9 +123,20 @@ def stream_pipeline(name: str, frames: Iterable, k: int = 16,
     ``positions`` attribute).  The session is torn down afterwards;
     keep one yourself via :func:`session_for_pipeline` when frames
     arrive incrementally.
+
+    With ``odometry=True`` (registration only) *frames* must be LiDAR
+    scans carrying ``ring`` / ``azimuth_step`` attributes (e.g. from
+    :func:`repro.datasets.make_lidar_frame_sequence`); the frames run
+    through the session-backed scan-to-scan estimator and each returned
+    :class:`~repro.streaming.FrameResult` carries the chained pose in
+    ``payload["pose"]`` (plus the per-pair
+    :class:`~repro.registration.icp.ICPResult` as
+    ``payload["alignment"]``, ``None`` on the first scan).
     """
     with session_for_pipeline(
             name, k=k, deadline_fraction=deadline_fraction,
             executor=executor, executor_workers=executor_workers,
-            session=session) as live:
+            session=session, odometry=odometry,
+            feature_config=feature_config,
+            max_iterations=max_iterations) as live:
         return live.run(frames)

@@ -18,6 +18,7 @@ from repro.registration.icp import (
 )
 from repro.registration.odometry import (
     OdometryResult,
+    OdometrySession,
     feature_clouds_summary,
     run_odometry,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "point_to_line_residual",
     "rotation_from_euler",
     "OdometryResult",
+    "OdometrySession",
     "feature_clouds_summary",
     "run_odometry",
 ]

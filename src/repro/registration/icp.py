@@ -3,8 +3,11 @@
 Each iteration finds correspondences with kNN — the global-dependent,
 non-deterministic operation StreamGrid modifies — then linearises the
 residuals around the current pose and solves the normal equations.  The
-search runs through a caller-supplied ``knn_fn(query, k) -> indices`` so
-Base / CS / CS+DT behaviour is injected by
+search runs through a caller-supplied **batched** callable
+``knn_fn(queries, k) -> (Q, k) int64`` (one call per iteration per
+feature type, not one per point), so Base / CS / CS+DT behaviour — and
+the warm :class:`~repro.streaming.StreamSession` dispatch of
+:class:`~repro.registration.odometry.OdometrySession` — is injected by
 :mod:`repro.registration.odometry`.
 """
 
@@ -17,6 +20,9 @@ import numpy as np
 
 from repro.errors import ValidationError
 
+#: Batched correspondence search: ``(Q, 3) queries, k -> (Q, k)``
+#: neighbour-index rows (row *i* serves query *i*; rows may repeat-pad,
+#: like :meth:`repro.core.cotraining.GroupingContext.knn_group`).
 KnnFn = Callable[[np.ndarray, int], np.ndarray]
 
 
@@ -51,20 +57,33 @@ def _pose_matrix(params: np.ndarray) -> np.ndarray:
 def point_to_line_residual(point: np.ndarray, line_a: np.ndarray,
                            line_b: np.ndarray) -> tuple:
     """(residual, unit normal) of *point* against segment line (a, b)."""
+    dist, normal = _line_residuals(point[None, :], line_a[None, :],
+                                   line_b[None, :])
+    return float(dist[0]), normal[0]
+
+
+def _line_residuals(points: np.ndarray, line_a: np.ndarray,
+                    line_b: np.ndarray) -> tuple:
+    """Vectorized point-to-line residuals: ``(dist, unit normal)`` rows.
+
+    Degenerate segments (coincident endpoints — e.g. repeat-padded kNN
+    rows) fall back to point-to-point; zero-distance rows get the
+    conventional ``[1, 0, 0]`` normal, like the scalar original.
+    """
     direction = line_b - line_a
-    norm = np.linalg.norm(direction)
-    if norm < 1e-9:
-        # Degenerate line: fall back to point-to-point.
-        diff = point - line_a
-        dist = np.linalg.norm(diff)
-        normal = diff / dist if dist > 1e-12 else np.array([1.0, 0, 0])
-        return dist, normal
-    direction = direction / norm
-    diff = point - line_a
-    perpendicular = diff - np.dot(diff, direction) * direction
-    dist = np.linalg.norm(perpendicular)
-    normal = (perpendicular / dist if dist > 1e-12
-              else np.array([1.0, 0, 0]))
+    norm = np.linalg.norm(direction, axis=1)
+    diff = points - line_a
+    degenerate = norm < 1e-9
+    safe_norm = np.where(degenerate, 1.0, norm)
+    unit = direction / safe_norm[:, None]
+    along = np.einsum("ij,ij->i", diff, unit)
+    perpendicular = diff - along[:, None] * unit
+    # Degenerate rows measure the raw point-to-point offset instead.
+    vec = np.where(degenerate[:, None], diff, perpendicular)
+    dist = np.linalg.norm(vec, axis=1)
+    zero = dist <= 1e-12
+    normal = np.where(zero[:, None], np.array([1.0, 0.0, 0.0]),
+                      vec / np.where(zero, 1.0, dist)[:, None])
     return dist, normal
 
 
@@ -78,6 +97,17 @@ def plane_from_points(points: np.ndarray) -> tuple:
     _, _, vt = np.linalg.svd(centered, full_matrices=False)
     normal = vt[-1]
     return normal, -float(np.dot(normal, centroid))
+
+
+def _planes_from_point_triples(triples: np.ndarray) -> tuple:
+    """Vectorized :func:`plane_from_points` over ``(P, m, 3)`` stacks:
+    one batched SVD instead of one LAPACK call per correspondence."""
+    centroids = triples.mean(axis=1)
+    centered = triples - centroids[:, None, :]
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    normals = vt[:, -1, :]
+    offsets = -np.einsum("ij,ij->i", normals, centroids)
+    return normals, offsets
 
 
 def gauss_newton_align(
@@ -95,7 +125,8 @@ def gauss_newton_align(
 ) -> ICPResult:
     """Align source features to target features.
 
-    ``edge_knn`` / ``plane_knn`` query the *target* feature clouds; edge
+    ``edge_knn`` / ``plane_knn`` query the *target* feature clouds — one
+    batched call per iteration over all moved source features; edge
     residuals use the two nearest target edges as a line, planar residuals
     use the three nearest target planars as a plane.  Correspondences with
     residuals above ``max_residual`` are rejected each iteration (A-LOAM's
@@ -118,34 +149,39 @@ def gauss_newton_align(
     for iteration in range(1, max_iterations + 1):
         rot = rotation_from_euler(*params[:3])
         trans = params[3:]
-        rows, residuals = [], []
+        blocks, residual_blocks = [], []
         moved_edges = source_edges @ rot.T + trans
-        for src, moved in zip(source_edges, moved_edges):
-            neighbors = edge_knn(moved, 2)
-            if len(neighbors) < 2:
-                continue
-            dist, normal = point_to_line_residual(
-                moved, target_edges[neighbors[0]],
-                target_edges[neighbors[1]])
-            if abs(dist) > max_residual:
-                continue
-            rows.append(_jacobian_row(src, params, normal))
-            residuals.append(dist)
+        if len(moved_edges):
+            neighbors = np.asarray(edge_knn(moved_edges, 2))
+            # Underpopulated rows (-1 padding from a searcher that
+            # found < 2 hits) are rejected, like the per-point guard.
+            valid = (neighbors >= 0).all(axis=1)
+            safe = np.clip(neighbors, 0, None)
+            dist, normals = _line_residuals(
+                moved_edges, target_edges[safe[:, 0]],
+                target_edges[safe[:, 1]])
+            keep = valid & (np.abs(dist) <= max_residual)
+            if keep.any():
+                blocks.append(_jacobian_rows(source_edges[keep], params,
+                                             normals[keep]))
+                residual_blocks.append(dist[keep])
         moved_planes = source_planes @ rot.T + trans
-        for src, moved in zip(source_planes, moved_planes):
-            neighbors = plane_knn(moved, 3)
-            if len(neighbors) < 3:
-                continue
-            normal, offset = plane_from_points(target_planes[neighbors])
-            dist = float(np.dot(normal, moved) + offset)
-            if abs(dist) > max_residual:
-                continue
-            rows.append(_jacobian_row(src, params, normal))
-            residuals.append(dist)
-        if len(residuals) < 6:
+        if len(moved_planes):
+            neighbors = np.asarray(plane_knn(moved_planes, 3))
+            valid = (neighbors >= 0).all(axis=1)
+            normals, offsets = _planes_from_point_triples(
+                target_planes[np.clip(neighbors, 0, None)])
+            dist = np.einsum("ij,ij->i", normals, moved_planes) + offsets
+            keep = valid & (np.abs(dist) <= max_residual)
+            if keep.any():
+                blocks.append(_jacobian_rows(source_planes[keep], params,
+                                             normals[keep]))
+                residual_blocks.append(dist[keep])
+        res = np.concatenate(residual_blocks) if residual_blocks else \
+            np.zeros(0)
+        if len(res) < 6:
             break
-        jac = np.array(rows)
-        res = np.array(residuals)
+        jac = np.concatenate(blocks)
         new_cost = float(np.mean(res ** 2))
         hessian = jac.T @ jac + damping * np.eye(6)
         try:
@@ -162,19 +198,21 @@ def gauss_newton_align(
                      converged)
 
 
-def _jacobian_row(source_point: np.ndarray, params: np.ndarray,
-                  normal: np.ndarray) -> np.ndarray:
-    """d(residual)/d(rx, ry, rz, tx, ty, tz) via numeric differentiation
-    of the rotation part (exact for translation)."""
-    row = np.empty(6)
+def _jacobian_rows(source_points: np.ndarray, params: np.ndarray,
+                   normals: np.ndarray) -> np.ndarray:
+    """d(residual)/d(rx, ry, rz, tx, ty, tz) rows for a correspondence
+    block — numeric differentiation of the rotation part (exact for
+    translation), with the four rotation matrices (base + one bump per
+    Euler axis) built once per block instead of once per point."""
     eps = 1e-6
     rot = rotation_from_euler(*params[:3])
-    base = rot @ source_point
+    base = source_points @ rot.T
+    rows = np.empty((len(source_points), 6))
     for axis in range(3):
         bumped = params[:3].copy()
         bumped[axis] += eps
         rot_b = rotation_from_euler(*bumped)
-        row[axis] = float(np.dot(normal,
-                                 (rot_b @ source_point - base))) / eps
-    row[3:] = normal
-    return row
+        delta = source_points @ rot_b.T - base
+        rows[:, axis] = np.einsum("ij,ij->i", normals, delta) / eps
+    rows[:, 3:] = normals
+    return rows

@@ -7,6 +7,27 @@ Gauss-Newton, and chains the relative poses into a trajectory.  The
 variant config decides how the kNN behaves: Base (exact), CS (serial
 chunk windows — LiDAR clouds split by arrival order), CS+DT (plus the
 profiled step deadline).
+
+Two execution modes share the same Gauss-Newton core and batched
+correspondence search:
+
+* **session-backed** (:class:`OdometrySession`, the default for
+  splitting configs) — the estimator is a *streaming operator* over two
+  persistent :class:`~repro.streaming.StreamSession`\\ s (edge and
+  planar feature clouds), warm across the whole sequence: each scan's
+  features are ingested once, the termination deadline is drift-gated
+  instead of re-profiled per pair, executor pools and chunk→window
+  tables survive frame over frame, and every Gauss-Newton iteration is
+  one :class:`~repro.streaming.FramePlan` dispatch against the live
+  index;
+* **one-shot** (``run_odometry(..., warm=False)``) — the
+  rebuild-per-pair reference: a fresh
+  :class:`~repro.core.cotraining.GroupingContext` (grid + window trees
+  + executor pool + deadline profile) per feature cloud of each scan
+  pair, exactly what a non-streaming caller would write.  At a pinned
+  deadline the two modes produce bit-identical poses
+  (``tests/test_registration.py`` proves it);
+  ``benchmarks/bench_odometry_session.py`` tracks the throughput gap.
 """
 
 from __future__ import annotations
@@ -16,14 +37,27 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.config import StreamGridConfig
-from repro.core.cotraining import GroupingContext
+from repro.core.config import StreamGridConfig, StreamingSessionConfig
+from repro.core.cotraining import GroupingContext, pad_group_batch
 from repro.datasets.kitti import LidarSequence
 from repro.errors import ValidationError
 from repro.pointcloud.cloud import PointCloud
 from repro.pointcloud.metrics import trajectory_errors
 from repro.registration.features import FeatureConfig, extract_features
-from repro.registration.icp import ICPResult, gauss_newton_align
+from repro.registration.icp import ICPResult, KnnFn, gauss_newton_align
+from repro.streaming import FramePlan, FrameResult, StreamSession
+
+#: Ingest-only query block: feature-cloud frames are kNN *targets*; the
+#: queries arrive later, one plan dispatch per Gauss-Newton iteration.
+_INGEST_ONLY = np.zeros((0, 3))
+
+#: Registration-tuned session defaults: consecutive feature clouds of a
+#: driving sequence shift their step profile slowly, so the drift check
+#: runs every other scan on a small sample — much cheaper than the
+#: per-pair re-profiling of the one-shot path while still catching
+#: scene changes within two scans.
+_ODOMETRY_SESSION = StreamingSessionConfig(drift_interval=2,
+                                           drift_queries=8)
 
 
 @dataclass
@@ -34,34 +68,203 @@ class OdometryResult:
     alignments: List[ICPResult] = field(default_factory=list)
 
     def errors_against(self, ground_truth: List[np.ndarray]) -> dict:
-        """KITTI-style error summary against the true trajectory."""
+        """KITTI-style error summary against the true trajectory.
+
+        Raises :class:`~repro.errors.ValidationError` when the ground
+        truth does not pair one pose per estimated pose — ragged
+        trajectories silently zipping short would misreport drift.
+        """
+        ground_truth = list(ground_truth)
+        if len(self.poses) != len(ground_truth):
+            raise ValidationError(
+                f"trajectory length mismatch: {len(self.poses)} estimated "
+                f"poses vs {len(ground_truth)} ground-truth poses")
         return trajectory_errors(self.poses, ground_truth)
 
 
-def _make_knn_fn(positions: np.ndarray, config: StreamGridConfig,
-                 calibration_k: int):
-    """Build the variant-aware kNN callable over one feature cloud."""
-    context = GroupingContext(positions, config,
-                              calibration_k=calibration_k)
+class OdometrySession:
+    """Session-backed scan-to-scan odometry: two warm feature sessions.
 
-    def knn(query: np.ndarray, k: int) -> np.ndarray:
-        return context.knn_group(query[None, :], k)[0]
+    The registration application as a *streaming operator* over
+    :class:`~repro.streaming.StreamSession`: one session per feature
+    type (edges, planes) holds the previous scan's feature cloud as its
+    live frame.  Per scan, the estimator (1) aligns the new scan's
+    features against both sessions — each Gauss-Newton iteration is one
+    batched :meth:`~repro.streaming.StreamSession.query` plan dispatch,
+    not a per-point callable — then (2) ingests the new features so the
+    next scan aligns against them.  Expensive state (executor pools,
+    chunk→window tables, the drift-gated termination deadline, cached
+    window results) stays warm across the whole sequence instead of
+    being rebuilt per scan pair.
 
-    return knn
+    Requires a splitting config (``use_splitting=True``) — the Base
+    variant has no windowed index to keep warm; use
+    ``run_odometry(..., warm=False)`` for it.  Use as a context manager
+    (or call :meth:`close`) so executor workers are torn down
+    deterministically.
+    """
+
+    def __init__(self, config: Optional[StreamGridConfig] = None,
+                 feature_config: Optional[FeatureConfig] = None,
+                 max_iterations: int = 8,
+                 start_pose: Optional[np.ndarray] = None,
+                 session=None) -> None:
+        self.config = config or StreamGridConfig()
+        if not self.config.use_splitting:
+            raise ValidationError(
+                "OdometrySession needs a splitting config "
+                "(use_splitting=True); use run_odometry(..., warm=False) "
+                "for the Base variant")
+        if max_iterations <= 0:
+            raise ValidationError("max_iterations must be positive")
+        self.feature_config = feature_config or FeatureConfig()
+        self.max_iterations = int(max_iterations)
+        start = np.eye(4) if start_pose is None else \
+            np.asarray(start_pose, dtype=np.float64)
+        if start.shape != (4, 4):
+            raise ValidationError("start_pose must be a 4x4 pose")
+        self._start_pose = start.copy()
+        #: k mirrors what :func:`gauss_newton_align` asks per feature
+        #: type: 2 nearest edges form the line, 3 nearest planars the
+        #: plane (also each session's deadline-calibration k, matching
+        #: the one-shot contexts' ``calibration_k``).
+        session = session if session is not None else _ODOMETRY_SESSION
+        self._edges = StreamSession(self.config, k=2, session=session)
+        self._planes = StreamSession(self.config, k=3, session=session)
+        self._edge_plan = FramePlan.knn(2, name="edges")
+        self._plane_plan = FramePlan.knn(3, name="planes")
+        self._prev_edges: Optional[PointCloud] = None
+        self._prev_planes: Optional[PointCloud] = None
+        self._relative = np.eye(4)
+        self.poses: List[np.ndarray] = []
+        self.alignments: List[ICPResult] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def scans_processed(self) -> int:
+        return len(self.poses)
+
+    @property
+    def effective_executor(self) -> str:
+        """The backend actually in force on the feature sessions."""
+        return self._edges.effective_executor
+
+    @property
+    def stats(self) -> dict:
+        """Per-feature-type session reuse counters:
+        ``{"edges": SessionStats, "planes": SessionStats}``."""
+        return {"edges": self._edges.stats, "planes": self._planes.stats}
+
+    def close(self) -> None:
+        """Shut down both feature sessions (idempotent)."""
+        self._edges.close()
+        self._planes.close()
+
+    def __enter__(self) -> "OdometrySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _session_knn(self, session: StreamSession, plan: FramePlan,
+                     name: str, target: np.ndarray) -> KnnFn:
+        """A batched ICP correspondence search over one live session.
+
+        Each call runs one plan dispatch against the session's current
+        frame (the previous scan's feature cloud) at the deadline
+        resolved at ingest, then applies the grouping padding
+        (:func:`~repro.core.cotraining.pad_group_batch`) so rows match
+        :meth:`~repro.core.cotraining.GroupingContext.knn_group`
+        bit for bit.
+        """
+        def knn(queries: np.ndarray, k: int) -> np.ndarray:
+            result = session.query(plan, {name: queries})[name]
+            return pad_group_batch(result.indices, result.counts, k,
+                                   queries, target)
+        return knn
+
+    def process_scan(self, scan: PointCloud) -> FrameResult:
+        """Advance the estimator by one scan.
+
+        Aligns the scan's features against the sessions (which hold the
+        previous scan's features), chains the pose, then ingests this
+        scan's features as the next alignment target.  Returns the
+        edge session's ingest :class:`~repro.streaming.FrameResult`
+        for this scan, with the odometry outcome in its ``payload``:
+        ``pose`` (the chained 4×4 estimate), ``alignment`` (the
+        :class:`~repro.registration.icp.ICPResult`, ``None`` for the
+        first scan), ``n_edges`` / ``n_planes``, and ``plane_frame``
+        (the planar session's ingest bookkeeping).
+        """
+        edges, planes = extract_features(scan, self.feature_config)
+        alignment: Optional[ICPResult] = None
+        if self._prev_edges is None:
+            pose = self._start_pose.copy()
+        else:
+            alignment = gauss_newton_align(
+                edges.positions, planes.positions,
+                self._prev_edges.positions, self._prev_planes.positions,
+                self._session_knn(self._edges, self._edge_plan, "edges",
+                                  self._prev_edges.positions),
+                self._session_knn(self._planes, self._plane_plan,
+                                  "planes", self._prev_planes.positions),
+                initial=self._relative,
+                max_iterations=self.max_iterations)
+            self._relative = alignment.transform
+            pose = self.poses[-1] @ alignment.transform
+            self.alignments.append(alignment)
+        self.poses.append(pose)
+        edge_frame = self._edges.execute(edges.positions, self._edge_plan,
+                                         {"edges": _INGEST_ONLY})
+        plane_frame = self._planes.execute(planes.positions,
+                                           self._plane_plan,
+                                           {"planes": _INGEST_ONLY})
+        self._prev_edges, self._prev_planes = edges, planes
+        edge_frame.payload.update(
+            pose=pose, alignment=alignment, n_edges=len(edges),
+            n_planes=len(planes), plane_frame=plane_frame)
+        return edge_frame
+
+    def run(self, scans) -> List[FrameResult]:
+        """Process a whole scan iterable; one annotated frame per scan."""
+        return [self.process_scan(scan) for scan in scans]
+
+    def result(self) -> OdometryResult:
+        """The trajectory estimated so far."""
+        return OdometryResult(list(self.poses), list(self.alignments))
 
 
 def run_odometry(sequence: LidarSequence,
                  config: StreamGridConfig,
                  feature_config: Optional[FeatureConfig] = None,
-                 max_iterations: int = 8) -> OdometryResult:
+                 max_iterations: int = 8,
+                 warm: Optional[bool] = None) -> OdometryResult:
     """Estimate the trajectory of a simulated LiDAR sequence.
 
     The first pose is pinned to the ground-truth origin (standard odometry
     convention); each subsequent pose chains the scan-to-scan estimate.
+
+    ``warm`` selects the execution mode: ``True`` drives the
+    session-backed :class:`OdometrySession` (splitting configs only),
+    ``False`` the one-shot rebuild-per-pair reference, ``None`` (the
+    default) picks session-backed whenever the config splits.  At a
+    pinned deadline (``TerminationConfig.deadline_steps``) both modes
+    produce bit-identical poses.
     """
     if len(sequence) < 2:
         raise ValidationError("odometry needs at least two scans")
     feature_config = feature_config or FeatureConfig()
+    if warm is None:
+        warm = config.use_splitting
+    if warm:
+        with OdometrySession(config, feature_config=feature_config,
+                             max_iterations=max_iterations,
+                             start_pose=sequence.poses[0]) as estimator:
+            estimator.run(sequence.scans)
+            return estimator.result()
+    # One-shot reference: a fresh GroupingContext (grid, window trees,
+    # executor pool, deadline profile) per feature cloud of each pair.
     features = [extract_features(scan, feature_config)
                 for scan in sequence.scans]
     poses = [np.asarray(sequence.poses[0], dtype=np.float64).copy()]
@@ -70,17 +273,17 @@ def run_odometry(sequence: LidarSequence,
     for i in range(1, len(sequence)):
         prev_edges, prev_planes = features[i - 1]
         cur_edges, cur_planes = features[i]
-        edge_knn = _make_knn_fn(prev_edges.positions, config,
-                                calibration_k=2)
-        plane_knn = _make_knn_fn(prev_planes.positions, config,
-                                 calibration_k=3)
-        result = gauss_newton_align(
-            cur_edges.positions, cur_planes.positions,
-            prev_edges.positions, prev_planes.positions,
-            edge_knn, plane_knn,
-            initial=relative_guess,
-            max_iterations=max_iterations,
-        )
+        with GroupingContext(prev_edges.positions, config,
+                             calibration_k=2) as edge_ctx, \
+                GroupingContext(prev_planes.positions, config,
+                                calibration_k=3) as plane_ctx:
+            result = gauss_newton_align(
+                cur_edges.positions, cur_planes.positions,
+                prev_edges.positions, prev_planes.positions,
+                edge_ctx.knn_group, plane_ctx.knn_group,
+                initial=relative_guess,
+                max_iterations=max_iterations,
+            )
         alignments.append(result)
         relative_guess = result.transform
         poses.append(poses[-1] @ result.transform)

@@ -132,11 +132,51 @@ class WindowScheduler:
         """Run *units* on the backend; results come back in unit order."""
         return self.executor.run(units)
 
+    def execute_by_window(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Run *units* grouped by serving window; results in unit order.
+
+        The mixed-op execution primitive: units from *different* query
+        ops are submitted to the executor in ascending-window order
+        (stable within a window), so every op's work against window
+        ``w`` lands on ``w``'s shard back to back — one warm pass per
+        window instead of one per op.  The returned list is re-scattered
+        to the caller's unit order, so results are identical to
+        :meth:`execute` whichever order the backend ran them in.
+        """
+        order = sorted(range(len(units)),
+                       key=lambda i: (units[i].window, i))
+        executed = self.executor.run([units[i] for i in order])
+        results: List[Any] = [None] * len(units)
+        for i, result in zip(order, executed):
+            results[i] = result
+        return results
+
     def run(self, queries: np.ndarray, window_ids: np.ndarray, kind: str,
             params: Dict[str, Any]) -> List[Tuple[WorkUnit, Any]]:
         """Schedule + execute: ``(unit, result)`` pairs in unit order."""
         units = self.schedule(queries, window_ids, kind, params)
         return list(zip(units, self.execute(units)))
+
+    def run_ops(self, ops: Sequence[Tuple[np.ndarray, np.ndarray, str,
+                                          Dict[str, Any]]]
+                ) -> List[List[Tuple[WorkUnit, Any]]]:
+        """Schedule + execute several query ops as ONE executor dispatch.
+
+        ``ops`` is a sequence of ``(queries, window_ids, kind, params)``
+        tuples — e.g. a frame plan's kNN op and range op side by side.
+        Every op is bucketed into per-window units, the union of all
+        units runs through :meth:`execute_by_window` in a single
+        executor batch, and the outcomes come back as one
+        ``(unit, result)`` pair list per op, in op order — exactly what
+        :meth:`run` would have produced op by op, minus the extra
+        executor round-trips.
+        """
+        unit_groups = [self.schedule(queries, window_ids, kind, params)
+                       for queries, window_ids, kind, params in ops]
+        flat = [unit for group in unit_groups for unit in group]
+        results = iter(self.execute_by_window(flat))
+        return [[(unit, next(results)) for unit in group]
+                for group in unit_groups]
 
     def reset_workers(self) -> None:
         """Drop worker-held state snapshots; the executor stays warm.

@@ -19,6 +19,7 @@ from repro.spatial.neighbors import (
     BatchResult,
     ChunkedIndex,
     WindowResultCache,
+    WindowedOp,
     chunked_knn_search,
     chunked_range_search,
     knn_search,
@@ -49,6 +50,7 @@ __all__ = [
     "BatchResult",
     "ChunkedIndex",
     "WindowResultCache",
+    "WindowedOp",
     "chunked_knn_search",
     "chunked_range_search",
     "knn_search",

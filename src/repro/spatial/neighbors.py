@@ -171,6 +171,43 @@ class WindowResultCache:
         self._entries.clear()
 
 
+@dataclass(frozen=True)
+class WindowedOp:
+    """One op of a mixed windowed batch (:meth:`ChunkedIndex.query_mixed_batch`).
+
+    ``kind`` selects the kernel: ``"knn"`` requires a positive ``k``,
+    ``"range"`` a positive ``radius`` (plus an optional ``max_results``
+    cap).  ``queries`` / ``query_chunks`` are the op's own query block
+    and per-query chunk routing — independent of every other op in the
+    batch, empty blocks included.  ``max_steps`` carries the op's own
+    deadline (``None`` = uncapped), so capped and uncapped ops can ride
+    one dispatch.  ``accessed_out`` (a ``(Q,)`` int64 array) requests
+    per-query accessed-chunk counts and forces the traversal engine,
+    exactly like the single-op entry points.
+    """
+
+    kind: str
+    queries: np.ndarray
+    query_chunks: np.ndarray
+    k: Optional[int] = None
+    radius: Optional[float] = None
+    max_steps: Optional[int] = None
+    max_results: Optional[int] = None
+    engine: str = "auto"
+    record_traces: bool = False
+    accessed_out: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("knn", "range"):
+            raise ValidationError(
+                f"op kind must be 'knn' or 'range', got {self.kind!r}")
+        if self.kind == "knn" and (self.k is None or self.k <= 0):
+            raise ValidationError("a 'knn' op needs a positive k")
+        if self.kind == "range" and (self.radius is None
+                                     or self.radius <= 0):
+            raise ValidationError("a 'range' op needs a positive radius")
+
+
 class ChunkedIndex:
     """Per-window kd-trees over a chunk partition of a point cloud.
 
@@ -555,38 +592,55 @@ class ChunkedIndex:
         """
         return run_tree_unit(self._trees[unit.window], unit)
 
-    def _dispatch(self, queries: np.ndarray, widx: np.ndarray,
-                  kind: str, params: Dict, cacheable: bool) -> List[tuple]:
-        """Schedule + execute one batch, replaying cached units.
+    def _dispatch_ops(self, specs: List[tuple]) -> List[List[tuple]]:
+        """Schedule + execute several ops as one executor batch.
 
-        With a :attr:`result_cache` attached and a cacheable batch (no
-        trace recording — traces are dropped before caching would see
-        them), each unit is first looked up by (window content version,
-        query digest, params); hits are replayed without touching the
-        executor, misses run as one (smaller) executor batch and are
-        stored.  Returns ``(unit, window-local result)`` pairs in unit
-        order, exactly like
-        :meth:`~repro.runtime.scheduler.WindowScheduler.run`.
+        ``specs`` holds ``(queries, widx, kind, params, cacheable)``
+        per op.  Every op's query block is split into per-window work
+        units; with a :attr:`result_cache` attached, each *cacheable*
+        unit (no trace recording — traces are dropped before caching
+        would see them) is first looked up by (window content version,
+        query digest, op kind + params) — the kind and parameters live
+        in the key, so a kNN unit can never replay a range unit's
+        result.  Hits replay without touching the executor; the misses
+        of **all** ops run as one executor batch ordered by serving
+        window
+        (:meth:`~repro.runtime.scheduler.WindowScheduler.execute_by_window`)
+        and are stored.  Returns one ``(unit, window-local result)``
+        pair list per op, in unit order, exactly like
+        :meth:`~repro.runtime.scheduler.WindowScheduler.run_ops`.
         """
         runtime = self._runtime()
         cache = self.result_cache
-        if cache is None or not cacheable:
-            return runtime.run(queries, widx, kind, params)
-        units = runtime.schedule(queries, widx, kind, params)
-        outcomes: List = [None] * len(units)
-        to_run: List[tuple] = []
-        for i, unit in enumerate(units):
-            key = cache.key(self._versions[unit.window], unit)
-            local = cache.lookup(key)
-            if local is not None:
-                outcomes[i] = (unit, local)
-            else:
-                to_run.append((i, unit, key))
+        if cache is None:
+            return runtime.run_ops([(queries, widx, kind, params)
+                                    for queries, widx, kind, params, _
+                                    in specs])
+        unit_groups = [runtime.schedule(queries, widx, kind, params)
+                       for queries, widx, kind, params, _ in specs]
+        outcomes: List[List] = [[None] * len(group)
+                                for group in unit_groups]
+        to_run: List[WorkUnit] = []
+        slots: List[tuple] = []
+        for op_idx, (spec, group) in enumerate(zip(specs, unit_groups)):
+            cacheable = spec[4]
+            for unit_idx, unit in enumerate(group):
+                key = None
+                if cacheable:
+                    key = cache.key(self._versions[unit.window], unit)
+                    local = cache.lookup(key)
+                    if local is not None:
+                        outcomes[op_idx][unit_idx] = (unit, local)
+                        continue
+                to_run.append(unit)
+                slots.append((op_idx, unit_idx, key))
         if to_run:
-            fresh = runtime.executor.run([u for _, u, _ in to_run])
-            for (i, unit, key), local in zip(to_run, fresh):
-                cache.store(key, local)
-                outcomes[i] = (unit, local)
+            fresh = runtime.execute_by_window(to_run)
+            for (op_idx, unit_idx, key), unit, local in zip(slots, to_run,
+                                                            fresh):
+                if key is not None:
+                    cache.store(key, local)
+                outcomes[op_idx][unit_idx] = (unit, local)
         return outcomes
 
     def window_for_chunk(self, chunk: int) -> int:
@@ -689,6 +743,111 @@ class ChunkedIndex:
                 out[i] = len(np.unique(self.assignment[visited]))
         return out
 
+    def query_mixed_batch(self, ops: Sequence[WindowedOp]
+                          ) -> List[BatchQueryResult]:
+        """Answer several kNN / range ops in ONE windowed dispatch.
+
+        The mixed-op entry the frame-plan engine
+        (:mod:`repro.streaming.plan`) executes against: each op keeps
+        its own query block, chunk routing, parameters, and deadline;
+        the union of all ops' per-window work units runs through the
+        runtime as a single executor batch ordered by serving window,
+        with per-unit result-cache replay exactly as on the single-op
+        paths.  Returns one :class:`BatchQueryResult` per op, in op
+        order — bit-identical to issuing the ops one at a time through
+        :meth:`query_knn_batch` / :meth:`query_range_batch`.
+        """
+        specs: List[tuple] = []
+        prepared: List[tuple] = []
+        for op in ops:
+            queries = np.atleast_2d(np.asarray(op.queries,
+                                               dtype=np.float64))
+            if queries.size == 0:
+                queries = queries.reshape(0, 3)
+            if queries.shape[1] != 3:
+                raise ValidationError(
+                    f"op queries must be (Q, 3), got {queries.shape}")
+            widx = self.window_of_queries(op.query_chunks) \
+                if len(queries) else np.zeros(0, dtype=np.int64)
+            need_traces = op.record_traces or op.accessed_out is not None
+            if op.kind == "knn":
+                params = {"k": op.k, "max_steps": op.max_steps,
+                          "engine": op.engine,
+                          "record_traces": need_traces}
+            else:
+                params = {"radius": op.radius, "max_steps": op.max_steps,
+                          "max_results": op.max_results,
+                          "engine": op.engine,
+                          "record_traces": need_traces}
+            specs.append((queries, widx, op.kind, params,
+                          not need_traces))
+            prepared.append((op, queries))
+        outcomes_per_op = self._dispatch_ops(specs)
+        results: List[BatchQueryResult] = []
+        for (op, queries), outcomes in zip(prepared, outcomes_per_op):
+            if op.kind == "knn":
+                results.append(self._gather_knn(op, queries, outcomes))
+            else:
+                results.append(self._gather_range(op, queries, outcomes))
+        return results
+
+    def _gather_knn(self, op: WindowedOp, queries: np.ndarray,
+                    outcomes: List[tuple]) -> BatchQueryResult:
+        """Scatter one kNN op's per-window results into a fixed-width
+        ``(Q, k)`` batch, in input order."""
+        n_queries = len(queries)
+        indices = np.full((n_queries, op.k), -1, dtype=np.int64)
+        distances = np.full((n_queries, op.k), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        traces: Optional[List[List[int]]] = \
+            [[] for _ in range(n_queries)] if op.record_traces else None
+        for unit, local in outcomes:
+            if op.accessed_out is not None and local.traces is not None:
+                op.accessed_out[unit.rows] = self._window_trace_counts(
+                    unit.window, local.traces)
+            self._scatter_window(unit.rows, self._members[unit.window],
+                                 local, indices, distances, counts,
+                                 steps, terminated, traces)
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated, traces)
+
+    def _gather_range(self, op: WindowedOp, queries: np.ndarray,
+                      outcomes: List[tuple]) -> BatchQueryResult:
+        """Scatter one range op's per-window results, sized to the
+        widest window result (capped at ``max_results``)."""
+        n_queries = len(queries)
+        accounted: List[tuple] = []
+        for unit, local in outcomes:
+            if op.accessed_out is not None and local.traces is not None:
+                op.accessed_out[unit.rows] = self._window_trace_counts(
+                    unit.window, local.traces)
+            if local.traces is not None and not op.record_traces:
+                # Chunk accounting done — drop the traces before the
+                # capacity pass so only one window's live at a time.
+                local = BatchQueryResult(local.indices, local.distances,
+                                         local.counts, local.steps,
+                                         local.terminated)
+            accounted.append((unit, local))
+        cap = max((res.indices.shape[1] for _, res in accounted),
+                  default=0)
+        if op.max_results is not None:
+            cap = min(cap, op.max_results)
+        indices = np.full((n_queries, cap), -1, dtype=np.int64)
+        distances = np.full((n_queries, cap), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        traces: Optional[List[List[int]]] = \
+            [[] for _ in range(n_queries)] if op.record_traces else None
+        for unit, local in accounted:
+            self._scatter_window(unit.rows, self._members[unit.window],
+                                 local, indices, distances, counts,
+                                 steps, terminated, traces)
+        return BatchQueryResult(indices, distances, counts, steps,
+                                terminated, traces)
+
     def query_knn_batch(self, queries: np.ndarray,
                         query_chunks: np.ndarray, k: int,
                         max_steps: Optional[int] = None,
@@ -698,7 +857,8 @@ class ChunkedIndex:
                         ) -> BatchQueryResult:
         """Windowed kNN for a query block, results in input order.
 
-        Queries are grouped by serving window; each window's sub-batch
+        The single-op convenience over :meth:`query_mixed_batch`:
+        queries are grouped by serving window; each window's sub-batch
         becomes one work unit, executed by the runtime backend selected
         at construction.  Indices refer to the original point array;
         queries served by an empty window come back with ``counts == 0``
@@ -708,30 +868,10 @@ class ChunkedIndex:
         accessed-chunk counts window by window, so traces live only as
         long as one window's batch instead of the whole query set.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        widx = self.window_of_queries(query_chunks)
-        n_queries = len(queries)
-        indices = np.full((n_queries, k), -1, dtype=np.int64)
-        distances = np.full((n_queries, k), np.inf, dtype=np.float64)
-        counts = np.zeros(n_queries, dtype=np.int64)
-        steps = np.zeros(n_queries, dtype=np.int64)
-        terminated = np.zeros(n_queries, dtype=bool)
-        traces: Optional[List[List[int]]] = \
-            [[] for _ in range(n_queries)] if record_traces else None
-        need_traces = record_traces or accessed_out is not None
-        params = {"k": k, "max_steps": max_steps, "engine": engine,
-                  "record_traces": need_traces}
-        outcomes = self._dispatch(queries, widx, "knn", params,
-                                  cacheable=not need_traces)
-        for unit, local in outcomes:
-            if accessed_out is not None and local.traces is not None:
-                accessed_out[unit.rows] = self._window_trace_counts(
-                    unit.window, local.traces)
-            self._scatter_window(unit.rows, self._members[unit.window],
-                                 local, indices, distances, counts,
-                                 steps, terminated, traces)
-        return BatchQueryResult(indices, distances, counts, steps,
-                                terminated, traces)
+        return self.query_mixed_batch([WindowedOp(
+            "knn", queries, query_chunks, k=k, max_steps=max_steps,
+            engine=engine, record_traces=record_traces,
+            accessed_out=accessed_out)])[0]
 
     def query_range_batch(self, queries: np.ndarray,
                           query_chunks: np.ndarray, radius: float,
@@ -746,45 +886,11 @@ class ChunkedIndex:
         Parameters match :meth:`query_knn_batch`, including the
         window-at-a-time ``accessed_out`` chunk accounting.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        widx = self.window_of_queries(query_chunks)
-        n_queries = len(queries)
-        need_traces = record_traces or accessed_out is not None
-        params = {"radius": radius, "max_steps": max_steps,
-                  "max_results": max_results, "engine": engine,
-                  "record_traces": need_traces}
-        outcomes = self._dispatch(queries, widx, "range", params,
-                                  cacheable=not need_traces)
-        accounted: List[tuple] = []
-        for unit, local in outcomes:
-            if accessed_out is not None and local.traces is not None:
-                accessed_out[unit.rows] = self._window_trace_counts(
-                    unit.window, local.traces)
-            if local.traces is not None and not record_traces:
-                # Chunk accounting done — drop the traces before the
-                # capacity pass so only one window's live at a time.
-                local = BatchQueryResult(local.indices, local.distances,
-                                         local.counts, local.steps,
-                                         local.terminated)
-            accounted.append((unit, local))
-        cap = max((res.indices.shape[1] for _, res in accounted),
-                  default=0)
-        if max_results is not None:
-            cap = min(cap, max_results)
-        indices = np.full((n_queries, cap), -1, dtype=np.int64)
-        distances = np.full((n_queries, cap), np.inf, dtype=np.float64)
-        counts = np.zeros(n_queries, dtype=np.int64)
-        steps = np.zeros(n_queries, dtype=np.int64)
-        terminated = np.zeros(n_queries, dtype=bool)
-        traces: Optional[List[List[int]]] = \
-            [[] for _ in range(n_queries)] if record_traces else None
-
-        for unit, local in accounted:
-            self._scatter_window(unit.rows, self._members[unit.window],
-                                 local, indices, distances, counts,
-                                 steps, terminated, traces)
-        return BatchQueryResult(indices, distances, counts, steps,
-                                terminated, traces)
+        return self.query_mixed_batch([WindowedOp(
+            "range", queries, query_chunks, radius=radius,
+            max_steps=max_steps, max_results=max_results, engine=engine,
+            record_traces=record_traces,
+            accessed_out=accessed_out)])[0]
 
     def chunks_touched(self, result: QueryResult, window_index: int
                        ) -> int:

@@ -9,6 +9,11 @@ reuse contract and :class:`~repro.core.config.StreamingSessionConfig`
 for the knobs.
 """
 
+from repro.streaming.plan import (
+    FramePlan,
+    PlanResult,
+    QueryOp,
+)
 from repro.streaming.session import (
     FrameResult,
     SessionStats,
@@ -16,6 +21,9 @@ from repro.streaming.session import (
 )
 
 __all__ = [
+    "FramePlan",
+    "PlanResult",
+    "QueryOp",
     "FrameResult",
     "SessionStats",
     "StreamSession",

@@ -48,8 +48,9 @@ per-frame rebuilds on every executor backend
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -58,7 +59,12 @@ from repro.core.splitting import partition_cloud, queries_to_chunks
 from repro.core.termination import TerminationPolicy
 from repro.errors import ValidationError
 from repro.spatial.kdtree import BatchQueryResult
-from repro.spatial.neighbors import ChunkedIndex, WindowResultCache
+from repro.spatial.neighbors import (
+    ChunkedIndex,
+    WindowResultCache,
+    WindowedOp,
+)
+from repro.streaming.plan import FramePlan, PlanResult
 
 #: Deterministic per-frame sampling seeds: calibration mirrors
 #: :meth:`TerminationPolicy.calibrate`'s default generator; the drift
@@ -93,6 +99,22 @@ class FrameResult:
     n_windows: int
     clean_windows: int = 0
     rebuilt_windows: int = 0
+    #: Per-op results of the frame's plan, keyed by op name in plan
+    #: order (``result`` is the first op's entry).  The default
+    #: :meth:`StreamSession.process` plan holds one kNN op named
+    #: ``"knn"``.
+    op_results: Dict[str, BatchQueryResult] = field(default_factory=dict)
+    #: Domain-operator annotations riding with the frame (e.g. the
+    #: estimated pose a streaming odometry operator attaches).
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> BatchQueryResult:
+        try:
+            return self.op_results[name]
+        except KeyError:
+            raise ValidationError(
+                f"frame has no op named {name!r}; available: "
+                f"{sorted(self.op_results)}") from None
 
 
 @dataclass
@@ -152,6 +174,10 @@ class StreamSession:
         self.policy = TerminationPolicy(self.config.termination)
         self.stats = SessionStats()
         self._index: Optional[ChunkedIndex] = None
+        self._grid = None
+        self._closed = False
+        #: What :meth:`process` runs — the trivial single-op plan.
+        self._default_plan = FramePlan.knn(self.k)
         self._frame_id = 0
         #: Mean steps of the drift query sample, measured at calibration
         #: time — the like-for-like baseline of the drift statistic.
@@ -173,16 +199,33 @@ class StreamSession:
 
     @property
     def effective_executor(self) -> str:
-        """The backend actually in force (``"serial"`` under fallback)."""
+        """The backend actually in force (``"serial"`` under fallback).
+
+        A closed session reports ``"closed"`` — it has no live runtime,
+        so echoing the configured backend would misreport torn-down
+        workers as available.  Ingesting a new frame reopens it.
+        """
+        if self._closed:
+            return "closed"
         if self._index is None:
             return self.config.executor
         return self._index.effective_executor
 
     def close(self) -> None:
-        """Shut down the session's index and executor workers."""
+        """Shut down the session's index, workers, and cached results.
+
+        The attached :class:`~repro.spatial.neighbors.WindowResultCache`
+        is cleared so a closed session releases its cached result
+        arrays (its lifetime hit/miss counters survive for
+        :class:`SessionStats`).  Idempotent.
+        """
         if self._index is not None:
             self._index.close()
             self._index = None
+        if self._result_cache is not None:
+            self._result_cache.clear()
+        self._grid = None
+        self._closed = True
 
     def __enter__(self) -> "StreamSession":
         return self
@@ -195,22 +238,46 @@ class StreamSession:
                 queries: Optional[np.ndarray] = None) -> FrameResult:
         """Ingest one frame and answer its kNN batch.
 
-        ``positions`` is the frame's ``(N, 3)`` cloud; ``queries``
-        defaults to the points themselves (the LiDAR self-query
-        pattern), in which case each query is routed to its own chunk's
-        serving window.  A zero-point frame (a sensor dropout) is
-        well-defined: it returns an empty :class:`FrameResult` without
-        touching the session's index, deadline, or drift cadence.
+        The trivial single-op plan: one kNN op (named ``"knn"``) at the
+        session's ``k``.  ``positions`` is the frame's ``(N, 3)`` cloud;
+        ``queries`` defaults to the points themselves (the LiDAR
+        self-query pattern), in which case each query is routed to its
+        own chunk's serving window.  A zero-point frame (a sensor
+        dropout) is well-defined: it returns an empty
+        :class:`FrameResult` without touching the session's index,
+        deadline, or drift cadence.
         """
+        return self.execute(positions, self._default_plan,
+                            {"knn": queries})
+
+    def execute(self, positions: np.ndarray, plan: FramePlan,
+                blocks: Optional[Mapping[str, Optional[np.ndarray]]] = None
+                ) -> FrameResult:
+        """Ingest one frame and run *plan* against it in one dispatch.
+
+        ``blocks`` pairs each op name with its query block; an op with
+        no block (or ``None``) self-queries the frame's own points.
+        Every op's block is split by target window and the union of all
+        per-window units executes as a single runtime batch
+        (:meth:`~repro.spatial.neighbors.ChunkedIndex.query_mixed_batch`),
+        replaying clean-window repeats from the session's result cache.
+        Ops with ``use_deadline=True`` run capped at this frame's
+        deadline; exempt ops run uncapped.  Per-op results land in
+        :attr:`FrameResult.op_results`; :attr:`FrameResult.result` is
+        the first op's.
+        """
+        blocks = self._checked_blocks(plan, blocks)
         positions = np.asarray(positions, dtype=np.float64)
+        self._closed = False
         if positions.ndim == 2 and positions.shape[1] == 3 \
                 and len(positions) == 0:
             # Only a well-formed (0, 3) frame short-circuits; malformed
             # shapes still fail partition_cloud's validation below.
-            return self._empty_frame(queries)
+            return self._empty_frame(plan, blocks)
         positions, grid, assignment, windows = partition_cloud(
             positions, self.config.splitting)
         reused = self._ingest(positions, assignment, windows)
+        self._grid = grid
 
         deadline: Optional[int] = None
         recalibrated = False
@@ -219,26 +286,21 @@ class StreamSession:
             deadline, recalibrated, drift = self._frame_deadline(
                 positions, assignment)
 
-        if queries is None:
-            queries = positions
-            query_chunks = assignment
-        else:
-            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-            query_chunks = queries_to_chunks(queries, grid, positions,
-                                             assignment)
-        result = self._index.query_knn_batch(queries, query_chunks,
-                                             self.k, max_steps=deadline)
+        op_results = self._run_plan(plan, blocks, deadline)
         n_chunks = grid.n_chunks if grid is not None else \
             int(assignment.max()) + 1
         index = self._index
         frame = FrameResult(
-            frame_id=self._frame_id, result=result, deadline=deadline,
+            frame_id=self._frame_id,
+            result=next(iter(op_results.values())),
+            deadline=deadline,
             recalibrated=recalibrated, index_reused=reused, drift=drift,
             n_points=len(positions), n_chunks=n_chunks,
             n_windows=len(windows),
             clean_windows=index.last_clean_windows,
             rebuilt_windows=(index.last_dirty_windows
-                             - index.last_reused_trees))
+                             - index.last_reused_trees),
+            op_results=op_results)
         self._frame_id += 1
         self.stats.frames += 1
         if reused:
@@ -251,13 +313,108 @@ class StreamSession:
             self.stats.cache_misses = self._result_cache.misses
         return frame
 
-    def _empty_frame(self, queries: Optional[np.ndarray]) -> FrameResult:
+    def query(self, plan: Optional[FramePlan] = None,
+              blocks: Optional[Mapping[str, Optional[np.ndarray]]] = None
+              ) -> PlanResult:
+        """Run a plan against the *current* frame without ingesting.
+
+        The iterative-estimator entry: ingest a frame once
+        (:meth:`process` / :meth:`execute`), then query it repeatedly —
+        e.g. once per Gauss-Newton iteration of a scan-to-scan aligner —
+        at the deadline resolved at ingest, without touching the
+        session's drift cadence or frame counters.  ``plan`` defaults
+        to the session's single-op kNN plan.  Raises
+        :class:`~repro.errors.ValidationError` when no frame has been
+        ingested yet.
+        """
+        if self._index is None:
+            raise ValidationError(
+                "no frame ingested; call process()/execute() before "
+                "query()")
+        plan = plan if plan is not None else self._default_plan
+        blocks = self._checked_blocks(plan, blocks)
+        deadline: Optional[int] = None
+        if self.config.use_termination:
+            deadline = self.policy.deadline
+        cache = self._index.result_cache
+        before = (cache.hits, cache.misses) if cache is not None \
+            else (0, 0)
+        op_results = self._run_plan(plan, blocks, deadline)
+        hits, misses = 0, 0
+        if cache is not None:
+            hits = cache.hits - before[0]
+            misses = cache.misses - before[1]
+            self.stats.cache_hits = cache.hits
+            self.stats.cache_misses = cache.misses
+        return PlanResult(frame_id=self._frame_id - 1, deadline=deadline,
+                          op_results=op_results, cache_hits=hits,
+                          cache_misses=misses)
+
+    @staticmethod
+    def _checked_blocks(plan: FramePlan,
+                        blocks: Optional[Mapping[str, Optional[np.ndarray]]]
+                        ) -> Dict[str, Optional[np.ndarray]]:
+        """Validate that every named block matches one of the plan's ops."""
+        blocks = dict(blocks) if blocks else {}
+        unknown = set(blocks) - set(plan.names)
+        if unknown:
+            raise ValidationError(
+                f"blocks name ops the plan does not have: "
+                f"{sorted(unknown)}; plan ops: {list(plan.names)}")
+        return blocks
+
+    def _run_plan(self, plan: FramePlan,
+                  blocks: Mapping[str, Optional[np.ndarray]],
+                  deadline: Optional[int]
+                  ) -> "OrderedDict[str, BatchQueryResult]":
+        """Lower the plan onto the index: one mixed windowed dispatch.
+
+        Each op's query block is routed to chunks (self-querying ops
+        reuse the frame's own assignment — no nearest-point pass), its
+        deadline participation resolved, and the whole op set handed to
+        :meth:`~repro.spatial.neighbors.ChunkedIndex.query_mixed_batch`.
+        """
+        index = self._index
+        ops: List[WindowedOp] = []
+        for op in plan.ops:
+            block = blocks.get(op.name)
+            if block is None:
+                queries = index.positions
+                query_chunks = index.assignment
+            else:
+                queries = np.atleast_2d(np.asarray(block,
+                                                   dtype=np.float64))
+                if queries.size == 0:
+                    queries = queries.reshape(0, 3)
+                if queries.shape[1] != 3:
+                    raise ValidationError(
+                        f"op {op.name!r}: query block must be (Q, 3), "
+                        f"got {queries.shape}")
+                query_chunks = queries_to_chunks(
+                    queries, self._grid, index.positions,
+                    index.assignment)
+            ops.append(WindowedOp(
+                op.kind, queries, query_chunks, k=op.k, radius=op.radius,
+                max_results=op.max_results,
+                max_steps=deadline if op.use_deadline else None,
+                engine=op.engine))
+        results = index.query_mixed_batch(ops)
+        return OrderedDict(zip(plan.names, results))
+
+    def _empty_frame(self, plan: FramePlan,
+                     blocks: Mapping[str, Optional[np.ndarray]]
+                     ) -> FrameResult:
         """A well-defined result for a frame with no points."""
-        if queries is None:
-            n_queries = 0
-        else:
-            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-            n_queries = len(queries)
+        op_results: "OrderedDict[str, BatchQueryResult]" = OrderedDict()
+        for op in plan.ops:
+            block = blocks.get(op.name)
+            if block is None:
+                n_queries = 0
+            else:
+                block = np.atleast_2d(np.asarray(block, dtype=np.float64))
+                n_queries = len(block) if block.size else 0
+            width = op.k if op.kind == "knn" else 0
+            op_results[op.name] = BatchQueryResult.empty(n_queries, width)
         deadline: Optional[int] = None
         if self.config.use_termination and (
                 self.config.termination.deadline_steps is not None
@@ -265,10 +422,10 @@ class StreamSession:
             deadline = self.policy.deadline
         frame = FrameResult(
             frame_id=self._frame_id,
-            result=BatchQueryResult.empty(n_queries, self.k),
+            result=next(iter(op_results.values())),
             deadline=deadline,
             recalibrated=False, index_reused=False, drift=None,
-            n_points=0, n_chunks=0, n_windows=0)
+            n_points=0, n_chunks=0, n_windows=0, op_results=op_results)
         self._frame_id += 1
         self.stats.frames += 1
         return frame

@@ -1,13 +1,20 @@
-"""Registration substrate: features, ICP, odometry."""
+"""Registration substrate: features, ICP, odometry (one-shot + session)."""
 
 import numpy as np
 import pytest
 
+from repro.core.config import (
+    SplittingConfig,
+    StreamGridConfig,
+    TerminationConfig,
+)
 from repro.datasets import ScannerConfig, make_kitti_sequence
 from repro.errors import ValidationError
+from repro.pipelines import session_for_pipeline, stream_pipeline
 from repro.pointcloud import PointCloud
 from repro.registration import (
     FeatureConfig,
+    OdometrySession,
     compare_registration_variants,
     extract_features,
     gauss_newton_align,
@@ -97,12 +104,39 @@ def test_gauss_newton_recovers_transform(rng):
     te, tp = KDTree(edges), KDTree(planes)
     result = gauss_newton_align(
         src_edges, src_planes, edges, planes,
-        lambda q, k: te.knn(q, k).indices,
-        lambda q, k: tp.knn(q, k).indices,
+        lambda q, k: te.knn_batch(q, k).indices,
+        lambda q, k: tp.knn_batch(q, k).indices,
         max_iterations=12)
     np.testing.assert_allclose(result.transform[:3, 3], true_t, atol=1e-3)
     np.testing.assert_allclose(result.transform[:3, :3], true_rot,
                                atol=1e-3)
+
+
+def test_gauss_newton_rejects_padded_correspondences(rng):
+    """-1-padded kNN rows (searcher found too few hits) are skipped,
+    not resolved through Python's negative indexing."""
+    edges = rng.uniform(-5, 5, size=(30, 3))
+    planes = rng.uniform(-5, 5, size=(60, 3))
+    te, tp = KDTree(edges), KDTree(planes)
+
+    def starved_plane_knn(q, k):
+        out = tp.knn_batch(q, k).indices
+        out[::2] = -1          # every other row reports no hits
+        return out
+
+    result = gauss_newton_align(
+        edges + 0.01, planes + 0.01, edges, planes,
+        lambda q, k: te.knn_batch(q, k).indices, starved_plane_knn,
+        max_iterations=4)
+    assert np.isfinite(result.final_cost)
+    # And a searcher that never finds enough support leaves too few
+    # correspondences to solve (no fabricated rows from padding).
+    empty = gauss_newton_align(
+        edges, planes, edges, planes,
+        lambda q, k: np.full((len(q), k), -1, dtype=np.int64),
+        lambda q, k: np.full((len(q), k), -1, dtype=np.int64),
+        max_iterations=4)
+    assert empty.iterations == 1 and not empty.converged
 
 
 def test_odometry_tracks_motion(sequence):
@@ -131,3 +165,100 @@ def test_variant_errors_comparable(sequence):
     for variant in ("CS", "CS+DT"):
         extra = results[variant]["mean_translation_error"] - base
         assert extra < 0.5    # same order of magnitude as Base
+
+
+# ----------------------------------------------------------------------
+# Session-backed odometry (warm) vs the one-shot rebuild-per-pair path
+# ----------------------------------------------------------------------
+def _registration_config(deadline_steps=None, use_termination=True):
+    return StreamGridConfig(
+        splitting=SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                                  mode="serial"),
+        termination=TerminationConfig(deadline_steps=deadline_steps,
+                                      profile_queries=16),
+        use_splitting=True, use_termination=use_termination)
+
+
+@pytest.mark.parametrize("deadline_steps,use_termination", [
+    (None, False),       # CS: uncapped searches, deadlines trivially equal
+    (25, True),          # CS+DT at a pinned deadline
+])
+def test_warm_odometry_poses_bit_equal_to_oneshot(sequence,
+                                                  deadline_steps,
+                                                  use_termination):
+    """Session-backed == one-shot, pose for pose, at the same deadline."""
+    config = _registration_config(deadline_steps, use_termination)
+    warm = run_odometry(sequence, config, warm=True)
+    cold = run_odometry(sequence, config, warm=False)
+    assert len(warm.poses) == len(cold.poses) == len(sequence)
+    for a, b in zip(warm.poses, cold.poses):
+        np.testing.assert_array_equal(a, b)
+    for wa, ca in zip(warm.alignments, cold.alignments):
+        assert wa.iterations == ca.iterations
+        assert wa.final_cost == ca.final_cost
+
+
+def test_odometry_session_streaming_api(sequence):
+    config = _registration_config(deadline_steps=20)
+    with OdometrySession(config,
+                         start_pose=sequence.poses[0]) as estimator:
+        frames = [estimator.process_scan(scan) for scan in sequence.scans]
+        assert estimator.scans_processed == len(sequence)
+        assert estimator.effective_executor == "serial"
+        outcome = estimator.result()
+    # Poses ride in every per-frame payload; scan 0 has no alignment.
+    assert frames[0].payload["alignment"] is None
+    np.testing.assert_array_equal(frames[0].payload["pose"],
+                                  sequence.poses[0])
+    for frame, pose in zip(frames, outcome.poses):
+        np.testing.assert_array_equal(frame.payload["pose"], pose)
+        assert frame.payload["n_edges"] > 0
+        assert frame.payload["n_planes"] > 0
+        assert frame.payload["plane_frame"].n_points > 0
+    assert len(outcome.alignments) == len(sequence) - 1
+
+
+def test_odometry_session_validation():
+    with pytest.raises(ValidationError, match="splitting"):
+        OdometrySession(StreamGridConfig(use_splitting=False,
+                                         use_termination=False))
+    with pytest.raises(ValidationError):
+        OdometrySession(_registration_config(), max_iterations=0)
+    with pytest.raises(ValidationError):
+        OdometrySession(_registration_config(),
+                        start_pose=np.eye(3))
+    # warm=True demands a splitting config on run_odometry too.
+    base = StreamGridConfig(use_splitting=False, use_termination=False)
+    seq = make_kitti_sequence(
+        n_scans=2, seed=1, step=0.25,
+        config=ScannerConfig(n_azimuth=96, n_beams=6))
+    with pytest.raises(ValidationError, match="splitting"):
+        run_odometry(seq, base, warm=True)
+    # Base still runs one-shot (warm defaults off without splitting).
+    outcome = run_odometry(seq, base)
+    assert len(outcome.poses) == 2
+
+
+def test_errors_against_validates_trajectory_length(sequence):
+    configs = registration_configs(n_chunks=4)
+    outcome = run_odometry(sequence, configs["Base"])
+    with pytest.raises(ValidationError, match="length mismatch"):
+        outcome.errors_against(sequence.poses[:-1])
+    with pytest.raises(ValidationError, match="length mismatch"):
+        outcome.errors_against(list(sequence.poses) + [np.eye(4)])
+    errors = outcome.errors_against(sequence.poses)
+    assert "mean_translation_error" in errors
+
+
+def test_stream_pipeline_odometry_end_to_end(sequence):
+    frames = stream_pipeline("registration", sequence.scans,
+                             odometry=True, max_iterations=4)
+    assert len(frames) == len(sequence)
+    assert frames[0].payload["alignment"] is None
+    np.testing.assert_array_equal(frames[0].payload["pose"], np.eye(4))
+    for frame in frames[1:]:
+        assert frame.payload["pose"].shape == (4, 4)
+        assert frame.payload["alignment"] is not None
+        assert frame.index_reused in (True, False)
+    with pytest.raises(ValidationError, match="registration"):
+        session_for_pipeline("classification", odometry=True)

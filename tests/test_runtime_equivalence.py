@@ -30,7 +30,7 @@ from repro.runtime import (
     resolve_executor,
 )
 from repro.spatial import ChunkedIndex, ChunkGrid, ChunkWindow, KDTree, \
-    chunk_windows
+    WindowedOp, chunk_windows
 
 BACKENDS = ["serial", "thread", "process"]
 #: Two workers so "thread"/"process" genuinely parallelise on CI boxes.
@@ -153,6 +153,88 @@ def test_single_window_input_all_backends(rng, backend):
     got = splitter.knn_batch(pts[::4], 4, max_steps=11, engine="traverse")
     _assert_batches_equal(got, want)
     splitter.close()
+
+
+# ----------------------------------------------------------------------
+# Mixed-op batched dispatch (the frame-plan execution primitive)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mixed_batch_matches_single_ops(rng, backend):
+    """One mixed dispatch == the same ops issued one at a time."""
+    pts = rng.uniform(0, 1, size=(160, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    assignment = grid.assign(pts)
+    index = ChunkedIndex(pts, assignment, windows, executor=backend,
+                         executor_workers=WORKERS)
+    q1, q2, q3 = pts[::5], pts[::7], pts[1::9]
+    c1, c2, c3 = (grid.assign(q) for q in (q1, q2, q3))
+    mixed = index.query_mixed_batch([
+        WindowedOp("knn", q1, c1, k=4, max_steps=11),
+        WindowedOp("range", q2, c2, radius=0.3, max_results=5,
+                   max_steps=11),
+        WindowedOp("knn", q3, c3, k=3),          # uncapped rides along
+        WindowedOp("knn", np.zeros((0, 3)), np.zeros(0, dtype=np.int64),
+                   k=2),                          # empty op block
+    ])
+    reference = ChunkedIndex(pts, assignment, windows)
+    singles = [
+        reference.query_knn_batch(q1, c1, 4, max_steps=11),
+        reference.query_range_batch(q2, c2, 0.3, max_results=5,
+                                    max_steps=11),
+        reference.query_knn_batch(q3, c3, 3),
+        reference.query_knn_batch(np.zeros((0, 3)),
+                                  np.zeros(0, dtype=np.int64), 2),
+    ]
+    assert len(mixed) == 4
+    for got, want in zip(mixed, singles):
+        _assert_batches_equal(got, want)
+    assert mixed[3].indices.shape == (0, 2)
+    index.close()
+    reference.close()
+
+
+def test_scheduler_run_ops_matches_sequential_runs(rng):
+    pts = rng.uniform(0, 1, size=(140, 3))
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, grid.assign(pts), windows)
+    scheduler = index._runtime()
+    q1, q2 = pts[::4], pts[::6]
+    w1 = index.window_of_queries(grid.assign(q1))
+    w2 = index.window_of_queries(grid.assign(q2))
+    ops = [(q1, w1, "knn", {"k": 3, "max_steps": 9}),
+           (q2, w2, "range", {"radius": 0.25, "max_results": 4})]
+    grouped = scheduler.run_ops(ops)
+    assert len(grouped) == 2
+    for (queries, widx, kind, params), outcomes in zip(ops, grouped):
+        want = scheduler.run(queries, widx, kind, params)
+        assert len(outcomes) == len(want)
+        for (gu, gr), (wu, wr) in zip(outcomes, want):
+            assert gu.window == wu.window
+            np.testing.assert_array_equal(gu.rows, wu.rows)
+            _assert_batches_equal(gr, wr)
+    index.close()
+
+
+def test_windowed_op_validation(rng):
+    pts = rng.uniform(0, 1, size=(20, 3))
+    chunks = np.zeros(len(pts), dtype=np.int64)
+    with pytest.raises(ValidationError):
+        WindowedOp("sort", pts, chunks)
+    with pytest.raises(ValidationError):
+        WindowedOp("knn", pts, chunks)               # missing k
+    with pytest.raises(ValidationError):
+        WindowedOp("knn", pts, chunks, k=0)
+    with pytest.raises(ValidationError):
+        WindowedOp("range", pts, chunks)             # missing radius
+    with pytest.raises(ValidationError):
+        WindowedOp("range", pts, chunks, radius=-1.0)
+    index = ChunkedIndex(pts, chunks, [ChunkWindow((0, 0, 0), (0,))])
+    with pytest.raises(ValidationError):
+        index.query_mixed_batch([
+            WindowedOp("knn", pts[:, :2], chunks, k=2)])
+    index.close()
 
 
 # ----------------------------------------------------------------------

@@ -36,7 +36,7 @@ from repro.spatial import (
     WindowResultCache,
     chunk_windows,
 )
-from repro.streaming import StreamSession
+from repro.streaming import FramePlan, QueryOp, StreamSession
 
 BACKENDS = ["serial", "thread", "process"]
 #: Two workers so "thread"/"process" genuinely parallelise on CI boxes.
@@ -497,6 +497,211 @@ def test_window_result_cache_validation_and_lru():
     assert cache.lookup("a") is None        # evicted (LRU)
     assert cache.lookup("c") == "C"
     assert (cache.hits, cache.misses) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# Frame query plans: mixed kNN/range ops in one dispatch
+# ----------------------------------------------------------------------
+def _mixed_plan() -> FramePlan:
+    return FramePlan((
+        QueryOp("nn", "knn", k=4),
+        QueryOp("ball", "range", radius=0.25, max_results=6),
+        QueryOp("exact", "knn", k=3, use_deadline=False),
+    ))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mixed_plan_bit_identical_across_backends(backend):
+    """Mixed kNN+range plans: every backend == cold single-op searches.
+
+    Includes an empty per-op query block and a deadline-exempt op, on a
+    multi-frame partial-drift stream so cache replay and dirty-window
+    repair are in play.
+    """
+    frames = _partial_frames(3)
+    plan = _mixed_plan()
+    blocks = [{"nn": frame[::5], "ball": frame[::7],
+               "exact": np.zeros((0, 3))} for frame in frames]
+    config = StreamGridConfig(
+        splitting=_partial_splitting(),
+        termination=TerminationConfig(profile_queries=12),
+        executor=backend,
+        executor_workers=None if backend == "serial" else WORKERS)
+    outcomes = []
+    with StreamSession(config, k=4) as session:
+        for frame, block in zip(frames, blocks):
+            outcomes.append(session.execute(frame, plan, block))
+    for positions, block, outcome in zip(frames, blocks, outcomes):
+        assert list(outcome.op_results) == ["nn", "ball", "exact"]
+        cold = CompulsorySplitter(positions, _partial_splitting())
+        want_nn = cold.knn_batch(block["nn"], 4,
+                                 max_steps=outcome.deadline)
+        want_ball = cold.range_batch(block["ball"], 0.25, max_results=6,
+                                     max_steps=outcome.deadline)
+        _assert_batches_equal(outcome["nn"], want_nn)
+        _assert_batches_equal(outcome["ball"], want_ball)
+        # The first op is also the headline result.
+        _assert_batches_equal(outcome.result, want_nn)
+        # The exempt op ran uncapped: empty block, well-formed result.
+        assert outcome["exact"].indices.shape == (0, 3)
+        cold.close()
+
+
+def test_plan_deadline_exempt_op_runs_uncapped():
+    frames = _frames(2)
+    plan = FramePlan((QueryOp("capped", "knn", k=5),
+                      QueryOp("exact", "knn", k=5, use_deadline=False)))
+    with StreamSession(_config("spatial"), k=5) as session:
+        for frame in frames:
+            outcome = session.execute(frame, plan,
+                                      {"capped": frame[::6],
+                                       "exact": frame[::6]})
+            assert outcome.deadline is not None
+            assert not outcome["exact"].terminated.any()
+    # The exempt op matches an uncapped cold search exactly.
+    cold = CompulsorySplitter(frames[-1], _splitting("spatial"))
+    want = cold.knn_batch(frames[-1][::6], 5)
+    _assert_batches_equal(outcome["exact"], want)
+    cold.close()
+
+
+def test_query_without_ingest_matches_execute():
+    frames = _frames(2)
+    plan = _mixed_plan()
+    blocks = {"nn": frames[1][::4], "ball": frames[1][::6]}
+    with StreamSession(_config("spatial"), k=4) as session:
+        session.run(frames)
+        frames_before = session.stats.frames
+        checks_before = session.stats.drift_checks
+        live = session.query(plan, blocks)
+        assert live.frame_id == 1
+        # query() leaves frame counters and the drift cadence alone.
+        assert session.stats.frames == frames_before
+        assert session.stats.drift_checks == checks_before
+        cold = CompulsorySplitter(frames[1], _splitting("spatial"))
+        want_nn = cold.knn_batch(blocks["nn"], 4, max_steps=live.deadline)
+        want_ball = cold.range_batch(blocks["ball"], 0.25, max_results=6,
+                                     max_steps=live.deadline)
+        _assert_batches_equal(live["nn"], want_nn)
+        _assert_batches_equal(live["ball"], want_ball)
+        cold.close()
+        # Default plan: the session's single kNN op.
+        default = session.query(blocks={"knn": frames[1][::4]})
+        cold = CompulsorySplitter(frames[1], _splitting("spatial"))
+        want = cold.knn_batch(frames[1][::4], 4, max_steps=default.deadline)
+        _assert_batches_equal(default["knn"], want)
+        cold.close()
+
+
+def test_query_before_ingest_raises():
+    with StreamSession(_config("spatial"), k=4) as session:
+        with pytest.raises(ValidationError, match="no frame ingested"):
+            session.query()
+
+
+def test_plan_validation():
+    with pytest.raises(ValidationError):
+        FramePlan(())
+    with pytest.raises(ValidationError):
+        FramePlan((QueryOp("a", "knn", k=2), QueryOp("a", "knn", k=3)))
+    with pytest.raises(ValidationError):
+        QueryOp("x", "sort")
+    with pytest.raises(ValidationError):
+        QueryOp("x", "knn")                     # missing k
+    with pytest.raises(ValidationError):
+        QueryOp("x", "knn", k=2, radius=0.5)    # mixed parameters
+    with pytest.raises(ValidationError):
+        QueryOp("x", "range", radius=0.5, k=2)
+    with pytest.raises(ValidationError):
+        QueryOp("x", "range")                   # missing radius
+    with pytest.raises(ValidationError):
+        QueryOp("", "knn", k=2)
+    with pytest.raises(ValidationError):
+        QueryOp("x", "knn", k=2, max_results=0)
+    frames = _frames(1)
+    plan = FramePlan.knn(4)
+    with StreamSession(_config("spatial"), k=4) as session:
+        with pytest.raises(ValidationError, match="plan does not have"):
+            session.execute(frames[0], plan, {"nope": frames[0][::5]})
+        session.process(frames[0])
+        with pytest.raises(ValidationError, match="plan does not have"):
+            session.query(plan, {"nope": frames[0][::5]})
+        with pytest.raises(ValidationError, match="must be \\(Q, 3\\)"):
+            session.execute(frames[0], plan,
+                            {"knn": frames[0][:, :2]})
+
+
+def test_process_is_single_op_plan():
+    frames = _frames(2)
+    with StreamSession(_config("serial"), k=5) as session:
+        for frame in frames:
+            outcome = session.process(frame)
+            assert list(outcome.op_results) == ["knn"]
+            assert outcome["knn"] is outcome.result
+        with pytest.raises(ValidationError, match="no op named"):
+            outcome["ball"]
+
+
+def test_plan_cache_accounting_exact():
+    """Static frames + repeated blocks: every plan unit replays.
+
+    Under cache-aware per-window ordering the expected hit/miss counts
+    are exact: frame 0 misses one unit per (op, non-empty serving
+    window); frames 1 and 2 replay all of them digest-for-digest.
+    """
+    positions = _frames(1)[0]
+    frames = [positions, positions.copy(), positions.copy()]
+    plan = FramePlan((QueryOp("nn", "knn", k=4),
+                      QueryOp("ball", "range", radius=0.25,
+                              max_results=5)))
+    nn_block = positions[::6].copy()
+    ball_block = positions[::8].copy()
+    # No termination: calibration/drift profiling also rides the cache,
+    # so switching it off makes the expected unit counts exact — only
+    # the plan's own units ever touch the cache.
+    config = StreamGridConfig(splitting=_splitting("spatial"),
+                              use_termination=False)
+    with StreamSession(config, k=4) as session:
+        outcomes = [session.execute(frame, plan, {"nn": nn_block,
+                                                  "ball": ball_block})
+                    for frame in frames]
+        stats = session.stats
+    cold = CompulsorySplitter(positions, _splitting("spatial"))
+    units = 0
+    for block in (nn_block, ball_block):
+        widx = cold.index.window_of_queries(cold.grid.assign(block))
+        units += len({int(w) for w in widx
+                      if not cold.index.window_is_empty(int(w))})
+    cold.close()
+    assert units > 0
+    assert stats.cache_hits == 2 * units
+    assert stats.cache_misses == units
+    for outcome in outcomes[1:]:
+        _assert_batches_equal(outcome["nn"], outcomes[0]["nn"])
+        _assert_batches_equal(outcome["ball"], outcomes[0]["ball"])
+
+
+def test_close_clears_result_cache_and_reports_closed():
+    """A closed session releases cached results and says so."""
+    positions = _frames(1)[0]
+    frames = [positions, positions.copy()]
+    session = StreamSession(_config("spatial"), k=4)
+    session.run(frames)
+    cache = session._result_cache
+    assert cache is not None and len(cache) > 0
+    assert session.effective_executor == "serial"
+    session.close()
+    assert len(cache) == 0                     # entries released
+    assert session.effective_executor == "closed"
+    session.close()                            # idempotent
+    assert session.effective_executor == "closed"
+    # Lifetime hit/miss counters survive for SessionStats.
+    assert session.stats.cache_hits > 0
+    # Ingesting a new frame reopens the session.
+    session.process(positions)
+    assert session.effective_executor == "serial"
+    session.close()
+    assert session.effective_executor == "closed"
 
 
 # ----------------------------------------------------------------------
