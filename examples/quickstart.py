@@ -11,6 +11,10 @@
 5. Stream a partial-drift scene: only a few chunk cells move per frame,
    so the session repairs just the dirty windows and replays clean
    windows' repeated query blocks from the cross-frame result cache.
+6. Run through failures: inject a deterministic in-unit fault and feed
+   a corrupt frame — the supervised runtime retries the failed unit and
+   the session quarantines the bad frame, both without losing the warm
+   stream or changing any result.
 
 Run:  python examples/quickstart.py
 """
@@ -32,6 +36,7 @@ from repro.datasets import (
     make_partial_drift_frames,
 )
 from repro.optimizer import extend_to_chunks, optimize_buffers
+from repro.runtime import FaultInjector, FaultSpec
 from repro.sim import simulate_streaming
 
 
@@ -121,6 +126,35 @@ def main() -> None:
         print(f"  result cache: {stats.cache_hits} unit replays, "
               f"{stats.cache_misses} executed "
               f"({stats.windows_clean} window-frames never rebuilt)")
+
+    # --- running through failures: retries + frame quarantine ---------
+    # A deterministic injector makes the 2nd work unit of window 1
+    # raise once; supervision retries it on the spot.  Frame 2 arrives
+    # corrupt (NaN positions); with on_error="skip" the session rejects
+    # it *before* touching warm state and keeps streaming.
+    injector = FaultInjector([FaultSpec(kind="raise", window=1, nth=2)])
+    faulty_frames = [f.positions.copy() for f in
+                     make_lidar_stream_frames(n_frames=4, n_points=720,
+                                              advance=80, seed=0)]
+    faulty_frames[2] = faulty_frames[2].copy()
+    faulty_frames[2][5] = np.nan
+    print(f"\nfault-tolerant session: {len(faulty_frames)} frames, one "
+          "injected unit fault + one corrupt frame")
+    with StreamSession(StreamGridConfig(splitting=session_splitting,
+                                        executor=injector.executor(
+                                            "serial")),
+                       k=8) as session:
+        for frame in session.run(faulty_frames, on_error="skip"):
+            status = ("ok" if frame.ok else
+                      f"quarantined ({frame.error['type']})")
+            print(f"  frame {frame.frame_id}: {status}, "
+                  f"retries={frame.retries}")
+        stats = session.stats
+        print(f"  recovered: {stats.retries} unit retr(ies), "
+              f"{stats.frames_quarantined} frame(s) quarantined, "
+              f"{stats.validation_failures} validation failure(s); "
+              f"{stats.frames - stats.frames_quarantined} good frames "
+              "completed on the warm fast path")
 
 
 if __name__ == "__main__":

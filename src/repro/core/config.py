@@ -125,6 +125,19 @@ class StreamingSessionConfig:
     without traversal (bit-exact — see
     :class:`~repro.spatial.neighbors.WindowResultCache`).
     ``cache_max_entries`` bounds the cache with LRU eviction.
+
+    Fault-tolerance knobs (see
+    :class:`repro.runtime.SupervisionConfig` and the degradation-ladder
+    notes in :mod:`repro.runtime`): ``unit_timeout`` is the wall-clock
+    budget (seconds) one work unit may spend on an executor worker
+    before the worker is presumed hung (``None`` disables hang
+    detection); ``max_retries`` bounds same-backend re-dispatches of a
+    failing unit; ``degradation`` enables the process → thread → serial
+    backend ladder once retries are exhausted.  ``on_error`` sets the
+    session's frame-failure policy: ``"raise"`` re-raises (after
+    rolling warm state back to the last good frame), ``"skip"``
+    quarantines the frame into a ``FrameResult`` carrying a structured
+    ``error`` and keeps the stream going.
     """
 
     drift_tolerance: float = 0.2
@@ -133,6 +146,10 @@ class StreamingSessionConfig:
     reuse_index: bool = True
     result_cache: bool = True
     cache_max_entries: int = 256
+    unit_timeout: Optional[float] = None
+    max_retries: int = 2
+    degradation: bool = True
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
         if self.drift_tolerance < 0:
@@ -147,6 +164,25 @@ class StreamingSessionConfig:
             raise ValidationError(
                 "cache_max_entries must be positive, got "
                 f"{self.cache_max_entries}")
+        if self.unit_timeout is not None and not self.unit_timeout > 0:
+            raise ValidationError(
+                f"unit_timeout must be positive, got {self.unit_timeout}")
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be non-negative, got {self.max_retries}")
+        if self.on_error not in ("raise", "skip"):
+            raise ValidationError(
+                "on_error must be 'raise' or 'skip', got "
+                f"{self.on_error!r}")
+
+    def supervision(self):
+        """The :class:`repro.runtime.SupervisionConfig` these knobs
+        describe (built lazily to keep this module import-light)."""
+        from repro.runtime.executor import SupervisionConfig
+
+        return SupervisionConfig(unit_timeout=self.unit_timeout,
+                                 max_retries=self.max_retries,
+                                 degradation=self.degradation)
 
 
 def _executor_choices() -> tuple:
@@ -169,23 +205,28 @@ class StreamGridConfig:
     neighbour-search batch runs on (:mod:`repro.runtime`):
     ``"serial"`` (inline loop), ``"thread"`` (shared-memory thread
     pool), or ``"process"`` (forked worker processes with window-id
-    affinity).  ``executor_workers`` pins the worker count; ``None``
-    auto-sizes from the CPU count.  Results are backend-independent.
+    affinity).  Anything
+    :func:`~repro.runtime.executor.resolve_executor` accepts — an
+    :class:`~repro.runtime.executor.Executor` instance or a factory
+    callable such as
+    :meth:`repro.runtime.faults.FaultInjector.executor` — also works.
+    ``executor_workers`` pins the worker count; ``None`` auto-sizes
+    from the CPU count.  Results are backend-independent.
     """
 
     splitting: SplittingConfig = field(default_factory=SplittingConfig)
     termination: TerminationConfig = field(default_factory=TerminationConfig)
     use_splitting: bool = True
     use_termination: bool = True
-    executor: str = "serial"
+    executor: object = "serial"
     executor_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         choices = _executor_choices()
-        if self.executor not in choices:
+        if isinstance(self.executor, str) and self.executor not in choices:
             raise ValidationError(
-                f"executor must be one of {choices}, "
-                f"got {self.executor!r}"
+                f"executor must be one of {choices} (or an Executor "
+                f"instance / factory), got {self.executor!r}"
             )
         if self.executor_workers is not None and self.executor_workers <= 0:
             raise ValidationError("executor_workers must be positive")

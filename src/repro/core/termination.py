@@ -164,6 +164,21 @@ class TerminationPolicy:
             return float("inf") if steps.mean() > 0 else 0.0
         return float(abs(steps.mean() - baseline) / baseline)
 
+    def state_snapshot(self) -> tuple:
+        """The calibration state as an opaque immutable value.
+
+        Streaming sessions snapshot the policy before mutating a frame
+        and hand the value back to :meth:`restore_state` if the frame
+        fails, so a failed re-calibration can never leave the deadline
+        half-updated.  (:class:`StepProfile` is frozen and the other
+        fields are scalars, so a shallow capture is a true snapshot.)
+        """
+        return (self._profile, self._deadline, self._min_deadline)
+
+    def restore_state(self, snapshot: tuple) -> None:
+        """Reinstate a :meth:`state_snapshot` value."""
+        self._profile, self._deadline, self._min_deadline = snapshot
+
     def scaled_deadline(self, fraction: float) -> int:
         """Deadline at a different fraction of the same profile.
 

@@ -15,6 +15,23 @@ class ValidationError(StreamGridError, ValueError):
     """An input value violates a documented precondition."""
 
 
+class ExecutionError(StreamGridError, RuntimeError):
+    """A work unit could not be executed despite supervised recovery.
+
+    Raised by the window-shard runtime only after every rung of the
+    retry / degradation ladder is exhausted (see
+    :class:`repro.runtime.SupervisionConfig`) — a single worker crash,
+    hang, or in-unit exception is handled by respawn + retry and never
+    surfaces as this error.
+    """
+
+
+class WorkerTimeoutError(ExecutionError):
+    """A shard worker exceeded the configured wall-clock unit timeout
+    and recovery (kill + respawn + retry, then backend degradation) was
+    disabled or exhausted."""
+
+
 class GraphError(StreamGridError):
     """A dataflow graph is malformed (cycles, dangling edges, bad params)."""
 

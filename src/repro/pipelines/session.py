@@ -115,14 +115,18 @@ def stream_pipeline(name: str, frames: Iterable, k: int = 16,
                     session: Optional[StreamingSessionConfig] = None,
                     odometry: bool = False,
                     feature_config=None,
-                    max_iterations: int = 8) -> List[FrameResult]:
+                    max_iterations: int = 8,
+                    on_error: Optional[str] = None) -> List[FrameResult]:
     """Stream *frames* through the named pipeline's session.
 
     ``frames`` is any iterable — a list, a generator, a live feed —
     holding ``(N, 3)`` arrays or point clouds (anything with a
     ``positions`` attribute).  The session is torn down afterwards;
     keep one yourself via :func:`session_for_pipeline` when frames
-    arrive incrementally.
+    arrive incrementally.  ``on_error="skip"`` quarantines failed
+    frames (``FrameResult.ok`` False, ``.error`` set) instead of
+    aborting the stream — see
+    :meth:`repro.streaming.StreamSession.run`.
 
     With ``odometry=True`` (registration only) *frames* must be LiDAR
     scans carrying ``ring`` / ``azimuth_step`` attributes (e.g. from
@@ -139,4 +143,12 @@ def stream_pipeline(name: str, frames: Iterable, k: int = 16,
             session=session, odometry=odometry,
             feature_config=feature_config,
             max_iterations=max_iterations) as live:
-        return live.run(frames)
+        if odometry and on_error is not None:
+            # The odometry operator chains pose state frame to frame; a
+            # skipped frame has no well-defined pose to carry, so it
+            # only supports the default raise-on-failure semantics.
+            raise ValidationError(
+                "on_error is not supported in odometry mode")
+        if on_error is None:
+            return live.run(frames)
+        return live.run(frames, on_error=on_error)

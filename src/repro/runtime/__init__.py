@@ -56,26 +56,55 @@ to units by sequence number, preserving the two batch invariants —
 input-order stability of scattered results and step-count parity with
 the per-query reference — for every backend.
 
+Supervision and the degradation ladder
+--------------------------------------
+Every backend executes under a
+:class:`~repro.runtime.executor.SupervisionConfig`: in-unit exceptions
+are retried (``max_retries``) on the same backend — deterministic
+results make retries bit-safe — and the forked pool additionally
+detects worker *death* and, when ``unit_timeout`` is set, worker
+*hangs*, recovering by killing and respawning only the affected slot
+and re-dispatching that slot's unfinished units (per-dispatch tickets
+discard anything the killed worker still emitted).  Only after a unit
+exhausts its retries does the backend walk the degradation ladder —
+process → thread → serial, each rung logged and recorded in
+:class:`~repro.runtime.executor.FaultStats` — and only a failure on
+the serial rung raises :class:`~repro.errors.ExecutionError`.
+Deterministic input errors (:class:`~repro.errors.ValidationError`)
+are never retried.  :mod:`repro.runtime.faults` provides a seeded
+deterministic fault injector for exercising all of these paths.
+
 Adding a backend
 ----------------
 Subclass :class:`~repro.runtime.executor.Executor`, accept
-``(state, n_workers=None)`` in the constructor, implement ``run`` /
-``close``, and either register the class in
-:data:`~repro.runtime.executor.EXECUTOR_BACKENDS` under a new name or
-pass the class (or a ready instance) directly as the ``executor=`` knob
-— :func:`~repro.runtime.executor.resolve_executor` accepts a backend
-name, a factory callable, or an :class:`Executor` instance.
+``(state, n_workers=None, supervision=None, fault_stats=None)`` in the
+constructor, implement ``run`` / ``close``, and either register the
+class in :data:`~repro.runtime.executor.EXECUTOR_BACKENDS` under a new
+name or pass the class (or a ready instance) directly as the
+``executor=`` knob — :func:`~repro.runtime.executor.resolve_executor`
+accepts a backend name, a factory callable, or an :class:`Executor`
+instance.
 """
 
 from repro.runtime.executor import (
     EXECUTOR_BACKENDS,
     Executor,
+    FaultStats,
     ProcessShardPool,
     SerialExecutor,
+    SupervisionConfig,
     ThreadExecutor,
     WorkUnit,
     resolve_executor,
     resolve_worker_count,
+    run_unit_supervised,
+)
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    FaultyState,
+    InjectedFaultError,
 )
 from repro.runtime.scheduler import (
     SingleWindowState,
@@ -87,12 +116,20 @@ from repro.runtime.scheduler import (
 __all__ = [
     "EXECUTOR_BACKENDS",
     "Executor",
+    "FaultStats",
     "ProcessShardPool",
     "SerialExecutor",
+    "SupervisionConfig",
     "ThreadExecutor",
     "WorkUnit",
     "resolve_executor",
     "resolve_worker_count",
+    "run_unit_supervised",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyState",
+    "InjectedFaultError",
     "SingleWindowState",
     "WeakShardState",
     "WindowScheduler",

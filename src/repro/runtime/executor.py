@@ -5,29 +5,46 @@ A :class:`WorkUnit` is one window's slice of a query batch; an
 object exposing ``run_unit(unit) -> result`` — and returns the results
 in unit order.  See :mod:`repro.runtime` for the protocol contract and
 the window-affinity sharding rule.
+
+Execution is **supervised**: every backend carries a
+:class:`SupervisionConfig` (unit retries, an optional wall-clock unit
+timeout, and a degradation ladder) and a :class:`FaultStats` counter
+block.  Failures are handled where they happen — the forked pool
+respawns a crashed or hung worker slot and re-dispatches only that
+slot's unfinished units; the thread and serial backends retry the
+failing unit inline — and only after ``max_retries`` consecutive
+failures of the same unit does a backend walk one rung down the
+degradation ladder (process → thread → serial).  Results are
+deterministic functions of the unit, so a retry is bit-safe, and
+per-dispatch *tickets* discard any late result a killed worker managed
+to emit.  Only when the serial rung itself fails does
+:class:`~repro.errors.ExecutionError` reach the caller.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import logging
 import multiprocessing
 import os
 import queue as queue_mod
+import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import ExecutionError, ValidationError, WorkerTimeoutError
 
 logger = logging.getLogger("repro.runtime")
 
 #: Auto-resolved worker counts are capped here; one worker per window
 #: beyond this point just multiplies idle processes.
 _DEFAULT_MAX_WORKERS = 8
-#: How often the process pool re-checks worker liveness while draining.
-#: Slow units are legitimate (a window can hold most of the cloud), so
-#: the drain loop only aborts on worker *death*, never on elapsed time.
+#: How often the process pool re-checks worker liveness (and, when a
+#: unit timeout is configured, wall-clock progress) while draining.
 _RESULT_POLL_S = 0.25
 
 
@@ -49,6 +66,59 @@ class WorkUnit:
     params: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Fault-handling knobs shared by every executor backend.
+
+    ``unit_timeout`` is the wall-clock budget (seconds) one work unit
+    may spend on a worker before the worker is presumed hung — the
+    forked pool kills and respawns the slot, the thread pool abandons
+    the future; ``None`` disables hang detection (worker *death* is
+    always detected).  ``max_retries`` bounds how many times one unit
+    is re-dispatched on the *same* backend after a crash, hang, or
+    in-unit exception before the backend walks the degradation ladder.
+    ``degradation`` enables that ladder (process → thread → serial);
+    with it off, an exhausted unit raises
+    :class:`~repro.errors.ExecutionError` immediately.
+    """
+
+    unit_timeout: Optional[float] = None
+    max_retries: int = 2
+    degradation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unit_timeout is not None and not self.unit_timeout > 0:
+            raise ValidationError(
+                f"unit_timeout must be positive, got {self.unit_timeout}")
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be non-negative, got {self.max_retries}")
+
+
+@dataclass
+class FaultStats:
+    """Recovery counters over an executor's lifetime.
+
+    ``retries`` counts unit re-dispatches after any failure,
+    ``respawns`` counts worker slots re-forked after a crash or hang,
+    ``timeouts`` counts unit-timeout expiries, and ``degradations``
+    records each ladder step taken (e.g. ``"process->thread"``), in
+    order.  A degraded backend shares this object with its replacement,
+    so the counters always describe the whole ladder.
+    """
+
+    retries: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+    degradations: List[str] = field(default_factory=list)
+
+    def snapshot(self) -> tuple:
+        """A comparable value snapshot: (retries, respawns, timeouts,
+        ladder steps taken)."""
+        return (self.retries, self.respawns, self.timeouts,
+                len(self.degradations))
+
+
 def resolve_worker_count(n_workers: Optional[int]) -> int:
     """Explicit count, or ``cpu_count`` capped at a small ceiling."""
     if n_workers is not None:
@@ -58,10 +128,53 @@ def resolve_worker_count(n_workers: Optional[int]) -> int:
     return max(1, min(os.cpu_count() or 1, _DEFAULT_MAX_WORKERS))
 
 
+def _non_retryable(exc: BaseException) -> bool:
+    """Deterministic input-contract violations must not be retried —
+    the same bad unit fails the same way on every backend, and callers
+    rely on seeing the original :class:`ValidationError`."""
+    return isinstance(exc, ValidationError)
+
+
+def run_unit_supervised(state, unit: WorkUnit,
+                        supervision: SupervisionConfig,
+                        fault_stats: FaultStats):
+    """Run one unit inline with bounded retries (the serial rung).
+
+    Retries transient failures up to ``max_retries`` times and raises
+    :class:`~repro.errors.ExecutionError` (chaining the last failure)
+    when the unit never succeeds.  :class:`ValidationError` passes
+    through untouched — deterministic input errors are not faults.
+    """
+    attempts = supervision.max_retries + 1
+    last: Optional[BaseException] = None
+    for attempt in range(attempts):
+        try:
+            return state.run_unit(unit)
+        except Exception as exc:
+            if _non_retryable(exc):
+                raise
+            last = exc
+            if attempt + 1 < attempts:
+                fault_stats.retries += 1
+                logger.warning(
+                    "unit (window %d, %s) failed inline (%s: %s); "
+                    "retry %d/%d", unit.window, unit.kind,
+                    type(exc).__name__, exc, attempt + 1, attempts - 1)
+    raise ExecutionError(
+        f"work unit for window {unit.window} failed after {attempts} "
+        f"attempt(s): {type(last).__name__}: {last}") from last
+
+
 class Executor:
     """Protocol base: run work units against a bound shard state."""
 
     name = "base"
+
+    def __init__(self, supervision: Optional[SupervisionConfig] = None,
+                 fault_stats: Optional[FaultStats] = None) -> None:
+        self.supervision = supervision or SupervisionConfig()
+        self.fault_stats = fault_stats if fault_stats is not None \
+            else FaultStats()
 
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
         """Execute *units*, returning their results in unit order."""
@@ -102,15 +215,25 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """Reference backend: an inline loop over the units."""
+    """Reference backend: an inline loop over the units.
+
+    The last rung of the degradation ladder: failures are retried up to
+    ``max_retries`` times, then raised as
+    :class:`~repro.errors.ExecutionError`.
+    """
 
     name = "serial"
 
-    def __init__(self, state, n_workers: Optional[int] = None) -> None:
+    def __init__(self, state, n_workers: Optional[int] = None,
+                 supervision: Optional[SupervisionConfig] = None,
+                 fault_stats: Optional[FaultStats] = None) -> None:
+        super().__init__(supervision, fault_stats)
         self._state = state
 
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
-        return [self._state.run_unit(unit) for unit in units]
+        return [run_unit_supervised(self._state, unit, self.supervision,
+                                    self.fault_stats)
+                for unit in units]
 
 
 class ThreadExecutor(Executor):
@@ -122,14 +245,25 @@ class ThreadExecutor(Executor):
     (Single-unit batches also run inline, but that is a per-call
     shortcut with identical semantics, not a backend fallback, so it
     does not change ``effective``.)
+
+    Supervision: an in-unit exception is retried on a fresh pool slot;
+    with ``unit_timeout`` set, a future that never resolves in time is
+    abandoned (a thread cannot be killed — the orphaned slot is logged)
+    and the unit retried.  After ``max_retries`` consecutive failures
+    of one unit the whole backend degrades to the serial rung for the
+    remaining units and every later batch.
     """
 
     name = "thread"
 
-    def __init__(self, state, n_workers: Optional[int] = None) -> None:
+    def __init__(self, state, n_workers: Optional[int] = None,
+                 supervision: Optional[SupervisionConfig] = None,
+                 fault_stats: Optional[FaultStats] = None) -> None:
+        super().__init__(supervision, fault_stats)
         self._state = state
         self._n_workers = resolve_worker_count(n_workers)
         self._pool = None
+        self._degraded: Optional[SerialExecutor] = None
         if self._n_workers <= 1:
             logger.warning(
                 "ThreadExecutor: worker count resolved to <= 1; "
@@ -137,18 +271,86 @@ class ThreadExecutor(Executor):
 
     @property
     def effective(self) -> str:
-        return "serial" if self._n_workers <= 1 else "thread"
+        if self._degraded is not None or self._n_workers <= 1:
+            return "serial"
+        return "thread"
+
+    def _degrade(self, detail: str) -> SerialExecutor:
+        step = "thread->serial"
+        logger.warning(
+            "ThreadExecutor: degrading to serial execution (%s)", detail)
+        self.fault_stats.degradations.append(step)
+        self._degraded = SerialExecutor(
+            self._state, supervision=self.supervision,
+            fault_stats=self.fault_stats)
+        return self._degraded
 
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
+        if self._degraded is not None:
+            return self._degraded.run(units)
         if self._n_workers <= 1 or len(units) <= 1:
-            return [self._state.run_unit(unit) for unit in units]
+            return [run_unit_supervised(self._state, unit,
+                                        self.supervision, self.fault_stats)
+                    for unit in units]
         if self._pool is None:
             from concurrent.futures import ThreadPoolExecutor
 
             self._pool = ThreadPoolExecutor(
                 max_workers=self._n_workers,
                 thread_name_prefix="repro-runtime")
-        return list(self._pool.map(self._state.run_unit, units))
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        sup = self.supervision
+        results: List[Any] = [_PENDING] * len(units)
+        attempts = [1] * len(units)
+        pending = {i: self._pool.submit(self._state.run_unit, unit)
+                   for i, unit in enumerate(units)}
+        while pending:
+            for i in sorted(pending):
+                future = pending[i]
+                try:
+                    results[i] = future.result(timeout=sup.unit_timeout)
+                    del pending[i]
+                    continue
+                except (FuturesTimeout, TimeoutError):
+                    self.fault_stats.timeouts += 1
+                    future.cancel()
+                    failure: BaseException = WorkerTimeoutError(
+                        f"unit for window {units[i].window} exceeded the "
+                        f"{sup.unit_timeout}s unit timeout on a worker "
+                        "thread (thread abandoned)")
+                except Exception as exc:
+                    if _non_retryable(exc):
+                        raise
+                    failure = exc
+                if attempts[i] <= sup.max_retries:
+                    attempts[i] += 1
+                    self.fault_stats.retries += 1
+                    logger.warning(
+                        "ThreadExecutor: unit (window %d) failed "
+                        "(%s: %s); retry %d/%d", units[i].window,
+                        type(failure).__name__, failure,
+                        attempts[i] - 1, sup.max_retries)
+                    pending[i] = self._pool.submit(
+                        self._state.run_unit, units[i])
+                    continue
+                if not sup.degradation:
+                    raise ExecutionError(
+                        f"work unit for window {units[i].window} failed "
+                        f"after {attempts[i]} attempt(s) on the thread "
+                        f"backend: {failure}") from failure
+                serial = self._degrade(
+                    f"unit for window {units[i].window} failed "
+                    f"{attempts[i]} time(s): {failure}")
+                todo = sorted(pending)
+                for j in todo:
+                    pending[j].cancel()
+                pending.clear()
+                finished = serial.run([units[j] for j in todo])
+                for j, value in zip(todo, finished):
+                    results[j] = value
+                break
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
@@ -156,17 +358,59 @@ class ThreadExecutor(Executor):
             self._pool = None
 
 
+#: Sentinel distinguishing "no result yet" from a legitimate ``None``
+#: result a custom shard state might return.
+_PENDING = object()
+
+#: Live forked pools, swept at interpreter exit so an un-``close()``-d
+#: session can never leak orphaned worker processes past the parent.
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _terminate_orphaned_pools() -> None:
+    """``atexit`` sweep: hard-stop every still-open forked pool."""
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.terminate_workers()
+        except Exception:
+            pass
+
+
+atexit.register(_terminate_orphaned_pools)
+
+
+def _drain_queue(queue) -> int:
+    """Discard everything buffered in *queue*; returns the count."""
+    drained = 0
+    while True:
+        try:
+            queue.get_nowait()
+            drained += 1
+        except (queue_mod.Empty, OSError, ValueError):
+            return drained
+
+
 def _shard_worker_main(state, inbox, outbox) -> None:
-    """Worker loop: inherited *state* (via fork), units in, results out."""
+    """Worker loop: inherited *state* (via fork), units in, results out.
+
+    Every message carries the dispatch *ticket* the parent issued;
+    results echo it so the parent can discard late results from a
+    killed worker (the re-dispatched unit got a fresh ticket).
+    In-unit failures ship a ``(type name, message, retryable)`` triple
+    instead of hanging the pool; :class:`ValidationError` is flagged
+    non-retryable so input-contract violations surface unchanged.
+    """
     while True:
         message = inbox.get()
         if message is None:
             return
-        seq, unit = message
+        ticket, seq, unit = message
         try:
-            outbox.put((seq, True, state.run_unit(unit)))
-        except BaseException as exc:  # ship the failure, don't hang the pool
-            outbox.put((seq, False, f"{type(exc).__name__}: {exc}"))
+            outbox.put((ticket, seq, True, state.run_unit(unit)))
+        except BaseException as exc:
+            outbox.put((ticket, seq, False,
+                        (type(exc).__name__, str(exc),
+                         not _non_retryable(exc))))
 
 
 class ProcessShardPool(Executor):
@@ -190,11 +434,26 @@ class ProcessShardPool(Executor):
     batch actually targets — from the parent's current state.
     ``spawn_count`` counts forks over the pool's lifetime (a streaming
     caller can verify that clean-window workers were never respawned).
+
+    :meth:`run` is **supervised**: every dispatch carries a fresh
+    ticket, per-unit bookkeeping tracks what each slot still owes, and
+    the drain loop watches for worker death and (when
+    ``supervision.unit_timeout`` is set) wall-clock hangs.  A crashed or
+    hung slot is killed and respawned from the parent's current state
+    and only *its* unfinished units are re-dispatched — results are
+    deterministic, so the retry is bit-safe, and stale tickets discard
+    anything the killed worker still managed to emit.  After
+    ``max_retries`` consecutive failures of the same unit the pool
+    walks the degradation ladder (thread, then serial — see
+    :class:`SupervisionConfig`) instead of raising.
     """
 
     name = "process"
 
-    def __init__(self, state, n_workers: Optional[int] = None) -> None:
+    def __init__(self, state, n_workers: Optional[int] = None,
+                 supervision: Optional[SupervisionConfig] = None,
+                 fault_stats: Optional[FaultStats] = None) -> None:
+        super().__init__(supervision, fault_stats)
         self._state = state
         self._n_workers = resolve_worker_count(n_workers)
         self._procs: Optional[List] = None
@@ -202,7 +461,10 @@ class ProcessShardPool(Executor):
         self._outbox = None
         self._context = None
         self._fallback: Optional[SerialExecutor] = None
+        self._degraded: Optional[Executor] = None
+        self._tickets = itertools.count(1)
         self.spawn_count = 0
+        _LIVE_POOLS.add(self)
         if "fork" not in multiprocessing.get_all_start_methods():
             self._fall_back("the 'fork' start method is unavailable")
         elif self._n_workers <= 1:
@@ -210,12 +472,16 @@ class ProcessShardPool(Executor):
 
     @property
     def effective(self) -> str:
+        if self._degraded is not None:
+            return self._degraded.effective
         return "serial" if self._fallback is not None else "process"
 
     def _fall_back(self, reason: str) -> None:
         logger.warning(
             "ProcessShardPool: %s; falling back to SerialExecutor", reason)
-        self._fallback = SerialExecutor(self._state)
+        self._fallback = SerialExecutor(
+            self._state, supervision=self.supervision,
+            fault_stats=self.fault_stats)
 
     def _spawn_worker(self, slot: int) -> None:
         """Fork one worker for *slot*, inheriting the current state."""
@@ -240,6 +506,29 @@ class ProcessShardPool(Executor):
         if proc.is_alive():
             proc.terminate()
         self._procs[slot] = None
+
+    def _kill_worker(self, slot: int) -> None:
+        """Hard-stop one slot (crashed or hung) without the handshake.
+
+        The dead slot's inbox may still hold queued units (and a hung
+        worker never consumed them), so it is replaced wholesale — a
+        respawned worker must start from an empty queue or it would
+        replay stale dispatches.
+        """
+        proc = self._procs[slot]
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        self._procs[slot] = None
+        try:
+            self._inboxes[slot].close()
+        except (OSError, ValueError):
+            pass
+        self._inboxes[slot] = self._context.Queue()
 
     def _ensure_workers(self, slots) -> bool:
         """Fork workers for *slots* (lazily); False on fallback."""
@@ -278,36 +567,175 @@ class ProcessShardPool(Executor):
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
         if not units:
             return []
+        if self._degraded is not None:
+            return self._degraded.run(units)
         if self._fallback is None and self._procs is None \
                 and len(units) <= 1:
             # A single unit (e.g. the unsplit Base path) gains nothing
             # from sharding: skip the fork + pickle round-trip entirely.
-            return [self._state.run_unit(unit) for unit in units]
+            return [run_unit_supervised(self._state, unit,
+                                        self.supervision, self.fault_stats)
+                    for unit in units]
         if self._fallback is None:
             slots = sorted({unit.window % self._n_workers
                             for unit in units})
             self._ensure_workers(slots)
         if self._fallback is not None:
             return self._fallback.run(units)
-        for seq, unit in enumerate(units):
-            self._inboxes[unit.window % self._n_workers].put((seq, unit))
-        results: List[Any] = [None] * len(units)
-        received = 0
-        while received < len(units):
+        return self._run_supervised(units)
+
+    # -- supervised drain loop -----------------------------------------
+    def _run_supervised(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Dispatch *units* and drain results under fault supervision.
+
+        Bookkeeping per unit: the current dispatch ticket (stale-ticket
+        results are discarded) and the attempt count; per slot: the
+        FIFO of outstanding unit seqs and the time of the slot's last
+        progress (dispatch or delivered result) — the hang detector's
+        clock.  Workers process their inbox in order, so the head of a
+        slot's FIFO is always the unit a crashed/hung worker was
+        executing: it takes the blame (and the retry accounting) while
+        the rest of the FIFO is re-dispatched for free.
+        """
+        sup = self.supervision
+        results: List[Any] = [_PENDING] * len(units)
+        attempts = [1] * len(units)
+        tickets: List[Optional[int]] = [None] * len(units)
+        slot_of = [unit.window % self._n_workers for unit in units]
+        slot_fifo: Dict[int, List[int]] = {}
+        last_progress: Dict[int, float] = {}
+        poll = _RESULT_POLL_S if sup.unit_timeout is None else \
+            min(_RESULT_POLL_S, max(0.01, sup.unit_timeout / 4.0))
+
+        def dispatch(seq: int) -> None:
+            ticket = next(self._tickets)
+            tickets[seq] = ticket
+            slot_fifo.setdefault(slot_of[seq], []).append(seq)
+            self._inboxes[slot_of[seq]].put((ticket, seq, units[seq]))
+
+        for seq in range(len(units)):
+            dispatch(seq)
+        now = time.monotonic()
+        for slot in slot_fifo:
+            last_progress[slot] = now
+
+        remaining = len(units)
+        while remaining:
             try:
-                seq, ok, payload = self._outbox.get(timeout=_RESULT_POLL_S)
+                ticket, seq, ok, payload = self._outbox.get(timeout=poll)
             except queue_mod.Empty:
-                if any(proc is not None and not proc.is_alive()
-                       for proc in self._procs):
-                    self.close()
-                    raise RuntimeError(
-                        "ProcessShardPool worker died mid-batch")
+                exhausted = self._check_slots(units, attempts, tickets,
+                                              slot_fifo, last_progress,
+                                              dispatch)
+                if exhausted is not None:
+                    return self._exhaust(units, results, *exhausted)
                 continue
-            if not ok:
+            if tickets[seq] != ticket:
+                # Stale: a killed worker's late result, or a leftover
+                # from a previous batch — the re-dispatch owns the unit.
+                logger.warning(
+                    "ProcessShardPool: discarding stale result for unit "
+                    "%d (ticket %d)", seq, ticket)
+                continue
+            slot = slot_of[seq]
+            last_progress[slot] = time.monotonic()
+            slot_fifo[slot].remove(seq)
+            if ok:
+                results[seq] = payload
+                tickets[seq] = None
+                remaining -= 1
+                continue
+            type_name, message, retryable = payload
+            if not retryable:
                 self.close()
-                raise RuntimeError(f"shard worker failed: {payload}")
-            results[seq] = payload
-            received += 1
+                raise ValidationError(message)
+            failure = f"{type_name}: {message}"
+            if attempts[seq] <= sup.max_retries:
+                attempts[seq] += 1
+                self.fault_stats.retries += 1
+                logger.warning(
+                    "ProcessShardPool: unit %d (window %d) failed in "
+                    "worker (%s); retry %d/%d", seq, units[seq].window,
+                    failure, attempts[seq] - 1, sup.max_retries)
+                dispatch(seq)
+                continue
+            return self._exhaust(
+                units, results,
+                f"unit for window {units[seq].window} failed "
+                f"{attempts[seq]} time(s) in workers ({failure})",
+                ExecutionError)
+        return results
+
+    def _check_slots(self, units, attempts, tickets, slot_fifo,
+                     last_progress, dispatch):
+        """Death / hang sweep over every slot with outstanding units.
+
+        Returns ``None`` when recovery succeeded (or nothing was
+        wrong), else the ``(detail, error type)`` pair of an exhausted
+        unit — the caller walks the degradation ladder with it.
+        """
+        sup = self.supervision
+        now = time.monotonic()
+        for slot, fifo in slot_fifo.items():
+            if not fifo:
+                continue
+            proc = self._procs[slot]
+            dead = proc is None or not proc.is_alive()
+            hung = (not dead and sup.unit_timeout is not None
+                    and now - last_progress[slot] > sup.unit_timeout)
+            if not dead and not hung:
+                continue
+            head = fifo[0]
+            if hung:
+                self.fault_stats.timeouts += 1
+                kind, error = "exceeded the unit timeout", \
+                    WorkerTimeoutError
+                logger.warning(
+                    "ProcessShardPool: worker slot %d exceeded the "
+                    "%.3gs unit timeout on unit %d (window %d); killing "
+                    "and respawning", slot, sup.unit_timeout, head,
+                    units[head].window)
+            else:
+                kind, error = "died", ExecutionError
+                logger.warning(
+                    "ProcessShardPool: worker slot %d died on unit %d "
+                    "(window %d); respawning", slot, head,
+                    units[head].window)
+            self._kill_worker(slot)
+            if attempts[head] > sup.max_retries:
+                return (f"worker serving window {units[head].window} "
+                        f"{kind} {attempts[head]} time(s)", error)
+            attempts[head] += 1
+            self.fault_stats.retries += 1
+            self.fault_stats.respawns += 1
+            self._spawn_worker(slot)
+            redispatch = list(fifo)
+            fifo.clear()
+            for seq in redispatch:
+                dispatch(seq)
+            last_progress[slot] = time.monotonic()
+        return None
+
+    def _exhaust(self, units, results, detail, error):
+        """One unit is out of retries: degrade the pool, or raise."""
+        if not self.supervision.degradation:
+            self.close()
+            raise error(
+                f"ProcessShardPool: {detail} and degradation is disabled")
+        step = "process->thread"
+        logger.warning(
+            "ProcessShardPool: %s; degrading to the thread backend",
+            detail)
+        self.fault_stats.degradations.append(step)
+        self.close()
+        self._degraded = ThreadExecutor(
+            self._state, self._n_workers, supervision=self.supervision,
+            fault_stats=self.fault_stats)
+        todo = [seq for seq, value in enumerate(results)
+                if value is _PENDING]
+        finished = self._degraded.run([units[seq] for seq in todo])
+        for seq, value in zip(todo, finished):
+            results[seq] = value
         return results
 
     def reset_workers(self) -> None:
@@ -326,7 +754,8 @@ class ProcessShardPool(Executor):
         clean — the caller's contract); stopped slots re-fork lazily on
         the next batch that targets them.
         """
-        if self._fallback is not None or self._procs is None:
+        if self._degraded is not None or self._fallback is not None \
+                or self._procs is None:
             return
         for slot in sorted({int(w) % self._n_workers for w in windows}):
             self._stop_worker(slot)
@@ -338,13 +767,56 @@ class ProcessShardPool(Executor):
             self._inboxes[slot] = self._context.Queue()
 
     def close(self) -> None:
+        if self._degraded is not None:
+            self._degraded.close()
         if self._procs is None:
             return
         for slot in range(self._n_workers):
             self._stop_worker(slot)
+        # Results from live workers may still sit in the outbox (and
+        # unread dispatches in the inboxes): drain everything before
+        # teardown so a later re-fork can never consume a stale
+        # ``(ticket, seq, ...)`` from a previous batch.
         for inbox in self._inboxes:
+            _drain_queue(inbox)
             inbox.close()
+        stale = _drain_queue(self._outbox)
+        if stale:
+            logger.warning(
+                "ProcessShardPool: discarded %d stale result(s) while "
+                "closing", stale)
         self._outbox.close()
+        self._procs = self._inboxes = self._outbox = self._context = None
+
+    def terminate_workers(self) -> None:
+        """Hard-stop every forked worker without the shutdown handshake.
+
+        The ``atexit`` sweep path: an un-``close()``-d pool at
+        interpreter exit must not leak children (a hung worker ignores
+        the sentinel handshake entirely), so workers are terminated
+        outright and the queues drained and dropped.
+        """
+        if self._procs is None:
+            return
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.kill()
+        for inbox in self._inboxes:
+            _drain_queue(inbox)
+            try:
+                inbox.close()
+            except (OSError, ValueError):
+                pass
+        _drain_queue(self._outbox)
+        try:
+            self._outbox.close()
+        except (OSError, ValueError):
+            pass
         self._procs = self._inboxes = self._outbox = self._context = None
 
     def __del__(self) -> None:
@@ -363,26 +835,51 @@ EXECUTOR_BACKENDS = {
 }
 
 
-def resolve_executor(spec, state, n_workers: Optional[int] = None
+def resolve_executor(spec, state, n_workers: Optional[int] = None,
+                     supervision: Optional[SupervisionConfig] = None
                      ) -> Executor:
     """Turn an ``executor=`` knob value into a bound :class:`Executor`.
 
     *spec* may be a backend name from :data:`EXECUTOR_BACKENDS`, an
     :class:`Executor` instance (used as-is — the caller already bound
     it), a factory callable ``(state, n_workers) -> Executor``, or
-    ``None`` (serial).
+    ``None`` (serial).  *supervision* (when given) is applied to the
+    resolved backend — factories and instances that pre-configured
+    their own supervision keep it only if none is passed here.
     """
     if isinstance(spec, Executor):
-        return spec
+        return _supervise(spec, supervision)
     if spec is None:
-        return SerialExecutor(state)
-    if callable(spec):
-        return spec(state, n_workers)
+        return SerialExecutor(state, supervision=supervision)
+    if callable(spec) and spec not in EXECUTOR_BACKENDS.values():
+        try:
+            executor = spec(state, n_workers)
+        except TypeError:
+            executor = spec(state)
+        return _supervise(executor, supervision)
     try:
-        backend = EXECUTOR_BACKENDS[spec]
+        backend = EXECUTOR_BACKENDS[spec] if not callable(spec) else spec
     except (KeyError, TypeError):
         raise ValidationError(
             f"unknown executor {spec!r}; options: "
             f"{sorted(EXECUTOR_BACKENDS)} or an Executor instance"
         ) from None
-    return backend(state, n_workers)
+    try:
+        return backend(state, n_workers, supervision=supervision)
+    except TypeError:
+        # Third-party backends registered before supervision existed.
+        return _supervise(backend(state, n_workers), supervision)
+
+
+def _supervise(executor, supervision: Optional[SupervisionConfig]):
+    """Attach *supervision* (and a stats block) to a resolved backend."""
+    if supervision is not None:
+        try:
+            executor.supervision = supervision
+        except AttributeError:
+            pass
+    if getattr(executor, "supervision", None) is None:
+        executor.supervision = SupervisionConfig()
+    if getattr(executor, "fault_stats", None) is None:
+        executor.fault_stats = FaultStats()
+    return executor

@@ -107,10 +107,17 @@ class WindowScheduler:
     """
 
     def __init__(self, state, executor="serial",
-                 n_workers: Optional[int] = None) -> None:
+                 n_workers: Optional[int] = None,
+                 supervision=None) -> None:
         self.state = state
         self.executor: Executor = resolve_executor(executor, state,
-                                                   n_workers)
+                                                   n_workers, supervision)
+
+    @property
+    def fault_stats(self):
+        """The executor's recovery counters (see
+        :class:`repro.runtime.executor.FaultStats`)."""
+        return self.executor.fault_stats
 
     def schedule(self, queries: np.ndarray, window_ids: np.ndarray,
                  kind: str, params: Dict[str, Any]) -> List[WorkUnit]:

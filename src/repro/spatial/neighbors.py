@@ -245,7 +245,8 @@ class ChunkedIndex:
                  chunk_assignment: np.ndarray,
                  windows: Sequence[ChunkWindow],
                  executor="serial",
-                 executor_workers: Optional[int] = None) -> None:
+                 executor_workers: Optional[int] = None,
+                 supervision=None) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
         if positions.ndim != 2 or positions.shape[1] != 3:
@@ -259,6 +260,9 @@ class ChunkedIndex:
         self.windows = list(windows)
         self.executor = executor
         self.executor_workers = executor_workers
+        #: Optional :class:`repro.runtime.SupervisionConfig` applied to
+        #: the executor backend (retries / unit timeout / degradation).
+        self.supervision = supervision
         self._window_of_chunk_cache: Optional[Dict[int, tuple]] = None
         self._window_lut_cache: Optional[np.ndarray] = None
         self._members_cache: Optional[List[np.ndarray]] = None
@@ -565,13 +569,55 @@ class ChunkedIndex:
             self._ensure_built()
             self._scheduler = WindowScheduler(WeakShardState(self),
                                               self.executor,
-                                              self.executor_workers)
+                                              self.executor_workers,
+                                              self.supervision)
         return self._scheduler
 
     @property
     def effective_executor(self) -> str:
         """The backend actually in force (``"serial"`` under fallback)."""
         return self._runtime().executor.effective
+
+    @property
+    def fault_stats(self):
+        """The runtime's recovery counters
+        (:class:`repro.runtime.FaultStats`) — retries, worker respawns,
+        unit timeouts, and degradation-ladder steps over this index's
+        executor lifetime."""
+        return self._runtime().fault_stats
+
+    # ------------------------------------------------------------------
+    # Frame-failure rollback support
+    # ------------------------------------------------------------------
+    _SNAPSHOT_ATTRS = (
+        "positions", "assignment", "windows",
+        "_window_of_chunk_cache", "_window_lut_cache", "_members_cache",
+        "_trees_cache", "_versions_cache",
+        "last_reused_trees", "last_clean_windows", "last_dirty_windows",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Capture the index's frame state for failure rollback.
+
+        A *shallow* attribute capture is a true snapshot here because
+        :meth:`update_frame` replaces the cache lists wholesale (it
+        never mutates them in place), and kd-trees / member arrays are
+        immutable once built.  The attached :attr:`result_cache` is
+        deliberately not captured: its keys embed content versions from
+        a process-global counter that is never reused, so entries
+        inserted by a later-failed frame are simply unreachable, never
+        wrong.
+        """
+        return {name: getattr(self, name) for name in self._SNAPSHOT_ATTRS}
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Reinstate a :meth:`snapshot_state` capture after a failed
+        frame, dropping any worker-held state shipped in between (the
+        scheduler itself — and its fault counters — stay warm)."""
+        for name in self._SNAPSHOT_ATTRS:
+            setattr(self, name, snapshot[name])
+        if self._scheduler is not None:
+            self._scheduler.reset_workers()
 
     def close(self) -> None:
         """Shut down any live executor workers (idempotent)."""

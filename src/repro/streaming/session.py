@@ -44,6 +44,17 @@ State reuse is a pure *when-it-is-built* change: given the same
 deadline, a warm session's frame results are bit-identical to cold
 per-frame rebuilds on every executor backend
 (``tests/test_streaming_session.py`` proves it).
+
+Sessions are additionally **fault-tolerant**: frames are validated
+(shape / dtype / NaN / Inf) *before* any warm state is touched, every
+frame's ingest + plan execution runs under a checkpoint that rolls the
+session back to the last good frame on failure, the runtime underneath
+retries / respawns / degrades through
+:class:`repro.runtime.SupervisionConfig` (knobs on
+:class:`~repro.core.config.StreamingSessionConfig`), and
+``on_error="skip"`` quarantines failed frames into error-carrying
+:class:`FrameResult`\\ s instead of poisoning the stream
+(``tests/test_fault_recovery.py``).
 """
 
 from __future__ import annotations
@@ -107,6 +118,25 @@ class FrameResult:
     #: Domain-operator annotations riding with the frame (e.g. the
     #: estimated pose a streaming odometry operator attaches).
     payload: Dict[str, Any] = field(default_factory=dict)
+    #: Recovery work this frame's execution required (see
+    #: :class:`repro.runtime.FaultStats`): unit re-dispatches, worker
+    #: respawns, unit-timeout expiries, and degradation-ladder steps.
+    #: All zero on a fault-free frame.
+    retries: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+    degradations: int = 0
+    #: ``None`` on success; on a quarantined frame
+    #: (``on_error="skip"``), a ``{"type", "message", "stage"}`` dict
+    #: describing the failure (``stage`` is ``"validate"`` or
+    #: ``"execute"``).  The session's warm state was rolled back to the
+    #: last good frame either way.
+    error: Optional[Dict[str, str]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless this frame was quarantined by ``on_error="skip"``."""
+        return self.error is None
 
     def __getitem__(self, name: str) -> BatchQueryResult:
         try:
@@ -127,6 +157,15 @@ class SessionStats:
     covered instead of a rebuild).  ``cache_hits`` / ``cache_misses``
     mirror the cross-frame result cache's lifetime counters — every
     per-window work unit the session replayed versus executed.
+
+    Fault accounting: ``retries`` / ``respawns`` / ``timeouts`` /
+    ``degradations`` total the runtime's recovery work
+    (:class:`repro.runtime.FaultStats`) absorbed frame by frame;
+    ``validation_failures`` counts frames rejected before touching warm
+    state, ``rollbacks`` counts failed frames whose warm state was
+    rolled back to the last good frame, and ``frames_quarantined``
+    counts the failures ``on_error="skip"`` turned into error-carrying
+    :class:`FrameResult`\\ s instead of exceptions.
     """
 
     frames: int = 0
@@ -138,6 +177,13 @@ class SessionStats:
     windows_rebuilt: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    retries: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+    degradations: int = 0
+    validation_failures: int = 0
+    frames_quarantined: int = 0
+    rollbacks: int = 0
 
 
 class StreamSession:
@@ -208,7 +254,14 @@ class StreamSession:
         if self._closed:
             return "closed"
         if self._index is None:
-            return self.config.executor
+            spec = self.config.executor
+            if isinstance(spec, str):
+                return spec
+            backend = getattr(spec, "backend", None)
+            if isinstance(backend, str):
+                # e.g. a FaultInjector.executor(...) factory.
+                return backend
+            return getattr(spec, "name", "custom")
         return self._index.effective_executor
 
     def close(self) -> None:
@@ -235,7 +288,8 @@ class StreamSession:
 
     # ------------------------------------------------------------------
     def process(self, positions: np.ndarray,
-                queries: Optional[np.ndarray] = None) -> FrameResult:
+                queries: Optional[np.ndarray] = None,
+                on_error: Optional[str] = None) -> FrameResult:
         """Ingest one frame and answer its kNN batch.
 
         The trivial single-op plan: one kNN op (named ``"knn"``) at the
@@ -245,14 +299,15 @@ class StreamSession:
         own chunk's serving window.  A zero-point frame (a sensor
         dropout) is well-defined: it returns an empty
         :class:`FrameResult` without touching the session's index,
-        deadline, or drift cadence.
+        deadline, or drift cadence.  ``on_error`` overrides the
+        session's frame-failure policy (see :meth:`execute`).
         """
         return self.execute(positions, self._default_plan,
-                            {"knn": queries})
+                            {"knn": queries}, on_error=on_error)
 
     def execute(self, positions: np.ndarray, plan: FramePlan,
-                blocks: Optional[Mapping[str, Optional[np.ndarray]]] = None
-                ) -> FrameResult:
+                blocks: Optional[Mapping[str, Optional[np.ndarray]]] = None,
+                on_error: Optional[str] = None) -> FrameResult:
         """Ingest one frame and run *plan* against it in one dispatch.
 
         ``blocks`` pairs each op name with its query block; an op with
@@ -265,28 +320,65 @@ class StreamSession:
         deadline; exempt ops run uncapped.  Per-op results land in
         :attr:`FrameResult.op_results`; :attr:`FrameResult.result` is
         the first op's.
+
+        Failure semantics: the frame is validated (shape / dtype /
+        finite coordinates) before any warm state is touched, and the
+        ingest + plan run under a checkpoint — on any failure the
+        session rolls back to the last good frame (index, deadline
+        calibration, drift cadence, frame counter).  ``on_error``
+        (default: the session config's ``on_error``) then decides:
+        ``"raise"`` re-raises the failure; ``"skip"`` quarantines it
+        into a :class:`FrameResult` whose :attr:`FrameResult.error`
+        carries the structured failure and whose op results are empty.
         """
+        on_error = self._resolve_on_error(on_error)
         blocks = self._checked_blocks(plan, blocks)
-        positions = np.asarray(positions, dtype=np.float64)
+        try:
+            positions = self._validate_positions(positions)
+        except ValidationError as exc:
+            # Rejected before any state was touched: nothing to roll
+            # back — the index, cache, and calibration are untouched.
+            self.stats.validation_failures += 1
+            if on_error == "skip":
+                return self._quarantined_frame(plan, blocks, exc,
+                                               "validate")
+            raise
         self._closed = False
-        if positions.ndim == 2 and positions.shape[1] == 3 \
-                and len(positions) == 0:
-            # Only a well-formed (0, 3) frame short-circuits; malformed
-            # shapes still fail partition_cloud's validation below.
+        if len(positions) == 0:
+            # A well-formed (0, 3) frame (sensor dropout) short-circuits.
             return self._empty_frame(plan, blocks)
-        positions, grid, assignment, windows = partition_cloud(
-            positions, self.config.splitting)
-        reused = self._ingest(positions, assignment, windows)
-        self._grid = grid
+        checkpoint = self._checkpoint()
+        fault_obj, fault_before = self._fault_state()
+        try:
+            positions, grid, assignment, windows = partition_cloud(
+                positions, self.config.splitting)
+            reused = self._ingest(positions, assignment, windows)
+            self._grid = grid
 
-        deadline: Optional[int] = None
-        recalibrated = False
-        drift: Optional[float] = None
-        if self.config.use_termination:
-            deadline, recalibrated, drift = self._frame_deadline(
-                positions, assignment)
+            deadline: Optional[int] = None
+            recalibrated = False
+            drift: Optional[float] = None
+            if self.config.use_termination:
+                deadline, recalibrated, drift = self._frame_deadline(
+                    positions, assignment)
 
-        op_results = self._run_plan(plan, blocks, deadline)
+            op_results = self._run_plan(plan, blocks, deadline)
+        except Exception as exc:
+            # Recovery work done before the failure still counts.
+            retries, respawns, timeouts, degradations = \
+                self._absorb_faults(fault_obj, fault_before)
+            self._rollback(checkpoint)
+            self.stats.rollbacks += 1
+            if isinstance(exc, ValidationError):
+                self.stats.validation_failures += 1
+            if on_error == "skip":
+                return self._quarantined_frame(
+                    plan, blocks, exc, "execute", retries=retries,
+                    respawns=respawns, timeouts=timeouts,
+                    degradations=degradations)
+            raise
+        retries, respawns, timeouts, degradations = \
+            self._absorb_faults(fault_obj, fault_before)
         n_chunks = grid.n_chunks if grid is not None else \
             int(assignment.max()) + 1
         index = self._index
@@ -300,7 +392,9 @@ class StreamSession:
             clean_windows=index.last_clean_windows,
             rebuilt_windows=(index.last_dirty_windows
                              - index.last_reused_trees),
-            op_results=op_results)
+            op_results=op_results,
+            retries=retries, respawns=respawns, timeouts=timeouts,
+            degradations=degradations)
         self._frame_id += 1
         self.stats.frames += 1
         if reused:
@@ -339,7 +433,9 @@ class StreamSession:
         cache = self._index.result_cache
         before = (cache.hits, cache.misses) if cache is not None \
             else (0, 0)
+        fault_obj, fault_before = self._fault_state()
         op_results = self._run_plan(plan, blocks, deadline)
+        self._absorb_faults(fault_obj, fault_before)
         hits, misses = 0, 0
         if cache is not None:
             hits = cache.hits - before[0]
@@ -349,6 +445,139 @@ class StreamSession:
         return PlanResult(frame_id=self._frame_id - 1, deadline=deadline,
                           op_results=op_results, cache_hits=hits,
                           cache_misses=misses)
+
+    # ------------------------------------------------------------------
+    # Frame validation, checkpoint / rollback, quarantine
+    # ------------------------------------------------------------------
+    def _resolve_on_error(self, on_error: Optional[str]) -> str:
+        if on_error is None:
+            return self.session_config.on_error
+        if on_error not in ("raise", "skip"):
+            raise ValidationError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        return on_error
+
+    @staticmethod
+    def _validate_positions(positions) -> np.ndarray:
+        """Reject malformed frames before any warm state is touched.
+
+        Guards every ingest path (:meth:`process` / :meth:`execute` /
+        :meth:`run`): a frame that cannot be coerced to a finite
+        ``(N, 3)`` float array raises :class:`ValidationError` with the
+        session's index, result cache, and deadline calibration exactly
+        as the previous frame left them.  NaN/Inf coordinates matter
+        most — they would otherwise corrupt window kd-trees *and* get
+        cached under a content version.
+        """
+        try:
+            positions = np.asarray(positions, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"frame positions are not numeric: {exc}") from exc
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValidationError(
+                f"frame positions must be (N, 3), got shape "
+                f"{positions.shape}")
+        finite = np.isfinite(positions)
+        if not finite.all():
+            bad = int(len(positions) - finite.all(axis=1).sum())
+            raise ValidationError(
+                f"frame positions contain non-finite coordinates "
+                f"(NaN/Inf) in {bad} of {len(positions)} points")
+        return positions
+
+    def _checkpoint(self) -> dict:
+        """Capture everything a failed frame could corrupt."""
+        index = self._index
+        return {
+            "frame_id": self._frame_id,
+            "grid": self._grid,
+            "closed": self._closed,
+            "drift_baseline": self._drift_baseline,
+            "since_calibration": self._since_calibration,
+            "policy": self.policy.state_snapshot(),
+            "index": index,
+            "index_state": index.snapshot_state()
+            if index is not None else None,
+        }
+
+    def _rollback(self, checkpoint: dict) -> None:
+        """Reinstate the last good frame's state after a failure."""
+        index = checkpoint["index"]
+        if self._index is not index and self._index is not None:
+            # A cold-mode ingest replaced the index object mid-frame:
+            # drop the half-built replacement.
+            self._index.close()
+        self._index = index
+        if index is not None:
+            index.restore_state(checkpoint["index_state"])
+        self._frame_id = checkpoint["frame_id"]
+        self._grid = checkpoint["grid"]
+        self._closed = checkpoint["closed"]
+        self._drift_baseline = checkpoint["drift_baseline"]
+        self._since_calibration = checkpoint["since_calibration"]
+        self.policy.restore_state(checkpoint["policy"])
+
+    def _fault_state(self):
+        """The live runtime's fault counters and their current snapshot.
+
+        Peeks without forcing a runtime into existence (a session that
+        has not run a batch yet has none).  Per-frame deltas compare by
+        *object identity*: a cold-mode frame builds a fresh index (and
+        fresh counters), so its delta is the new object's absolute
+        values.
+        """
+        index = self._index
+        if index is None or index._scheduler is None:
+            return None, (0, 0, 0, 0)
+        stats = index._scheduler.fault_stats
+        return stats, stats.snapshot()
+
+    def _absorb_faults(self, before_obj, before_snap) -> tuple:
+        """Fold the runtime's recovery work since *before_snap* into
+        :attr:`stats`; returns the per-frame delta tuple."""
+        stats_obj, now = self._fault_state()
+        if stats_obj is None:
+            return (0, 0, 0, 0)
+        if stats_obj is not before_obj:
+            delta = now
+        else:
+            delta = tuple(a - b for a, b in zip(now, before_snap))
+        retries, respawns, timeouts, degradations = delta
+        self.stats.retries += retries
+        self.stats.respawns += respawns
+        self.stats.timeouts += timeouts
+        self.stats.degradations += degradations
+        return delta
+
+    def _quarantined_frame(self, plan: FramePlan,
+                           blocks: Mapping[str, Optional[np.ndarray]],
+                           exc: BaseException, stage: str,
+                           retries: int = 0, respawns: int = 0,
+                           timeouts: int = 0, degradations: int = 0
+                           ) -> FrameResult:
+        """Turn a failed frame into an error-carrying result
+        (``on_error="skip"``): empty op results, the structured failure
+        in :attr:`FrameResult.error`, and the frame id consumed — the
+        stream's frame numbering stays aligned with its input."""
+        op_results: "OrderedDict[str, BatchQueryResult]" = OrderedDict()
+        for op in plan.ops:
+            width = op.k if op.kind == "knn" else 0
+            op_results[op.name] = BatchQueryResult.empty(0, width)
+        frame = FrameResult(
+            frame_id=self._frame_id,
+            result=next(iter(op_results.values())),
+            deadline=None, recalibrated=False, index_reused=False,
+            drift=None, n_points=0, n_chunks=0, n_windows=0,
+            op_results=op_results,
+            retries=retries, respawns=respawns, timeouts=timeouts,
+            degradations=degradations,
+            error={"type": type(exc).__name__, "message": str(exc),
+                   "stage": stage})
+        self._frame_id += 1
+        self.stats.frames += 1
+        self.stats.frames_quarantined += 1
+        return frame
 
     @staticmethod
     def _checked_blocks(plan: FramePlan,
@@ -430,7 +659,8 @@ class StreamSession:
         self.stats.frames += 1
         return frame
 
-    def run(self, frames, queries=None) -> List[FrameResult]:
+    def run(self, frames, queries=None,
+            on_error: Optional[str] = None) -> List[FrameResult]:
         """Process a whole frame sequence; returns per-frame results.
 
         ``frames`` is any iterable — a list, a generator, a live feed —
@@ -441,12 +671,20 @@ class StreamSession:
         mismatch raises once the shorter side runs out (sized inputs
         are not required, so mismatches cannot always be detected
         up front).
+
+        ``on_error`` overrides the session's frame-failure policy for
+        the whole sequence: with ``"skip"``, a failed frame becomes a
+        quarantined :class:`FrameResult` (``.ok`` is False, ``.error``
+        holds the failure) and the stream continues from the last good
+        frame's warm state.
         """
+        on_error = self._resolve_on_error(on_error)
         results: List[FrameResult] = []
         if queries is None:
             for frame in frames:
                 results.append(self.process(
-                    getattr(frame, "positions", frame)))
+                    getattr(frame, "positions", frame),
+                    on_error=on_error))
             return results
         if hasattr(frames, "__len__") and hasattr(queries, "__len__") \
                 and len(frames) != len(queries):
@@ -469,7 +707,8 @@ class StreamSession:
                     + ("frames" if frame is missing else "queries")
                     + " ran out first")
             results.append(self.process(
-                getattr(frame, "positions", frame), block))
+                getattr(frame, "positions", frame), block,
+                on_error=on_error))
 
     # ------------------------------------------------------------------
     def _ingest(self, positions: np.ndarray, assignment: np.ndarray,
@@ -493,7 +732,8 @@ class StreamSession:
             self._index = ChunkedIndex(
                 positions, assignment, windows,
                 executor=self.config.executor,
-                executor_workers=self.config.executor_workers)
+                executor_workers=self.config.executor_workers,
+                supervision=self.session_config.supervision())
             reused = False
         if self.session_config.reuse_index:
             self._index.result_cache = self._result_cache

@@ -1,0 +1,473 @@
+"""Fault-matrix suite: supervised recovery must be invisible in results.
+
+The contract of the fault-tolerant runtime: under injected crash /
+hang / slow / raise faults, every backend's results stay **bit-equal**
+to fault-free serial execution, the retry / respawn / timeout /
+degradation counters account for the recovery work exactly, a failed
+frame rolls the warm session back to the last good frame, and
+``on_error="skip"`` quarantines failures without poisoning the stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    SplittingConfig,
+    StreamGridConfig,
+    StreamingSessionConfig,
+    TerminationConfig,
+)
+from repro.errors import ExecutionError, ValidationError
+from repro.runtime import (
+    FaultInjector,
+    FaultSpec,
+    FaultyState,
+    InjectedFaultError,
+    ProcessShardPool,
+    SupervisionConfig,
+    WorkUnit,
+    resolve_executor,
+)
+from repro.runtime.executor import _LIVE_POOLS, _terminate_orphaned_pools
+from repro.spatial import ChunkGrid, ChunkedIndex, chunk_windows
+from repro.streaming import StreamSession
+
+WORKERS = 2
+BACKENDS = ["serial", "thread", "process"]
+
+
+# ----------------------------------------------------------------------
+# Executor-level fault matrix on a real windowed index
+# ----------------------------------------------------------------------
+def _index(rng, executor="serial", supervision=None, n=200):
+    pts = rng.uniform(0, 1, size=(n, 3))
+    grid = ChunkGrid.fit(pts, (4, 4, 1))
+    windows = chunk_windows((4, 4, 1), (2, 2, 1))
+    assignment = grid.assign(pts)
+    index = ChunkedIndex(pts, assignment, windows, executor=executor,
+                         executor_workers=WORKERS,
+                         supervision=supervision)
+    return index, pts, assignment
+
+
+def _reference(rng, n=200):
+    index, pts, assignment = _index(rng)
+    want = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                 max_steps=20)
+    index.close()
+    return want
+
+
+def _assert_batches_equal(got, want):
+    np.testing.assert_array_equal(got.indices, want.indices)
+    np.testing.assert_array_equal(got.distances, want.distances)
+    np.testing.assert_array_equal(got.counts, want.counts)
+    np.testing.assert_array_equal(got.steps, want.steps)
+    np.testing.assert_array_equal(got.terminated, want.terminated)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kind", ["raise", "slow", "crash", "hang"])
+def test_fault_matrix_bit_equal(rng, backend, kind):
+    """Any injected fault recovers to bit-equal results on any backend.
+
+    Faults target one window so the shared match counters advance
+    deterministically (a window's units run serially on one worker).
+    ``hang`` needs a unit timeout to be detected; its sleep is far
+    longer than the timeout, so passing proves the supervisor killed
+    the worker rather than waiting the sleep out.
+    """
+    want = _reference(np.random.default_rng(99))
+    spec = FaultSpec(kind=kind, window=4, duration=0.2 if kind == "slow"
+                     else 30.0)
+    injector = FaultInjector([spec])
+    supervision = SupervisionConfig(unit_timeout=2.0)
+    index, pts, assignment = _index(
+        np.random.default_rng(99), executor=injector.executor(backend),
+        supervision=supervision)
+    got = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                max_steps=20)
+    _assert_batches_equal(got, want)
+    assert injector.fire_counts == [1]
+    stats = index.fault_stats
+    if kind == "slow":
+        # The unit succeeded, just late — no recovery work at all.
+        assert stats.snapshot() == (0, 0, 0, 0)
+    else:
+        assert stats.retries == 1
+        assert stats.degradations == []
+    if backend == "process" and index.effective_executor == "process":
+        if kind in ("crash", "hang"):
+            assert stats.respawns == 1
+        assert stats.timeouts == (1 if kind == "hang" else 0)
+    index.close()
+
+
+def test_exact_counter_accounting_process(rng):
+    """One crash + one hang + one in-unit raise → exactly accounted."""
+    want = _reference(np.random.default_rng(42))
+    injector = FaultInjector([
+        FaultSpec(kind="crash", window=2),
+        FaultSpec(kind="hang", window=4, duration=30.0),
+        FaultSpec(kind="raise", window=6),
+    ])
+    index, pts, assignment = _index(
+        np.random.default_rng(42), executor=injector.executor("process"),
+        supervision=SupervisionConfig(unit_timeout=1.5))
+    got = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                max_steps=20)
+    _assert_batches_equal(got, want)
+    if index.effective_executor != "process":
+        index.close()
+        pytest.skip("fork unavailable; pool fell back to serial")
+    assert injector.fire_counts == [1, 1, 1]
+    stats = index.fault_stats
+    assert stats.retries == 3
+    assert stats.timeouts == 1          # the hang
+    assert stats.respawns == 2          # the crash and the hang
+    assert stats.degradations == []
+    assert index.effective_executor == "process"
+    index.close()
+
+
+def test_degradation_ladder_exhausts_to_serial(rng):
+    """A persistent fault walks process → thread → serial, bit-equal.
+
+    With ``max_retries=0`` each rung gets one attempt; a fault firing
+    twice burns the process and thread rungs and the serial rung
+    completes.  The ladder steps are recorded in order and the pool
+    stays on the last rung for later batches (permanent fallback only
+    after exhaustion — and here it *was* exhausted).
+    """
+    want = _reference(np.random.default_rng(7))
+    injector = FaultInjector([FaultSpec(kind="raise", window=4, times=2)])
+    index, pts, assignment = _index(
+        np.random.default_rng(7), executor=injector.executor("process"),
+        supervision=SupervisionConfig(max_retries=0, unit_timeout=5.0))
+    pool = index._runtime().executor
+    if pool.effective != "process":
+        index.close()
+        pytest.skip("fork unavailable; pool fell back to serial")
+    got = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                max_steps=20)
+    _assert_batches_equal(got, want)
+    stats = index.fault_stats
+    assert stats.degradations == ["process->thread", "thread->serial"]
+    assert index.effective_executor == "serial"
+    # Later batches stay on the exhausted rung and still match.
+    got = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                max_steps=20)
+    _assert_batches_equal(got, want)
+    index.close()
+
+
+def test_exhausted_serial_rung_raises_execution_error(rng):
+    """A fault outliving every rung surfaces as ExecutionError."""
+    injector = FaultInjector([FaultSpec(kind="raise", window=4, times=50)])
+    index, pts, assignment = _index(
+        np.random.default_rng(7), executor=injector.executor("process"),
+        supervision=SupervisionConfig(max_retries=0, unit_timeout=5.0))
+    with pytest.raises(ExecutionError):
+        index.query_knn_batch(pts[::3], assignment[::3], 4, max_steps=20)
+    index.close()
+
+
+def test_degradation_disabled_raises(rng):
+    injector = FaultInjector([FaultSpec(kind="raise", window=4, times=50)])
+    index, pts, assignment = _index(
+        np.random.default_rng(7), executor=injector.executor("process"),
+        supervision=SupervisionConfig(max_retries=0, degradation=False))
+    with pytest.raises(ExecutionError):
+        index.query_knn_batch(pts[::3], assignment[::3], 4, max_steps=20)
+    index.close()
+
+
+def test_validation_error_is_never_retried(rng):
+    """Deterministic input errors pass through unchanged, unretried."""
+    index, pts, assignment = _index(rng, executor="serial",
+                                    supervision=SupervisionConfig())
+    state_calls = []
+
+    class BadUnitState:
+        def window_is_empty(self, w):
+            return False
+
+        def run_unit(self, unit):
+            state_calls.append(unit.window)
+            raise ValidationError("bad unit contract")
+
+    executor = resolve_executor("serial", BadUnitState(), None,
+                                SupervisionConfig(max_retries=3))
+    unit = WorkUnit(0, np.arange(1), "knn", np.zeros((1, 3)), {"k": 1})
+    with pytest.raises(ValidationError):
+        executor.run([unit])
+    assert state_calls == [0]           # exactly one attempt
+    assert executor.fault_stats.retries == 0
+    index.close()
+
+
+def test_stale_ticket_results_are_discarded(rng):
+    """A late result from a killed worker can never scatter wrong seqs."""
+    index, pts, assignment = _index(np.random.default_rng(3),
+                                    executor="process")
+    index.query_knn_batch(pts[::5], assignment[::5], 4, max_steps=15)
+    pool = index._runtime().executor
+    if pool.effective != "process":
+        index.close()
+        pytest.skip("fork unavailable; pool fell back to serial")
+    # Forge a stale result: its ticket can never match a live dispatch.
+    pool._outbox.put((999_999_999, 0, True, "garbage"))
+    want = _reference(np.random.default_rng(3))
+    got = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                max_steps=20)
+    _assert_batches_equal(got, want)
+    index.close()
+
+
+def test_atexit_sweep_terminates_orphans(rng):
+    """The atexit sweep hard-stops un-close()d pools' children."""
+    index, pts, assignment = _index(np.random.default_rng(3),
+                                    executor="process")
+    index.query_knn_batch(pts[::5], assignment[::5], 4, max_steps=15)
+    pool = index._runtime().executor
+    if pool.effective != "process":
+        index.close()
+        pytest.skip("fork unavailable; pool fell back to serial")
+    assert pool in _LIVE_POOLS
+    procs = [p for p in pool._procs if p is not None]
+    assert procs and all(p.is_alive() for p in procs)
+    _terminate_orphaned_pools()
+    assert not any(p.is_alive() for p in procs)
+    assert pool._procs is None
+    # The swept pool still works: the next batch re-forks cleanly.
+    want = _reference(np.random.default_rng(3))
+    got = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                max_steps=20)
+    _assert_batches_equal(got, want)
+    index.close()
+
+
+# ----------------------------------------------------------------------
+# Session-level resilience
+# ----------------------------------------------------------------------
+def _session_frames(n_frames=5, n=240, seed=11):
+    from repro.datasets import make_drifting_frames
+
+    return [cloud.positions for cloud in make_drifting_frames(
+        "two_spheres", n_frames, n, seed=seed, drift=(0.03, 0.0, 0.0),
+        spin=0.02, jitter=0.01)]
+
+
+def _session_config(executor="serial", workers=None):
+    return StreamGridConfig(
+        splitting=SplittingConfig(shape=(4, 1, 1), kernel=(2, 1, 1),
+                                  mode="serial"),
+        termination=TerminationConfig(profile_queries=12),
+        executor=executor,
+        executor_workers=workers)
+
+
+def _run_reference(frames):
+    with StreamSession(_session_config(), k=5) as session:
+        return session.run(frames)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_session_stream_recovers_bit_equal(rng, backend):
+    """A faulty stream completes every frame bit-equal to fault-free."""
+    frames = _session_frames()
+    reference = _run_reference(frames)
+    injector = FaultInjector([FaultSpec(kind="crash", window=1, every=4)])
+    session_cfg = StreamingSessionConfig(unit_timeout=5.0)
+    with StreamSession(_session_config(injector.executor(backend),
+                                       WORKERS),
+                       k=5, session=session_cfg) as session:
+        outcomes = session.run(frames)
+        stats = session.stats
+    assert [o.frame_id for o in outcomes] == list(range(len(frames)))
+    for got, want in zip(outcomes, reference):
+        assert got.deadline == want.deadline
+        _assert_batches_equal(got.result, want.result)
+        assert got.ok
+    assert sum(injector.fire_counts) > 0
+    assert stats.retries == sum(injector.fire_counts)
+    assert stats.degradations == 0
+    # Per-frame counters must sum to the session totals.
+    assert sum(o.retries for o in outcomes) == stats.retries
+    assert sum(o.respawns for o in outcomes) == stats.respawns
+
+
+def test_session_validates_before_touching_state(rng):
+    """NaN/Inf/shape/dtype frames are rejected with warm state intact."""
+    frames = _session_frames()
+    reference = _run_reference(frames)
+    bad_nan = frames[2].copy()
+    bad_nan[7, 0] = np.nan
+    bad_inf = frames[2].copy()
+    bad_inf[0, 2] = np.inf
+    bad_cases = [bad_nan, bad_inf, frames[2][:, :2],
+                 np.array([["a", "b", "c"]], dtype=object)]
+    with StreamSession(_session_config(), k=5) as session:
+        session.process(frames[0])
+        session.process(frames[1])
+        cache_hits = session.stats.cache_hits
+        for bad in bad_cases:
+            with pytest.raises(ValidationError):
+                session.process(bad)
+        assert session.stats.validation_failures == len(bad_cases)
+        assert session.stats.rollbacks == 0   # state never touched
+        # The stream continues exactly where it left off: the next good
+        # frame still rides the warm fast path and matches a session
+        # that never saw the bad frames.
+        outcome = session.process(frames[2])
+        assert outcome.index_reused
+        assert outcome.frame_id == 2
+        _assert_batches_equal(outcome.result, reference[2].result)
+        assert session.stats.cache_hits >= cache_hits
+
+
+class _ArmableFaultFactory:
+    """Executor factory whose injected failure is armed per-test.
+
+    Once armed it raises :class:`InjectedFaultError` from ``run_unit``
+    — every call when ``once=False``, exactly one call when
+    ``once=True``.  Supervision comes from the session's
+    :class:`StreamingSessionConfig` (which always overrides a
+    factory-built executor's own supervision), so tests below disable
+    retries there to make the failure surface.
+    """
+
+    def __init__(self, once=True):
+        self.armed = False
+        self.fired = False
+        self.once = once
+
+    def __call__(self, state, n_workers=None):
+        outer = self
+
+        class _State:
+            def window_is_empty(self, w):
+                return state.window_is_empty(w)
+
+            def run_unit(self, unit):
+                if outer.armed and (not outer.once or not outer.fired):
+                    outer.fired = True
+                    raise InjectedFaultError("armed fault")
+                return state.run_unit(unit)
+
+        return resolve_executor("serial", _State(), n_workers)
+
+
+def test_session_rollback_on_failed_execution(rng):
+    """A frame failing mid-execution rolls back to the last good frame."""
+    frames = _session_frames()
+    reference = _run_reference(frames)
+    flaky = _ArmableFaultFactory(once=False)
+    session_cfg = StreamingSessionConfig(max_retries=0, degradation=False)
+    with StreamSession(_session_config(flaky), k=5,
+                       session=session_cfg) as session:
+        out0 = session.process(frames[0])
+        out1 = session.process(frames[1])
+        _assert_batches_equal(out0.result, reference[0].result)
+        _assert_batches_equal(out1.result, reference[1].result)
+        flaky.armed = True
+        with pytest.raises(ExecutionError):
+            session.process(frames[2])
+        assert session.stats.rollbacks == 1
+        with pytest.raises(ExecutionError):
+            # Still faulty: the rollback pinned the session at frame 1,
+            # so retrying the frame fails the same way, not differently.
+            session.process(frames[2])
+        assert session.stats.rollbacks == 2
+        assert session.frames_processed == 2
+        # Fault clears -> the stream resumes exactly at frame 2.
+        flaky.armed = False
+        outcome = session.process(frames[2])
+        assert outcome.frame_id == 2
+        _assert_batches_equal(outcome.result, reference[2].result)
+
+
+def test_session_rollback_then_clean_frame_bit_equal(rng):
+    """After a failed frame, the next good frame is bit-equal to a
+    never-failed session's same frame."""
+    frames = _session_frames()
+    reference = _run_reference(frames)
+    flaky = _ArmableFaultFactory(once=True)
+    session_cfg = StreamingSessionConfig(max_retries=0, degradation=False)
+    with StreamSession(_session_config(flaky), k=5,
+                       session=session_cfg) as session:
+        session.process(frames[0])
+        session.process(frames[1])
+        flaky.armed = True
+        with pytest.raises(ExecutionError):
+            session.process(frames[2])
+        assert session.stats.rollbacks == 1
+        outcome = session.process(frames[2])
+        assert outcome.frame_id == 2
+        assert outcome.deadline == reference[2].deadline
+        _assert_batches_equal(outcome.result, reference[2].result)
+        follow = session.process(frames[3])
+        _assert_batches_equal(follow.result, reference[3].result)
+
+
+def test_session_on_error_skip_quarantines(rng):
+    """on_error="skip": bad frames become error-carrying results and
+    the good frames around them stay bit-equal to a clean stream."""
+    frames = _session_frames()
+    reference = _run_reference(frames)
+    bad = frames[2].copy()
+    bad[0, 0] = np.inf
+    seq = frames[:2] + [bad] + frames[2:]
+    with StreamSession(_session_config(), k=5) as session:
+        outcomes = session.run(seq, on_error="skip")
+        stats = session.stats
+    assert [o.frame_id for o in outcomes] == list(range(len(seq)))
+    quarantined = outcomes[2]
+    assert not quarantined.ok
+    assert quarantined.error["type"] == "ValidationError"
+    assert quarantined.error["stage"] == "validate"
+    assert "non-finite" in quarantined.error["message"]
+    assert len(quarantined.result.indices) == 0
+    good = [o for i, o in enumerate(outcomes) if i != 2]
+    for got, want in zip(good, reference):
+        assert got.ok and got.error is None
+        assert got.deadline == want.deadline
+        _assert_batches_equal(got.result, want.result)
+    assert stats.frames_quarantined == 1
+    assert stats.validation_failures == 1
+    assert stats.frames == len(seq)
+
+
+def test_session_on_error_validation():
+    with StreamSession(_session_config(), k=5) as session:
+        with pytest.raises(ValidationError):
+            session.process(np.zeros((4, 3)), on_error="explode")
+
+
+def test_streaming_session_config_rejects_bad_fault_knobs():
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(unit_timeout=0.0)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(max_retries=-1)
+    with pytest.raises(ValidationError):
+        StreamingSessionConfig(on_error="ignore")
+    with pytest.raises(ValidationError):
+        SupervisionConfig(unit_timeout=-1.0)
+    with pytest.raises(ValidationError):
+        FaultSpec(kind="explode")
+    with pytest.raises(ValidationError):
+        FaultSpec(kind="crash", nth=0)
+
+
+def test_supervision_flows_from_session_config(rng):
+    """StreamingSessionConfig knobs reach the executor underneath."""
+    frames = _session_frames(n_frames=2)
+    session_cfg = StreamingSessionConfig(unit_timeout=3.5, max_retries=7,
+                                         degradation=False)
+    with StreamSession(_session_config("serial"), k=5,
+                       session=session_cfg) as session:
+        session.process(frames[0])
+        executor = session._index._runtime().executor
+        assert executor.supervision.unit_timeout == 3.5
+        assert executor.supervision.max_retries == 7
+        assert executor.supervision.degradation is False
