@@ -1,12 +1,14 @@
-"""Throughput benchmark: serial vs thread vs process window shards.
+"""Throughput benchmark: serial vs thread vs process vs shm shards.
 
 Times ``CompulsorySplitter`` batch dispatch on many-window
 configurations (a serial-mode 8-window split and a spatial 16-window
-split) under the three window-shard runtime backends
+split) under the four window-shard runtime backends
 (:mod:`repro.runtime`): the inline ``SerialExecutor``, the
-``ThreadExecutor`` thread pool, and the ``ProcessShardPool`` that pins
+``ThreadExecutor`` thread pool, the ``ProcessShardPool`` that pins
 window ids to forked workers with the kd-tree / chunk state shipped
-once per worker.  Two operations are measured per backend:
+once per worker, and the zero-copy ``ShmShardPool`` that stages window
+state in shared-memory segments workers attach to instead of
+re-forking.  Two operations are measured per backend:
 
 * ``knn`` — uncapped kNN (per-window vectorized scan engine);
 * ``knn_capped`` — deadline-capped kNN (per-window lockstep traversal).
@@ -20,11 +22,15 @@ them, with a floor of two for the pooled backends so the thread pool
 and the forked process pool are genuinely exercised even on single-core
 hosts (where shards timeshare one core, so the honest expectation is
 ≈ 1.0x minus IPC overhead, not a win).  Each row records the
-``effective`` backend, and the headline process/serial ratio counts
-only rows that actually ran the forked pool — fallback rows can never
-masquerade as a sharding measurement.  Emits ``BENCH_runtime.json`` at
-the repo root (override with ``--output``) plus a text table under
-``benchmarks/results/``.
+``effective`` backend, and the headline pool/serial ratios count only
+rows that actually ran the forked pool — fallback rows can never
+masquerade as a sharding measurement.
+
+A separate section times bucketed group batching against the classic
+repeat-padded grouping math on a deliberately skewed ball-query
+workload (dense clump + sparse halo), gated on bit-equal padded
+output.  Emits ``BENCH_runtime.json`` at the repo root (override with
+``--output``) plus a text table under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -36,14 +42,19 @@ import os
 import numpy as np
 
 from repro.core.config import SplittingConfig
+from repro.core.cotraining import bucket_group_batch, pad_group_batch
 from repro.core.splitting import CompulsorySplitter
 from repro.runtime import resolve_worker_count
+from repro.spatial import KDTree
 
 from _common import REPO_ROOT, RESULTS_DIR, emit, time_best
 
 _DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_runtime.json")
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "shm")
+#: Pooled backends whose speed-up over serial is reported (fallback
+#: rows excluded via the per-row ``effective`` record).
+POOLED = ("process", "shm")
 
 
 def _configs():
@@ -62,6 +73,72 @@ def _check_equal(name, got, want):
             raise AssertionError(
                 f"{name}: backend result field {fld!r} differs from the "
                 f"serial reference")
+
+
+def _grouping_comparison(repeats, n_points=32768, n_queries=4096,
+                         size=32, radius=0.06, seed=5):
+    """Bucketed group math vs repeat-padded group math, skewed counts.
+
+    The workload is a dense clump plus a sparse halo, so ball-query hit
+    counts range from zero to saturation: repeat-padding inflates every
+    row to ``size`` neighbours while the buckets spend flops only on
+    real hits.  Both sides start from the same search results (search
+    cost is identical by construction); what is timed is the
+    per-neighbour distance math — a full ``(Q, size)`` einsum over the
+    padded gather vs one einsum per count bucket.  Gated on the
+    bucketed ``padded()`` reconstruction being bit-equal to
+    ``pad_group_batch``.
+    """
+    rng = np.random.default_rng(seed)
+    clump = rng.normal(scale=0.02, size=(n_points // 2, 3)) + 0.5
+    halo = rng.uniform(0.0, 1.0, size=(n_points - n_points // 2, 3))
+    positions = np.concatenate([clump, halo])
+    queries = positions[rng.choice(n_points, size=n_queries,
+                                   replace=False)]
+    tree = KDTree(positions)
+    result = tree.range_batch(queries, radius, max_results=size)
+    indices, counts = result.indices, result.counts
+    padded = pad_group_batch(indices, counts, size, queries, positions)
+    buckets = bucket_group_batch(indices, counts, size, queries,
+                                 positions)
+    if not np.array_equal(buckets.padded(), padded):
+        raise AssertionError(
+            "bucketed grouping diverged from repeat-padding")
+
+    def padded_math():
+        diff = positions[padded] - queries[:, None, :]
+        return np.einsum("qcd,qcd->qc", diff, diff)
+
+    def bucketed_math():
+        return buckets.sq_distances(queries, positions)
+
+    padded_s, padded_sq = time_best(padded_math, repeats)
+    bucketed_s, bucketed_sq = time_best(bucketed_math, repeats)
+    # The bucketed distances must be the padded distances' real-hit
+    # slots, bitwise (same summation order per element).
+    for idx, block, sq in zip(buckets.rows, buckets.hits, bucketed_sq):
+        width = block.shape[1]
+        if not np.array_equal(sq, padded_sq[idx[:, None],
+                                            np.arange(width)[None, :]]):
+            raise AssertionError(
+                "bucketed distances diverged from the padded gather")
+    histogram = buckets.histogram
+    real_hits = sum(c * b for c, b in histogram.items())
+    return {
+        "n_points": n_points,
+        "n_queries": n_queries,
+        "size": size,
+        "radius": radius,
+        "padded_s": padded_s,
+        "bucketed_s": bucketed_s,
+        "bucketed_over_padded": padded_s / bucketed_s
+        if bucketed_s else 0.0,
+        "real_hit_fraction": real_hits / float(n_queries * size),
+        "bucket_widths": len(histogram),
+        "bucketed_ge_padded": bool(bucketed_s and
+                                   padded_s / bucketed_s >= 1.0),
+        "equal": True,
+    }
 
 
 def run(n_points=32768, n_queries=4096, k=16, max_steps=48, repeats=3,
@@ -122,30 +199,38 @@ def run(n_points=32768, n_queries=4096, k=16, max_steps=48, repeats=3,
         return None
 
     # Only rows that genuinely exercised the forked pool count toward
-    # the headline — a serial-fallback row compared against serial is
+    # the headlines — a serial-fallback row compared against serial is
     # timer noise, not a sharding measurement.
-    ratios = []
-    for config_name, _ in _configs():
-        for op in ("knn", "knn_capped"):
-            serial_row = _row(config_name, "serial", op)
-            process_row = _row(config_name, "process", op)
-            serial_tput = serial_row["throughput_qps"] if serial_row \
-                else 0.0
-            process_tput = process_row["throughput_qps"] if process_row \
-                else 0.0
-            ratios.append({
-                "config": config_name,
-                "op": op,
-                "process_over_serial": process_tput / serial_tput
-                if serial_tput else 0.0,
-                "process_effective": bool(
-                    process_row
-                    and process_row["effective"] == "process"),
-            })
-    effective_ratios = [r["process_over_serial"] for r in ratios
-                        if r["process_effective"]]
-    pool_exercised = bool(effective_ratios)
-    best_ratio = max(effective_ratios) if pool_exercised else 0.0
+    def _pool_ratios(pool_backend):
+        ratios = []
+        for config_name, _ in _configs():
+            for op in ("knn", "knn_capped"):
+                serial_row = _row(config_name, "serial", op)
+                pool_row = _row(config_name, pool_backend, op)
+                serial_tput = serial_row["throughput_qps"] if serial_row \
+                    else 0.0
+                pool_tput = pool_row["throughput_qps"] if pool_row \
+                    else 0.0
+                ratios.append({
+                    "config": config_name,
+                    "op": op,
+                    f"{pool_backend}_over_serial":
+                        pool_tput / serial_tput if serial_tput else 0.0,
+                    f"{pool_backend}_effective": bool(
+                        pool_row
+                        and pool_row["effective"] == pool_backend),
+                })
+        effective = [r[f"{pool_backend}_over_serial"] for r in ratios
+                     if r[f"{pool_backend}_effective"]]
+        best = max(effective) if effective else 0.0
+        return ratios, bool(effective), best
+
+    process_ratios, process_exercised, best_process = \
+        _pool_ratios("process")
+    shm_ratios, shm_exercised, best_shm = _pool_ratios("shm")
+    grouping = _grouping_comparison(repeats, n_points=n_points,
+                                    n_queries=n_queries,
+                                    size=max(4, min(32, 2 * k)))
     payload = {
         "benchmark": "runtime_shards",
         "workload": {"n_points": n_points, "n_queries": n_queries,
@@ -153,10 +238,15 @@ def run(n_points=32768, n_queries=4096, k=16, max_steps=48, repeats=3,
                      "workers": workers, "pool_workers": pool_workers,
                      "cpu_count": os.cpu_count()},
         "results": results,
-        "process_over_serial": ratios,
-        "process_pool_exercised": pool_exercised,
-        "best_process_over_serial": best_ratio,
-        "process_ge_serial": pool_exercised and best_ratio >= 1.0,
+        "process_over_serial": process_ratios,
+        "process_pool_exercised": process_exercised,
+        "best_process_over_serial": best_process,
+        "process_ge_serial": process_exercised and best_process >= 1.0,
+        "shm_over_serial": shm_ratios,
+        "shm_pool_exercised": shm_exercised,
+        "best_shm_over_serial": best_shm,
+        "shm_ge_serial": shm_exercised and best_shm >= 1.0,
+        "grouping": grouping,
     }
     if output:
         with open(output, "w") as handle:
@@ -171,8 +261,18 @@ def run(n_points=32768, n_queries=4096, k=16, max_steps=48, repeats=3,
             f"{row['best_s']:9.4f} {row['throughput_qps']:10.0f}")
     lines.append(
         f"best process/serial throughput ratio (effective-process rows "
-        f"only): {best_ratio:.2f}x (>=1.0: {payload['process_ge_serial']}; "
-        f"pool exercised: {pool_exercised})")
+        f"only): {best_process:.2f}x "
+        f"(>=1.0: {payload['process_ge_serial']}; "
+        f"pool exercised: {process_exercised})")
+    lines.append(
+        f"best shm/serial throughput ratio (effective-shm rows only): "
+        f"{best_shm:.2f}x (>=1.0: {payload['shm_ge_serial']}; "
+        f"pool exercised: {shm_exercised})")
+    lines.append(
+        f"bucketed/padded grouping speed-up (skewed workload, "
+        f"bit-equal): {grouping['bucketed_over_padded']:.2f}x on "
+        f"{grouping['real_hit_fraction']:.0%} real-hit density, "
+        f"{grouping['bucket_widths']} bucket widths")
     lines.append(
         f"workload: n={n_points}, q={n_queries}, k={k}, "
         f"max_steps={max_steps}, repeats={repeats}, "

@@ -107,6 +107,12 @@ def main() -> None:
               "kd-trees carried over")
 
     # --- partial drift: dirty-window repair + result caching ----------
+    # executor="shm" runs the windows on the zero-copy shared-memory
+    # pool: workers attach to per-window segments instead of re-forking,
+    # and a warm frame re-exports only the windows that actually moved
+    # (the session's state_bytes_shipped / forks_avoided counters make
+    # that auditable).  Falls back down the process→thread→serial
+    # ladder with identical results wherever fork is unavailable.
     partial = make_partial_drift_frames("two_spheres", 4, 640,
                                         shape=(4, 4, 1), fraction=0.125,
                                         seed=0)
@@ -114,18 +120,25 @@ def main() -> None:
     print(f"\npartial-drift session: {len(partial)} frames of "
           f"{len(partial[0])} points, 2 of 16 chunk cells move per frame")
     with StreamSession(StreamGridConfig(
-            splitting=SplittingConfig(shape=(4, 4, 1), kernel=(2, 2, 1))),
+            splitting=SplittingConfig(shape=(4, 4, 1), kernel=(2, 2, 1)),
+            executor="shm", executor_workers=2),
             k=8) as session:
         for cloud in partial:
             frame = session.process(cloud.positions,
                                     cloud.positions[query_rows])
             print(f"  frame {frame.frame_id}: {frame.clean_windows} of "
                   f"{frame.n_windows} windows clean, "
-                  f"{frame.rebuilt_windows} rebuilt")
+                  f"{frame.rebuilt_windows} rebuilt, "
+                  f"{frame.runtime.get('state_bytes_shipped', 0)}B "
+                  "staged")
         stats = session.stats
         print(f"  result cache: {stats.cache_hits} unit replays, "
               f"{stats.cache_misses} executed "
               f"({stats.windows_clean} window-frames never rebuilt)")
+        print(f"  zero-copy: {stats.state_bytes_shipped}B staged into "
+              f"{stats.segments_live} shared segments, "
+              f"{stats.forks_avoided} worker re-forks avoided "
+              f"(effective backend: {session.effective_executor})")
 
     # --- running through failures: retries + frame quarantine ---------
     # A deterministic injector makes the 2nd work unit of window 1

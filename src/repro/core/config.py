@@ -138,6 +138,14 @@ class StreamingSessionConfig:
     rolling warm state back to the last good frame), ``"skip"``
     quarantines the frame into a ``FrameResult`` carrying a structured
     ``error`` and keeps the stream going.
+
+    ``pipeline_repair`` overlaps dirty-window kd-tree rebuilds with the
+    frame's clean-window query dispatch (the scheduler barriers per
+    window only when a unit's serving window is still being repaired —
+    see :meth:`repro.runtime.WindowScheduler.execute_by_window`).
+    Rebuild order, content versions, and results are bit-equal either
+    way; disable it to force the fully synchronous repair of earlier
+    seeds.
     """
 
     drift_tolerance: float = 0.2
@@ -146,6 +154,7 @@ class StreamingSessionConfig:
     reuse_index: bool = True
     result_cache: bool = True
     cache_max_entries: int = 256
+    pipeline_repair: bool = True
     unit_timeout: Optional[float] = None
     max_retries: int = 2
     degradation: bool = True

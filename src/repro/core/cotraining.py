@@ -41,7 +41,8 @@ backend (serial / thread / process) for every variant uniformly.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -62,10 +63,102 @@ from repro.spatial.kdtree import (
 )
 
 
+@dataclass
+class GroupBuckets:
+    """A group batch bucketed by real-hit count (no repeat-padding).
+
+    Rows with the same number of real hits ``c`` are gathered into one
+    dense ``(B_c, c)`` block, so downstream per-neighbour math runs on
+    ``sum(B_c * c)`` elements instead of ``Q * size`` — on skewed
+    workloads (a few dense rows, many sparse ones) that is most of the
+    grouping flops.  :meth:`padded` reconstructs the classic
+    repeat-padded ``(Q, size)`` array bit-equal to what
+    :func:`pad_group_batch` always produced, so the bucketed form is a
+    pure execution-layout change, never a semantic one.
+
+    ``rows[i]`` holds the input query rows of bucket ``i`` and
+    ``hits[i]`` their hit blocks; empty queries were already resolved
+    to their nearest cloud point (they land in the ``c == 1`` bucket).
+    """
+
+    size: int
+    n_queries: int
+    rows: List[np.ndarray]
+    hits: List[np.ndarray]
+
+    @property
+    def histogram(self) -> Dict[int, int]:
+        """``{group size: rows}`` — the batch's skew profile."""
+        return {int(block.shape[1]): len(idx)
+                for idx, block in zip(self.rows, self.hits)}
+
+    def padded(self) -> np.ndarray:
+        """The repeat-padded ``(Q, size)`` array (PointNet++
+        semantics), bit-equal to :func:`pad_group_batch`."""
+        out = np.full((self.n_queries, self.size), -1, dtype=np.int64)
+        for idx, block in zip(self.rows, self.hits):
+            c = block.shape[1]
+            out[idx[:, None], np.arange(c)[None, :]] = block
+            if c < self.size:
+                out[idx, c:] = block[:, :1]
+        return out
+
+    def sq_distances(self, queries: np.ndarray,
+                     positions: np.ndarray) -> List[np.ndarray]:
+        """Per-bucket squared query→hit distances, ``(B_c, c)`` each.
+
+        One einsum per bucket over exactly the real hits — the
+        flops-proportional-to-hits replacement for computing distances
+        against a repeat-padded ``(Q, size)`` gather.
+        """
+        out: List[np.ndarray] = []
+        for idx, block in zip(self.rows, self.hits):
+            diff = positions[block] - queries[idx][:, None, :]
+            out.append(np.einsum("bcd,bcd->bc", diff, diff))
+        return out
+
+
+def bucket_group_batch(indices: np.ndarray, counts: np.ndarray, size: int,
+                       queries: np.ndarray,
+                       positions: np.ndarray) -> GroupBuckets:
+    """Bucket a ``(Q, C)`` result batch by real-hit count.
+
+    The grouping front half shared by :func:`pad_group_batch` and the
+    bucketed consumers: counts are clipped to *size*, empty rows (no
+    hits — capped searches or empty windows) are all resolved in a
+    single blocked nearest-point pass over *positions* so downstream
+    consumers always have support, and rows are gathered into one dense
+    block per distinct hit count.
+    """
+    indices = np.asarray(indices)
+    n_queries = len(indices)
+    counts = np.minimum(np.asarray(counts).astype(np.int64), size)
+    first_col = np.full(n_queries, -1, dtype=np.int64)
+    if indices.shape[1]:
+        first_col[:] = indices[:, 0]
+    empty = counts == 0
+    if empty.any():
+        first_col[empty] = nearest_point_indices(positions,
+                                                 queries[empty])
+        counts = np.where(empty, 1, counts)
+    rows: List[np.ndarray] = []
+    hits: List[np.ndarray] = []
+    for c in np.unique(counts):
+        c = int(c)
+        idx = np.nonzero(counts == c)[0]
+        block = np.empty((len(idx), c), dtype=np.int64)
+        block[:, 0] = first_col[idx]
+        if c > 1:
+            block[:, 1:] = indices[idx, 1:c]
+        rows.append(idx)
+        hits.append(block)
+    return GroupBuckets(size, n_queries, rows, hits)
+
+
 def pad_group_batch(indices: np.ndarray, counts: np.ndarray, size: int,
                     queries: np.ndarray,
                     positions: np.ndarray) -> np.ndarray:
-    """Vectorized repeat-padding of a ``(Q, C)`` batch to width *size*.
+    """Repeat-padding of a ``(Q, C)`` batch to width *size*.
 
     The PointNet++ grouping semantics shared by
     :class:`GroupingContext` and the session-backed registration
@@ -74,17 +167,11 @@ def pad_group_batch(indices: np.ndarray, counts: np.ndarray, size: int,
     up to *size*; empty rows (no hits — capped searches or empty
     windows) are all resolved in a single blocked nearest-point pass
     over *positions* so downstream consumers always have support.
+    Implemented as :func:`bucket_group_batch` + :meth:`GroupBuckets.padded`
+    — one shared front half, bit-equal output.
     """
-    n_queries, width = indices.shape
-    out = np.full((n_queries, size), -1, dtype=np.int64)
-    out[:, :min(width, size)] = indices[:, :size]
-    counts = np.minimum(counts.astype(np.int64), size)
-    empty = counts == 0
-    if empty.any():
-        out[empty, 0] = nearest_point_indices(positions, queries[empty])
-        counts = np.where(empty, 1, counts)
-    cols = np.arange(size)[None, :]
-    return np.where(cols < counts[:, None], out, out[:, 0:1])
+    return bucket_group_batch(indices, counts, size, queries,
+                              positions).padded()
 
 
 class GroupingContext:
@@ -173,6 +260,23 @@ class GroupingContext:
         with no hits falls back to its nearest point so downstream
         feature gathering always has support.
         """
+        return self.ball_group_buckets(queries, radius,
+                                       max_results).padded()
+
+    def knn_group(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """kNN neighbour indices per query as a ``(Q, k)`` int64 array."""
+        return self.knn_group_buckets(queries, k).padded()
+
+    def ball_group_buckets(self, queries: np.ndarray, radius: float,
+                           max_results: int) -> GroupBuckets:
+        """Ball-query grouping as count buckets (no repeat-padding).
+
+        The flops-proportional-to-hits form of :meth:`ball_group` —
+        same searches, same empty-row fallback, but rows come back
+        bucketed by real-hit count (:class:`GroupBuckets`), ready for
+        per-bucket einsum math over exactly the real neighbours.
+        ``.padded()`` recovers the :meth:`ball_group` array bit-equal.
+        """
         if radius <= 0:
             raise ValidationError("radius must be positive")
         if max_results <= 0:
@@ -187,11 +291,13 @@ class GroupingContext:
                 "range", queries,
                 {"radius": radius, "max_steps": self._deadline,
                  "max_results": max_results})
-        return self._pad_batch(result.indices, result.counts,
-                               max_results, queries)
+        return self._bucket_batch(result.indices, result.counts,
+                                  max_results, queries)
 
-    def knn_group(self, queries: np.ndarray, k: int) -> np.ndarray:
-        """kNN neighbour indices per query as a ``(Q, k)`` int64 array."""
+    def knn_group_buckets(self, queries: np.ndarray,
+                          k: int) -> GroupBuckets:
+        """kNN grouping as count buckets (see
+        :meth:`ball_group_buckets`)."""
         if k <= 0:
             raise ValidationError("k must be positive")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -201,13 +307,24 @@ class GroupingContext:
         else:
             result = self._single_tree_batch(
                 "knn", queries, {"k": k, "max_steps": self._deadline})
-        return self._pad_batch(result.indices, result.counts, k, queries)
+        return self._bucket_batch(result.indices, result.counts, k,
+                                  queries)
 
-    def _pad_batch(self, indices: np.ndarray, counts: np.ndarray,
-                   size: int, queries: np.ndarray) -> np.ndarray:
-        """:func:`pad_group_batch` against this context's cloud."""
-        return pad_group_batch(indices, counts, size, queries,
-                               self.positions)
+    def _bucket_batch(self, indices: np.ndarray, counts: np.ndarray,
+                      size: int, queries: np.ndarray) -> GroupBuckets:
+        """:func:`bucket_group_batch` against this context's cloud,
+        recording the batch's skew histogram in the runtime's
+        :class:`~repro.runtime.RuntimeStats`."""
+        buckets = bucket_group_batch(indices, counts, size, queries,
+                                     self.positions)
+        self._runtime_stats.record_buckets(buckets.histogram)
+        return buckets
+
+    @property
+    def _runtime_stats(self):
+        if self._splitter is not None:
+            return self._splitter.index.runtime_stats
+        return self._scheduler.executor.runtime_stats
 
 
 def baseline_config() -> StreamGridConfig:

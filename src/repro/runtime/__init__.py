@@ -34,7 +34,7 @@ that implements:
 * ``name`` / ``effective`` — the requested backend name and the backend
   actually in force (they differ when a backend had to fall back).
 
-Three interchangeable backends ship with the runtime:
+Four interchangeable backends ship with the runtime:
 
 * :class:`~repro.runtime.executor.SerialExecutor` — an inline loop, the
   reference backend;
@@ -44,7 +44,20 @@ Three interchangeable backends ship with the runtime:
 * :class:`~repro.runtime.executor.ProcessShardPool` — forked worker
   processes with the kd-tree / chunk state shipped **once per worker**
   (inherited through ``fork``, never pickled per call); wins on the
-  GIL-bound scalar traversal kernels.
+  GIL-bound scalar traversal kernels;
+* :class:`~repro.runtime.shm.ShmShardPool` (``executor="shm"``) — the
+  zero-copy refinement of the forked pool: window kd-trees live in
+  ``multiprocessing.shared_memory`` segments under a versioned
+  registry, workers **attach** instead of re-forking when state
+  changes, query blocks ship through one shared input segment per
+  batch, and fixed-width results come back through preallocated shared
+  output reservations.  ``reset_workers`` / ``invalidate_windows``
+  become registry version bumps (dirty windows are rewritten in place;
+  :class:`~repro.runtime.executor.RuntimeStats` counts the forks
+  avoided and bytes shipped), and every segment is unlinked on
+  ``close()`` / ``terminate_workers()`` / interpreter exit — no
+  ``/dev/shm`` leaks.  Supervision, fault injection, and the
+  degradation ladder carry over from the forked pool unchanged.
 
 The window-affinity sharding rule
 ---------------------------------
@@ -91,6 +104,7 @@ from repro.runtime.executor import (
     Executor,
     FaultStats,
     ProcessShardPool,
+    RuntimeStats,
     SerialExecutor,
     SupervisionConfig,
     ThreadExecutor,
@@ -99,6 +113,7 @@ from repro.runtime.executor import (
     resolve_worker_count,
     run_unit_supervised,
 )
+from repro.runtime.shm import ShmShardPool
 from repro.runtime.faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -118,7 +133,9 @@ __all__ = [
     "Executor",
     "FaultStats",
     "ProcessShardPool",
+    "RuntimeStats",
     "SerialExecutor",
+    "ShmShardPool",
     "SupervisionConfig",
     "ThreadExecutor",
     "WorkUnit",

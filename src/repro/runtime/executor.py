@@ -119,6 +119,79 @@ class FaultStats:
                 len(self.degradations))
 
 
+@dataclass
+class RuntimeStats:
+    """Data-movement / overlap counters over an executor's lifetime.
+
+    The observability companion of :class:`FaultStats`, fed by the
+    shared-memory backend (:class:`repro.runtime.shm.ShmShardPool`),
+    the repair/query pipelining in
+    :class:`~repro.runtime.scheduler.WindowScheduler`, and the bucketed
+    grouping path in :mod:`repro.core.cotraining`:
+
+    - ``state_bytes_shipped`` — bytes written into shared-memory
+      segments (the only state that ever moves; a clean window ships 0).
+    - ``forks_avoided`` — worker slots that survived a
+      ``reset_workers`` / ``invalidate_windows`` because invalidation
+      was a registry version bump instead of a teardown.
+    - ``segments_live`` — gauge: shared segments currently allocated.
+    - ``overlap_windows`` — dirty windows whose repair overlapped the
+      execution of clean-window units (pipelined plan execution).
+    - ``queue_fallback_units`` — units whose results rode the pickle
+      queue because no shared output reservation fit (traced units,
+      uncapped range queries).
+    - ``bucket_sizes`` — histogram ``{group size: rows}`` of bucketed
+      group batches (skew visibility for the grouping hot path).
+    """
+
+    state_bytes_shipped: int = 0
+    forks_avoided: int = 0
+    segments_live: int = 0
+    overlap_windows: int = 0
+    queue_fallback_units: int = 0
+    bucket_sizes: Dict[int, int] = field(default_factory=dict)
+
+    def record_buckets(self, histogram: Dict[int, int]) -> None:
+        """Merge one batch's ``{group size: rows}`` histogram."""
+        for size, rows in histogram.items():
+            key = int(size)
+            self.bucket_sizes[key] = self.bucket_sizes.get(key, 0) \
+                + int(rows)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A value snapshot for per-frame delta accounting."""
+        return {
+            "state_bytes_shipped": self.state_bytes_shipped,
+            "forks_avoided": self.forks_avoided,
+            "segments_live": self.segments_live,
+            "overlap_windows": self.overlap_windows,
+            "queue_fallback_units": self.queue_fallback_units,
+            "bucket_sizes": dict(self.bucket_sizes),
+        }
+
+    @staticmethod
+    def delta(new: Dict[str, Any], old: Dict[str, Any]) -> Dict[str, Any]:
+        """Per-frame view between two :meth:`snapshot` values.
+
+        Counters are differenced; ``segments_live`` is a gauge and
+        reports the current level; ``bucket_sizes`` is differenced per
+        group size (sizes whose row count did not grow are omitted).
+        """
+        out: Dict[str, Any] = {}
+        for key in ("state_bytes_shipped", "forks_avoided",
+                    "overlap_windows", "queue_fallback_units"):
+            out[key] = int(new[key]) - int(old[key])
+        out["segments_live"] = int(new["segments_live"])
+        old_buckets = old.get("bucket_sizes", {})
+        buckets = {}
+        for size, rows in new.get("bucket_sizes", {}).items():
+            grown = int(rows) - int(old_buckets.get(size, 0))
+            if grown > 0:
+                buckets[int(size)] = grown
+        out["bucket_sizes"] = buckets
+        return out
+
+
 def resolve_worker_count(n_workers: Optional[int]) -> int:
     """Explicit count, or ``cpu_count`` capped at a small ceiling."""
     if n_workers is not None:
@@ -175,6 +248,7 @@ class Executor:
         self.supervision = supervision or SupervisionConfig()
         self.fault_stats = fault_stats if fault_stats is not None \
             else FaultStats()
+        self.runtime_stats = RuntimeStats()
 
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
         """Execute *units*, returning their results in unit order."""
@@ -368,7 +442,13 @@ _LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
 
 
 def _terminate_orphaned_pools() -> None:
-    """``atexit`` sweep: hard-stop every still-open forked pool."""
+    """``atexit`` sweep: hard-stop every still-open forked pool.
+
+    ``terminate_workers`` is each backend's crash-path teardown: the
+    shared-memory pool's override also unlinks every live
+    ``/dev/shm`` segment, so an un-``close()``-d or crashed run leaks
+    neither worker processes nor shared segments.
+    """
     for pool in list(_LIVE_POOLS):
         try:
             pool.terminate_workers()
@@ -483,11 +563,40 @@ class ProcessShardPool(Executor):
             self._state, supervision=self.supervision,
             fault_stats=self.fault_stats)
 
+    # -- subclass hooks -------------------------------------------------
+    # The shared-memory backend (repro.runtime.shm.ShmShardPool) reuses
+    # the whole supervised drain loop and swaps only how a unit travels:
+    # a different worker loop, a compact dispatch message instead of the
+    # pickled unit, and a result decoded from a shared buffer instead of
+    # taken off the queue verbatim.
+
+    def _worker_target(self):
+        """The function a forked worker slot runs."""
+        return _shard_worker_main
+
+    def _worker_args(self, slot: int) -> tuple:
+        """Arguments for :meth:`_worker_target` on *slot*."""
+        return (self._state, self._inboxes[slot], self._outbox)
+
+    def _encode_unit(self, seq: int, unit: WorkUnit):
+        """The dispatch payload for *unit* (message slot 3)."""
+        return unit
+
+    def _decode_result(self, seq: int, unit: WorkUnit, payload):
+        """Turn a worker's success *payload* into the unit's result."""
+        return payload
+
+    def _prepare_batch(self, units: Sequence[WorkUnit]) -> None:
+        """Stage per-batch transport resources before dispatch."""
+
+    def _release_batch(self) -> None:
+        """Tear down per-batch transport resources (always runs)."""
+
     def _spawn_worker(self, slot: int) -> None:
         """Fork one worker for *slot*, inheriting the current state."""
         proc = self._context.Process(
-            target=_shard_worker_main,
-            args=(self._state, self._inboxes[slot], self._outbox),
+            target=self._worker_target(),
+            args=self._worker_args(slot),
             daemon=True)
         proc.start()
         self._procs[slot] = proc
@@ -582,7 +691,11 @@ class ProcessShardPool(Executor):
             self._ensure_workers(slots)
         if self._fallback is not None:
             return self._fallback.run(units)
-        return self._run_supervised(units)
+        self._prepare_batch(units)
+        try:
+            return self._run_supervised(units)
+        finally:
+            self._release_batch()
 
     # -- supervised drain loop -----------------------------------------
     def _run_supervised(self, units: Sequence[WorkUnit]) -> List[Any]:
@@ -611,7 +724,8 @@ class ProcessShardPool(Executor):
             ticket = next(self._tickets)
             tickets[seq] = ticket
             slot_fifo.setdefault(slot_of[seq], []).append(seq)
-            self._inboxes[slot_of[seq]].put((ticket, seq, units[seq]))
+            self._inboxes[slot_of[seq]].put(
+                (ticket, seq, self._encode_unit(seq, units[seq])))
 
         for seq in range(len(units)):
             dispatch(seq)
@@ -641,7 +755,7 @@ class ProcessShardPool(Executor):
             last_progress[slot] = time.monotonic()
             slot_fifo[slot].remove(seq)
             if ok:
-                results[seq] = payload
+                results[seq] = self._decode_result(seq, units[seq], payload)
                 tickets[seq] = None
                 remaining -= 1
                 continue
@@ -882,4 +996,6 @@ def _supervise(executor, supervision: Optional[SupervisionConfig]):
         executor.supervision = SupervisionConfig()
     if getattr(executor, "fault_stats", None) is None:
         executor.fault_stats = FaultStats()
+    if getattr(executor, "runtime_stats", None) is None:
+        executor.runtime_stats = RuntimeStats()
     return executor

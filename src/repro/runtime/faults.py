@@ -202,8 +202,12 @@ class FaultyState:
 
     Implements the same duck-typed surface executors rely on
     (``run_unit`` plus attribute passthrough, so scheduler helpers like
-    ``window_is_empty`` keep working) and stays fork-picklable as long
-    as the wrapped state is.
+    ``window_is_empty`` — and the shared-memory export probes of
+    :class:`repro.runtime.ShmShardPool` — keep working) and stays
+    fork-picklable as long as the wrapped state is.  Shm workers that
+    serve units from attached segments rather than the shipped state
+    unwrap ``state._injector`` so injected faults still fire on the
+    zero-copy path.
     """
 
     def __init__(self, state, injector: FaultInjector) -> None:

@@ -52,6 +52,31 @@ class WeakShardState:
     def run_unit(self, unit: WorkUnit):
         return self._state().run_unit(unit)
 
+    # Optional state protocols, forwarded only when the target provides
+    # them (``getattr`` probes on this adapter must mirror the target).
+    def supports_shm_export(self) -> bool:
+        """True when the target exports packed window trees (the
+        shared-memory backend's opt-in probe)."""
+        return callable(getattr(self._state(), "shm_export_window", None))
+
+    def shm_export_window(self, window: int):
+        export = getattr(self._state(), "shm_export_window", None)
+        if export is None:
+            raise ValidationError(
+                "shard state does not export window trees")
+        return export(window)
+
+    def pending_windows(self):
+        """Windows whose repair is still in flight (pipelined states)."""
+        pending = getattr(self._state(), "pending_windows", None)
+        return pending() if pending is not None else frozenset()
+
+    def finish_windows(self, windows: Sequence[int]) -> None:
+        """Barrier: resolve the in-flight repairs of *windows*."""
+        finish = getattr(self._state(), "finish_windows", None)
+        if finish is not None:
+            finish(windows)
+
 
 def run_tree_unit(tree, unit: WorkUnit):
     """Execute one work unit against a kd-tree (the standard kernel).
@@ -93,6 +118,13 @@ class SingleWindowState:
 
     def run_unit(self, unit: WorkUnit):
         return run_tree_unit(self.tree, unit)
+
+    def supports_shm_export(self) -> bool:
+        return True
+
+    def shm_export_window(self, window: int):
+        """Packed tree arrays for the shared-memory backend."""
+        return self.tree.packed_arrays()
 
 
 class WindowScheduler:
@@ -149,7 +181,46 @@ class WindowScheduler:
         window instead of one per op.  The returned list is re-scattered
         to the caller's unit order, so results are identical to
         :meth:`execute` whichever order the backend ran them in.
+
+        **Pipelined repair overlap**: when the state reports windows
+        whose repair is still in flight (``pending_windows``), the
+        clean-window units dispatch immediately — overlapping the
+        background rebuilds — and the dirty-window units run in a
+        second dispatch behind a per-window barrier
+        (``finish_windows``).  Results are scattered back to the
+        caller's unit order either way, so the split is invisible:
+        every unit's result is a deterministic function of its window's
+        (repaired) tree, bit-equal to the unsplit dispatch.
         """
+        pending = self._pending_windows()
+        if pending:
+            ready = [i for i, unit in enumerate(units)
+                     if unit.window not in pending]
+            deferred = [i for i, unit in enumerate(units)
+                        if unit.window in pending]
+            if ready and deferred:
+                self.executor.runtime_stats.overlap_windows += \
+                    len({units[i].window for i in deferred})
+                results: List[Any] = [None] * len(units)
+                for i, result in zip(
+                        ready, self._run_sorted([units[i]
+                                                 for i in ready])):
+                    results[i] = result
+                self._finish_windows(
+                    sorted({units[i].window for i in deferred}))
+                for i, result in zip(
+                        deferred, self._run_sorted([units[i]
+                                                    for i in deferred])):
+                    results[i] = result
+                return results
+            if deferred:
+                self._finish_windows(
+                    sorted({units[i].window for i in deferred}))
+        return self._run_sorted(units)
+
+    def _run_sorted(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """One executor dispatch in ascending-window order, scattered
+        back to the given unit order."""
         order = sorted(range(len(units)),
                        key=lambda i: (units[i].window, i))
         executed = self.executor.run([units[i] for i in order])
@@ -157,6 +228,15 @@ class WindowScheduler:
         for i, result in zip(order, executed):
             results[i] = result
         return results
+
+    def _pending_windows(self):
+        pending = getattr(self.state, "pending_windows", None)
+        return pending() if pending is not None else frozenset()
+
+    def _finish_windows(self, windows: Sequence[int]) -> None:
+        finish = getattr(self.state, "finish_windows", None)
+        if finish is not None:
+            finish(windows)
 
     def run(self, queries: np.ndarray, window_ids: np.ndarray, kind: str,
             params: Dict[str, Any]) -> List[Tuple[WorkUnit, Any]]:

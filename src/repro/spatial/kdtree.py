@@ -293,6 +293,49 @@ class KDTree:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, points: np.ndarray, axis: np.ndarray,
+                    left: np.ndarray, right: np.ndarray,
+                    point_index: np.ndarray, root: int) -> "KDTree":
+        """Rebuild a tree from previously packed node arrays (no ``_build``).
+
+        The arrays are adopted as-is — they may be views into a shared
+        buffer (``repro.runtime.shm`` attaches them zero-copy from a
+        ``multiprocessing.shared_memory`` segment).  Only the derived
+        per-node mirrors (a gather of ``points`` by ``point_index``) are
+        materialised locally; queries against the result are bit-equal
+        to the original tree's because the node layout is identical.
+        """
+        tree = cls.__new__(cls)
+        points = np.asarray(points, dtype=np.float64)
+        n = len(points)
+        tree.points = points
+        tree.axis = np.asarray(axis, dtype=np.int8)
+        tree.left = np.asarray(left, dtype=np.int64)
+        tree.right = np.asarray(right, dtype=np.int64)
+        tree.point_index = np.asarray(point_index, dtype=np.int64)
+        tree._next_node = n
+        tree.root = int(root)
+        node_points = points[tree.point_index]
+        tree._node_data = None
+        tree._col_x = points[:, 0]
+        tree._col_y = points[:, 1]
+        tree._col_z = points[:, 2]
+        tree._node_xyz = node_points
+        tree._node_split = node_points[np.arange(n), tree.axis]
+        return tree
+
+    def packed_arrays(self):
+        """The flat node arrays that fully determine this tree.
+
+        ``(points, axis, left, right, point_index, root)`` — the exact
+        inputs :meth:`from_arrays` needs to reconstruct a bit-equal tree.
+        Used by the shared-memory executor backend to export window
+        trees without pickling.
+        """
+        return (self.points, self.axis, self.left, self.right,
+                self.point_index, self.root)
+
     def _build(self, indices: np.ndarray, depth: int) -> int:
         if len(indices) == 0:
             return -1

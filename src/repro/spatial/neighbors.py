@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -246,7 +247,8 @@ class ChunkedIndex:
                  windows: Sequence[ChunkWindow],
                  executor="serial",
                  executor_workers: Optional[int] = None,
-                 supervision=None) -> None:
+                 supervision=None,
+                 pipeline_repair: bool = False) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
         if positions.ndim != 2 or positions.shape[1] != 3:
@@ -263,6 +265,14 @@ class ChunkedIndex:
         #: Optional :class:`repro.runtime.SupervisionConfig` applied to
         #: the executor backend (retries / unit timeout / degradation).
         self.supervision = supervision
+        #: Overlap dirty-window kd-tree rebuilds with clean-window query
+        #: dispatch (:meth:`update_frame` hands builds to a background
+        #: pool; the scheduler barriers per window via
+        #: :meth:`finish_windows`).  Bit-equal either way.
+        self.pipeline_repair = pipeline_repair
+        self._pending_repairs: Dict[int, object] = {}
+        self._repair_pool = None
+        self._repair_pid: Optional[int] = None
         self._window_of_chunk_cache: Optional[Dict[int, tuple]] = None
         self._window_lut_cache: Optional[np.ndarray] = None
         self._members_cache: Optional[List[np.ndarray]] = None
@@ -438,6 +448,9 @@ class ChunkedIndex:
             self.windows
         if not new_windows:
             raise ValidationError("at least one window required")
+        # Any repairs still in flight from the previous frame must land
+        # before their trees are probed for rotation reuse below.
+        self._finish_repairs()
         same_occupancy = (
             self._members_cache is not None
             and len(positions) == len(self.positions)
@@ -455,19 +468,34 @@ class ChunkedIndex:
             old_versions = self._versions_cache
             new_trees: List[Optional[KDTree]] = []
             new_versions: List[int] = []
+            repairs: Dict[int, np.ndarray] = {}
             for widx, members in enumerate(self._members_cache):
                 if not dirty[widx]:
                     new_trees.append(old_trees[widx])
                     new_versions.append(old_versions[widx])
                     continue
-                tree, source = self._frame_tree(positions[members],
-                                                widx, old_trees)
-                new_trees.append(tree)
-                new_versions.append(
-                    old_versions[source] if source is not None
-                    else next(_WINDOW_VERSION_COUNTER))
+                points = positions[members]
+                if not len(points):
+                    new_trees.append(None)
+                    new_versions.append(next(_WINDOW_VERSION_COUNTER))
+                    continue
+                source = self._probe_reuse(points, widx, old_trees)
+                if source is not None:
+                    new_trees.append(old_trees[source])
+                    new_versions.append(old_versions[source])
+                    continue
+                new_versions.append(next(_WINDOW_VERSION_COUNTER))
+                if self.pipeline_repair:
+                    # Placeholder now; the build lands via _tree_for /
+                    # finish_windows, overlapping clean-window queries.
+                    new_trees.append(None)
+                    repairs[widx] = points
+                else:
+                    new_trees.append(KDTree(points))
             self._trees_cache = new_trees
             self._versions_cache = new_versions
+            if repairs:
+                self._launch_repairs(repairs)
             dirty_ids = [int(w) for w in np.nonzero(dirty)[0]]
             self.last_dirty_windows = len(dirty_ids)
             self.last_clean_windows = \
@@ -510,23 +538,19 @@ class ChunkedIndex:
             dirty[widx] = bool(chunk_changed[ids].any())
         return dirty
 
-    def _frame_tree(self, points: np.ndarray, window: int,
-                    old_trees: List[Optional[KDTree]]):
-        """A tree over *points*: ``(tree, source window or None)``.
+    def _probe_reuse(self, points: np.ndarray, window: int,
+                     old_trees: List[Optional[KDTree]]) -> Optional[int]:
+        """The old window whose tree covers *points* exactly, or None.
 
-        Reuses any old tree with identical coordinates (warm traversal
-        tables included) and reports which window it came from — the
-        caller carries that window's content version along with the
-        tree.  Builds fresh (source ``None``) when nothing matches.
-        Probes the rolling-forward neighbours first (the sliding-stream
-        hit), then the rest.  A cheap first/last-row fingerprint screens
-        each candidate before the full array compare, so the common
-        all-coordinates-moved frame pays O(W) scalar checks per window
-        instead of O(W) full scans (``np.array_equal`` does not
-        short-circuit).
+        Reusing an old tree with identical coordinates keeps its warm
+        traversal tables, and the caller carries the source window's
+        content version along with it.  Probes the rolling-forward
+        neighbours first (the sliding-stream hit), then the rest.  A
+        cheap first/last-row fingerprint screens each candidate before
+        the full array compare, so the common all-coordinates-moved
+        frame pays O(W) scalar checks per window instead of O(W) full
+        scans (``np.array_equal`` does not short-circuit).
         """
-        if not len(points):
-            return None, None
         n_old = len(old_trees)
         probe_order = [window + 1, window, window - 1]
         probe_order += [w for w in range(n_old) if w not in probe_order]
@@ -539,8 +563,66 @@ class ChunkedIndex:
                     and np.array_equal(old.points[-1], points[-1]) \
                     and np.array_equal(old.points, points):
                 self.last_reused_trees += 1
-                return old, old_window
-        return KDTree(points), None
+                return old_window
+        return None
+
+    # ------------------------------------------------------------------
+    # Pipelined window repair (probe-sync / build-async)
+    # ------------------------------------------------------------------
+    def _launch_repairs(self, repairs: Dict[int, np.ndarray]) -> None:
+        """Hand the dirty windows' kd-tree builds to a background pool.
+
+        Only the *builds* go async — rotation-reuse probing and content
+        version assignment already happened synchronously in
+        :meth:`update_frame`, so version draw order, reuse counters, and
+        cache keys are identical to the serial path.  ``KDTree`` build
+        is a deterministic function of the coordinates, so resolving a
+        pending build later (or rebuilding in a forked worker) is
+        bit-equal to building inline.
+        """
+        if self._repair_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+            self._repair_pool = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix="repro-repair")
+        self._repair_pid = os.getpid()
+        for window, points in repairs.items():
+            self._pending_repairs[window] = \
+                self._repair_pool.submit(KDTree, points)
+
+    def _tree_for(self, window: int) -> Optional[KDTree]:
+        """The window's tree, resolving a pending repair on demand.
+
+        In a *forked* executor worker the builder threads (and their
+        futures) did not survive the fork, so waiting would deadlock;
+        the worker instead rebuilds deterministically from its own copy
+        of the coordinates — bit-equal to the parent's build.
+        """
+        future = self._pending_repairs.get(window)
+        if future is None:
+            return self._trees[window]
+        if self._repair_pid != os.getpid():
+            tree = KDTree(self.positions[self._members[window]])
+        else:
+            tree = future.result()
+        self._pending_repairs.pop(window, None)
+        self._trees_cache[window] = tree
+        return tree
+
+    def pending_windows(self) -> frozenset:
+        """Windows whose kd-tree rebuild is still in flight (the
+        scheduler's pipelining probe)."""
+        return frozenset(self._pending_repairs)
+
+    def finish_windows(self, windows: Sequence[int]) -> None:
+        """Barrier: resolve the in-flight repairs of *windows* only."""
+        for window in windows:
+            if int(window) in self._pending_repairs:
+                self._tree_for(int(window))
+
+    def _finish_repairs(self) -> None:
+        """Barrier: resolve every in-flight window repair."""
+        while self._pending_repairs:
+            self._tree_for(next(iter(self._pending_repairs)))
 
     def max_tree_depth(self) -> int:
         """Deepest node depth over the non-empty window trees.
@@ -550,6 +632,7 @@ class ChunkedIndex:
         a capped windowed search must at least finish one root-to-leaf
         descent of its serving tree.
         """
+        self._finish_repairs()
         depths = [tree.depth() for tree in self._trees if tree is not None]
         if not depths:
             raise ValidationError("all windows are empty")
@@ -586,6 +669,14 @@ class ChunkedIndex:
         executor lifetime."""
         return self._runtime().fault_stats
 
+    @property
+    def runtime_stats(self):
+        """The runtime's data-movement / overlap counters
+        (:class:`repro.runtime.RuntimeStats`) — shared-memory bytes
+        shipped, forks avoided, live segments, repair/query overlap
+        windows, and grouping bucket histogram."""
+        return self._runtime().executor.runtime_stats
+
     # ------------------------------------------------------------------
     # Frame-failure rollback support
     # ------------------------------------------------------------------
@@ -608,12 +699,16 @@ class ChunkedIndex:
         inserted by a later-failed frame are simply unreachable, never
         wrong.
         """
+        self._finish_repairs()
         return {name: getattr(self, name) for name in self._SNAPSHOT_ATTRS}
 
     def restore_state(self, snapshot: dict) -> None:
         """Reinstate a :meth:`snapshot_state` capture after a failed
         frame, dropping any worker-held state shipped in between (the
         scheduler itself — and its fault counters — stay warm)."""
+        # Builds launched by the failed frame resolve against discarded
+        # state — drop them (the pool finishes them harmlessly).
+        self._pending_repairs.clear()
         for name in self._SNAPSHOT_ATTRS:
             setattr(self, name, snapshot[name])
         if self._scheduler is not None:
@@ -621,13 +716,22 @@ class ChunkedIndex:
 
     def close(self) -> None:
         """Shut down any live executor workers (idempotent)."""
+        if self._pending_repairs:
+            self._finish_repairs()
+        if self._repair_pool is not None:
+            self._repair_pool.shutdown(wait=False)
+            self._repair_pool = None
         if self._scheduler is not None:
             self._scheduler.close()
             self._scheduler = None
 
     def window_is_empty(self, window: int) -> bool:
-        """Shard-state protocol: True when the window holds no points."""
-        return self._trees[window] is None
+        """Shard-state protocol: True when the window holds no points.
+
+        Membership-based, so an empty probe never forces a pending
+        repair to resolve.
+        """
+        return not len(self._members[window])
 
     def run_unit(self, unit: WorkUnit) -> BatchQueryResult:
         """Shard-state protocol: answer one window's work unit.
@@ -636,7 +740,17 @@ class ChunkedIndex:
         results are window-local — the parent remaps indices through the
         window's member table when scattering.
         """
-        return run_tree_unit(self._trees[unit.window], unit)
+        return run_tree_unit(self._tree_for(unit.window), unit)
+
+    def shm_export_window(self, window: int):
+        """Shard-state protocol: packed tree arrays for the
+        shared-memory backend (:class:`repro.runtime.ShmShardPool`).
+        Resolves a pending repair first — workers must attach the
+        repaired tree, not a placeholder."""
+        tree = self._tree_for(window)
+        if tree is None:
+            raise ValidationError(f"window {window} is empty")
+        return tree.packed_arrays()
 
     def _dispatch_ops(self, specs: List[tuple]) -> List[List[tuple]]:
         """Schedule + execute several ops as one executor batch.
@@ -727,7 +841,7 @@ class ChunkedIndex:
         Returned indices refer to the *original* point array.
         """
         widx = self.window_for_chunk(query_chunk)
-        tree, members = self._trees[widx], self._members[widx]
+        tree, members = self._tree_for(widx), self._members[widx]
         if tree is None:
             return QueryResult(np.zeros(0, dtype=np.int64),
                                np.zeros(0), 0, False)
@@ -741,7 +855,7 @@ class ChunkedIndex:
                     max_results: Optional[int] = None) -> QueryResult:
         """Ball query restricted to the window serving *query_chunk*."""
         widx = self.window_for_chunk(query_chunk)
-        tree, members = self._trees[widx], self._members[widx]
+        tree, members = self._tree_for(widx), self._members[widx]
         if tree is None:
             return QueryResult(np.zeros(0, dtype=np.int64),
                                np.zeros(0), 0, False)
@@ -781,7 +895,7 @@ class ChunkedIndex:
     def _window_trace_counts(self, window: int,
                              traces: List[List[int]]) -> np.ndarray:
         """Distinct-chunk counts for one window's traces (Fig. 6)."""
-        tree, members = self._trees[window], self._members[window]
+        tree, members = self._tree_for(window), self._members[window]
         out = np.zeros(len(traces), dtype=np.int64)
         for i, trace in enumerate(traces):
             if trace:
@@ -942,7 +1056,7 @@ class ChunkedIndex:
                        ) -> int:
         """Distinct chunks whose points the traversal visited (Fig. 6)."""
         members = self._members[window_index]
-        tree = self._trees[window_index]
+        tree = self._tree_for(window_index)
         if tree is None or not result.trace:
             return 0
         visited_points = members[tree.point_index[np.array(result.trace)]]

@@ -126,6 +126,14 @@ class FrameResult:
     respawns: int = 0
     timeouts: int = 0
     degradations: int = 0
+    #: This frame's data-movement / overlap delta (see
+    #: :meth:`repro.runtime.RuntimeStats.delta`): shared-memory bytes
+    #: shipped, forks avoided by registry version bumps, live segments
+    #: (a gauge), repair/query overlap windows, queue-fallback units,
+    #: and the grouping bucket histogram.  Empty until a runtime
+    #: exists; all-zero counters on a frame that shipped nothing (the
+    #: warm-ingest steady state under ``executor="shm"``).
+    runtime: Dict[str, Any] = field(default_factory=dict)
     #: ``None`` on success; on a quarantined frame
     #: (``on_error="skip"``), a ``{"type", "message", "stage"}`` dict
     #: describing the failure (``stage`` is ``"validate"`` or
@@ -166,6 +174,13 @@ class SessionStats:
     rolled back to the last good frame, and ``frames_quarantined``
     counts the failures ``on_error="skip"`` turned into error-carrying
     :class:`FrameResult`\\ s instead of exceptions.
+
+    Data-movement accounting (see :class:`repro.runtime.RuntimeStats`,
+    absorbed frame by frame like the fault counters):
+    ``state_bytes_shipped`` / ``forks_avoided`` /
+    ``overlap_windows`` / ``queue_fallback_units`` total the runtime's
+    lifetime counters; ``segments_live`` is the gauge as of the last
+    frame.  All zero on backends without shared-memory state.
     """
 
     frames: int = 0
@@ -184,6 +199,11 @@ class SessionStats:
     validation_failures: int = 0
     frames_quarantined: int = 0
     rollbacks: int = 0
+    state_bytes_shipped: int = 0
+    forks_avoided: int = 0
+    overlap_windows: int = 0
+    queue_fallback_units: int = 0
+    segments_live: int = 0
 
 
 class StreamSession:
@@ -349,6 +369,7 @@ class StreamSession:
             return self._empty_frame(plan, blocks)
         checkpoint = self._checkpoint()
         fault_obj, fault_before = self._fault_state()
+        rt_obj, rt_before = self._runtime_state()
         try:
             positions, grid, assignment, windows = partition_cloud(
                 positions, self.config.splitting)
@@ -367,6 +388,7 @@ class StreamSession:
             # Recovery work done before the failure still counts.
             retries, respawns, timeouts, degradations = \
                 self._absorb_faults(fault_obj, fault_before)
+            self._absorb_runtime(rt_obj, rt_before)
             self._rollback(checkpoint)
             self.stats.rollbacks += 1
             if isinstance(exc, ValidationError):
@@ -379,6 +401,7 @@ class StreamSession:
             raise
         retries, respawns, timeouts, degradations = \
             self._absorb_faults(fault_obj, fault_before)
+        runtime_delta = self._absorb_runtime(rt_obj, rt_before)
         n_chunks = grid.n_chunks if grid is not None else \
             int(assignment.max()) + 1
         index = self._index
@@ -394,7 +417,7 @@ class StreamSession:
                              - index.last_reused_trees),
             op_results=op_results,
             retries=retries, respawns=respawns, timeouts=timeouts,
-            degradations=degradations)
+            degradations=degradations, runtime=runtime_delta)
         self._frame_id += 1
         self.stats.frames += 1
         if reused:
@@ -548,6 +571,39 @@ class StreamSession:
         self.stats.respawns += respawns
         self.stats.timeouts += timeouts
         self.stats.degradations += degradations
+        return delta
+
+    def _runtime_state(self):
+        """The live runtime's data-movement counters + their snapshot.
+
+        The :class:`repro.runtime.RuntimeStats` sibling of
+        :meth:`_fault_state`, with the same identity-compare contract
+        for cold-mode frames that rebuild the runtime (and its
+        counters) mid-frame.
+        """
+        index = self._index
+        if index is None or index._scheduler is None:
+            return None, None
+        stats = index._scheduler.executor.runtime_stats
+        return stats, stats.snapshot()
+
+    def _absorb_runtime(self, before_obj, before_snap) -> Dict[str, Any]:
+        """Fold the runtime's data movement since *before_snap* into
+        :attr:`stats`; returns the per-frame delta dict
+        (:meth:`repro.runtime.RuntimeStats.delta`)."""
+        from repro.runtime import RuntimeStats
+
+        stats_obj, now = self._runtime_state()
+        if stats_obj is None:
+            return {}
+        if stats_obj is not before_obj or before_snap is None:
+            before_snap = RuntimeStats().snapshot()
+        delta = RuntimeStats.delta(now, before_snap)
+        self.stats.state_bytes_shipped += delta["state_bytes_shipped"]
+        self.stats.forks_avoided += delta["forks_avoided"]
+        self.stats.overlap_windows += delta["overlap_windows"]
+        self.stats.queue_fallback_units += delta["queue_fallback_units"]
+        self.stats.segments_live = delta["segments_live"]
         return delta
 
     def _quarantined_frame(self, plan: FramePlan,
@@ -733,7 +789,8 @@ class StreamSession:
                 positions, assignment, windows,
                 executor=self.config.executor,
                 executor_workers=self.config.executor_workers,
-                supervision=self.session_config.supervision())
+                supervision=self.session_config.supervision(),
+                pipeline_repair=self.session_config.pipeline_repair)
             reused = False
         if self.session_config.reuse_index:
             self._index.result_cache = self._result_cache

@@ -1,8 +1,9 @@
 """Smoke test for the window-shard runtime benchmark harness.
 
-Runs the serial / thread / process comparison on a tiny workload so
-tier-1 exercises the harness (including the backend-vs-serial equality
-check) without paying for the real timing run.
+Runs the serial / thread / process / shm comparison on a tiny workload
+so tier-1 exercises the harness (including the backend-vs-serial
+equality check and the bucketed-vs-padded grouping gate) without paying
+for the real timing run.
 """
 
 import multiprocessing
@@ -23,20 +24,23 @@ def test_bench_runtime_shards_smoke(tmp_path):
     payload = bench_runtime_shards.smoke(tmp_output=output)
     assert os.path.exists(output)
     backends = {row["backend"] for row in payload["results"]}
-    assert backends == {"serial", "thread", "process"}
+    assert backends == {"serial", "thread", "process", "shm"}
     configs = {row["config"] for row in payload["results"]}
     assert configs == {"serial-8w", "spatial-16w"}
     # Both configurations qualify as many-window (>= 8 windows).
     assert all(row["windows"] >= 8 for row in payload["results"])
-    # 2 configs x 3 backends x 2 ops.
-    assert len(payload["results"]) == 12
+    # 2 configs x 4 backends x 2 ops.
+    assert len(payload["results"]) == 16
     for row in payload["results"]:
         assert row["best_s"] > 0
         assert row["throughput_qps"] > 0
-        assert row["effective"] in ("serial", "thread", "process")
+        assert row["effective"] in ("serial", "thread", "process", "shm")
     assert len(payload["process_over_serial"]) == 4
     for ratio in payload["process_over_serial"]:
         assert isinstance(ratio["process_effective"], bool)
+    assert len(payload["shm_over_serial"]) == 4
+    for ratio in payload["shm_over_serial"]:
+        assert isinstance(ratio["shm_effective"], bool)
     # The headline may only count rows that genuinely ran the forked
     # pool.  ProcessShardPool can legitimately fall back at runtime
     # even where "fork" is listed (e.g. fork() fails under a pid
@@ -53,6 +57,24 @@ def test_bench_runtime_shards_smoke(tmp_path):
     else:
         assert payload["best_process_over_serial"] == 0.0
         assert not payload["process_ge_serial"]
+    # Same self-consistency for the zero-copy pool (it degrades through
+    # the same ladder when fork is unavailable).
+    effective_shm = [row["effective"] == "shm"
+                     for row in payload["results"]
+                     if row["backend"] == "shm"]
+    assert payload["shm_pool_exercised"] == any(effective_shm)
+    if payload["shm_pool_exercised"]:
+        assert payload["best_shm_over_serial"] > 0
+    else:
+        assert payload["best_shm_over_serial"] == 0.0
+        assert not payload["shm_ge_serial"]
+    # The grouping comparison is equality-gated inside run(): reaching
+    # here means bucketed output reconstructed repeat-padding bit-equal.
+    grouping = payload["grouping"]
+    assert grouping["equal"] is True
+    assert grouping["padded_s"] > 0 and grouping["bucketed_s"] > 0
+    assert grouping["bucket_widths"] >= 1
+    assert 0.0 < grouping["real_hit_fraction"] <= 1.0
     # The equality cross-check ran inside run(); reaching here means every
     # backend matched the serial reference on every config and op.
     assert payload["workload"]["n_points"] == 240

@@ -25,21 +25,36 @@ def test_bench_streaming_session_smoke(tmp_path):
     payload = bench_streaming_session.smoke(tmp_output=output)
     assert os.path.exists(output)
     backends = {row["backend"] for row in payload["results"]}
-    assert backends == {"serial", "thread", "process"}
+    assert backends == {"serial", "thread", "process", "shm"}
     configs = {row["config"] for row in payload["results"]}
     assert configs == {"serial-8w", "spatial-16w", "partial-9w"}
     # Every configuration qualifies as many-window (>= 8 windows).
     assert all(row["windows"] >= 8 for row in payload["results"])
-    # 3 configs x 3 backends.
-    assert len(payload["results"]) == 9
+    # 3 configs x 4 backends.
+    assert len(payload["results"]) == 12
     n_frames = payload["workload"]["n_frames"]
     for row in payload["results"]:
         assert row["cold_s"] > 0 and row["warm_s"] > 0
         assert row["cold_fps"] > 0 and row["warm_fps"] > 0
         assert row["warm_over_cold"] == pytest.approx(
             row["cold_s"] / row["warm_s"])
-        assert row["warm_effective"] in ("serial", "thread", "process")
-        assert row["cold_effective"] in ("serial", "thread", "process")
+        assert row["warm_effective"] in ("serial", "thread", "process",
+                                         "shm")
+        assert row["cold_effective"] in ("serial", "thread", "process",
+                                         "shm")
+        # Zero-copy accounting is present on every row and non-zero
+        # only where the shm pool actually ran.
+        assert row["state_bytes_shipped"] >= 0
+        assert row["forks_avoided"] >= 0
+        assert len(row["bytes_per_frame"]) == n_frames
+        if row["warm_effective"] != "shm":
+            assert row["state_bytes_shipped"] == 0
+            assert row["segments_live"] == 0
+        else:
+            assert row["state_bytes_shipped"] > 0
+            assert row["segments_live"] > 0
+            assert sum(row["bytes_per_frame"]) == \
+                row["state_bytes_shipped"]
         # The warm session calibrates once on frame 0 and only
         # re-calibrates when drift fires; it can never profile more
         # often than the cold flow's once-per-frame.
@@ -71,6 +86,17 @@ def test_bench_streaming_session_smoke(tmp_path):
     assert payload["partial_beats_drifting"] == (
         payload["best_partial_warm_over_cold"]
         > payload["best_drifting_warm_over_cold"])
+    # Zero-copy acceptance flags are self-consistent with the rows:
+    # where the shm pool genuinely ran, warm workers were never
+    # re-forked (rolling) and partial-drift warm frames shipped only
+    # their dirty windows.
+    shm_effective = [row for row in payload["results"]
+                     if row["backend"] == "shm"
+                     and row["warm_effective"] == "shm"]
+    assert payload["shm_rows_effective"] == bool(shm_effective)
+    if shm_effective:
+        assert payload["shm_forks_avoided_on_rolling"]
+        assert payload["shm_warm_frames_ship_less"]
     # The warm-vs-cold equality cross-check ran inside run(); reaching
     # here means every backend's warm results matched the cold rebuild
     # at the same deadline on every config and frame.

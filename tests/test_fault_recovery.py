@@ -33,7 +33,7 @@ from repro.spatial import ChunkGrid, ChunkedIndex, chunk_windows
 from repro.streaming import StreamSession
 
 WORKERS = 2
-BACKENDS = ["serial", "thread", "process"]
+BACKENDS = ["serial", "thread", "process", "shm"]
 
 
 # ----------------------------------------------------------------------
@@ -96,7 +96,8 @@ def test_fault_matrix_bit_equal(rng, backend, kind):
     else:
         assert stats.retries == 1
         assert stats.degradations == []
-    if backend == "process" and index.effective_executor == "process":
+    if (backend in ("process", "shm")
+            and index.effective_executor in ("process", "shm")):
         if kind in ("crash", "hang"):
             assert stats.respawns == 1
         assert stats.timeouts == (1 if kind == "hang" else 0)
@@ -245,6 +246,42 @@ def test_atexit_sweep_terminates_orphans(rng):
                                 max_steps=20)
     _assert_batches_equal(got, want)
     index.close()
+
+
+def test_shm_crash_respawn_reattaches_segments(rng):
+    """A crashed shm worker respawns by re-attaching live segments.
+
+    Recovery must not re-ship window state: the segments survive the
+    worker death (they live in the parent's registry), so the respawned
+    worker maps them back in and a repeat batch ships zero bytes.
+    Close still unlinks every segment — a crash must not leak /dev/shm.
+    """
+    from multiprocessing import shared_memory
+
+    want = _reference(np.random.default_rng(21))
+    injector = FaultInjector([FaultSpec(kind="crash", window=4)])
+    index, pts, assignment = _index(
+        np.random.default_rng(21), executor=injector.executor("shm"),
+        supervision=SupervisionConfig(unit_timeout=2.0))
+    got = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                max_steps=20)
+    pool = index._runtime().executor
+    if pool.effective != "shm":
+        index.close()
+        pytest.skip("fork unavailable; shm pool degraded")
+    _assert_batches_equal(got, want)
+    assert index.fault_stats.respawns == 1
+    shipped = pool.runtime_stats.state_bytes_shipped
+    got2 = index.query_knn_batch(pts[::3], assignment[::3], 4,
+                                 max_steps=20)
+    _assert_batches_equal(got2, want)
+    assert pool.runtime_stats.state_bytes_shipped == shipped
+    names = [record.name for record in pool._segments.values()]
+    assert names
+    index.close()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
 
 
 # ----------------------------------------------------------------------

@@ -1,12 +1,15 @@
 """Executor-independence of the window-shard runtime.
 
 Mirror of ``test_spatial_batch_equivalence``: whichever backend runs the
-per-window work units — serial loop, thread pool, or forked process
-shards — ``indices``, ``distances``, ``steps`` and ``terminated`` must
-be identical, including degenerate empty windows and single-window
-inputs.  The process tests pin ``executor_workers=2`` so real forked
-workers run even on single-core CI machines (where auto-resolution
-falls back to serial by design).
+per-window work units — serial loop, thread pool, forked process
+shards, or the zero-copy shared-memory pool — ``indices``,
+``distances``, ``steps`` and ``terminated`` must be identical,
+including degenerate empty windows and single-window inputs.  The
+process/shm tests pin ``executor_workers=2`` so real forked workers
+run even on single-core CI machines (where auto-resolution falls back
+to serial by design).  Shared-memory specifics — segment hygiene on
+close, warm frames avoiding re-forks, pipelined repair equivalence —
+are covered at the bottom.
 """
 
 import numpy as np
@@ -32,8 +35,8 @@ from repro.runtime import (
 from repro.spatial import ChunkedIndex, ChunkGrid, ChunkWindow, KDTree, \
     WindowedOp, chunk_windows
 
-BACKENDS = ["serial", "thread", "process"]
-#: Two workers so "thread"/"process" genuinely parallelise on CI boxes.
+BACKENDS = ["serial", "thread", "process", "shm"]
+#: Two workers so "thread"/"process"/"shm" genuinely parallelise on CI.
 WORKERS = 2
 
 
@@ -368,3 +371,132 @@ def test_set_assignment_validates_and_invalidates(rng):
     # Chunk 0 now owns every point; its serving window sees all of them.
     widx = index.window_for_chunk(0)
     assert len(index._members[widx]) == len(pts)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory backend specifics (zero-copy state, segment hygiene)
+# ----------------------------------------------------------------------
+def _windowed_index(pts, backend, **kwargs):
+    grid = ChunkGrid.fit(pts, (3, 3, 1))
+    windows = chunk_windows((3, 3, 1), (2, 2, 1))
+    index = ChunkedIndex(pts, grid.assign(pts), windows,
+                         executor=backend, executor_workers=WORKERS,
+                         **kwargs)
+    return index, grid
+
+
+def test_shm_segments_unlinked_on_close(rng):
+    from multiprocessing import shared_memory
+
+    pts = rng.uniform(0, 1, size=(180, 3))
+    index, grid = _windowed_index(pts, "shm")
+    queries = pts[::5]
+    index.query_knn_batch(queries, grid.assign(queries), 3)
+    pool = index._runtime().executor
+    assert pool.effective == "shm"
+    names = [record.name for record in pool._segments.values()]
+    assert names, "shm pool staged no window segments"
+    index.close()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_shm_warm_frame_avoids_refork_and_ships_only_dirty(rng):
+    pts = rng.uniform(0, 1, size=(180, 3))
+    index, grid = _windowed_index(pts, "shm")
+    reference, _ = _windowed_index(pts, "serial")
+    queries = pts[::4]
+    qc = grid.assign(queries)
+    want = reference.query_knn_batch(queries, qc, 4)
+    got = index.query_knn_batch(queries, qc, 4)
+    _assert_batches_equal(got, want)
+    pool = index._runtime().executor
+    if pool.effective != "shm":          # no fork on this platform
+        index.close()
+        reference.close()
+        pytest.skip("shm pool fell back; nothing to assert")
+    spawns = pool.spawn_count
+    shipped_cold = pool.runtime_stats.state_bytes_shipped
+    assert shipped_cold > 0
+
+    # Frame 2: nudge a subset of points — same occupancy, some windows
+    # dirty.  Workers must survive (version bump, not teardown) and
+    # only the dirty windows' segments re-export.
+    nxt = index.positions.copy()
+    nxt[::9] += 0.004
+    index.update_frame(nxt, index.assignment)
+    reference.update_frame(nxt, reference.assignment)
+    _assert_batches_equal(index.query_knn_batch(queries, qc, 4),
+                          reference.query_knn_batch(queries, qc, 4))
+    stats = pool.runtime_stats
+    assert pool.spawn_count == spawns, "warm frame re-forked workers"
+    assert stats.forks_avoided > 0
+    assert stats.state_bytes_shipped > shipped_cold
+    shipped_warm = stats.state_bytes_shipped
+
+    # Frame 3: identical coordinates — nothing dirty, zero bytes move.
+    index.update_frame(nxt.copy(), index.assignment)
+    _assert_batches_equal(index.query_knn_batch(queries, qc, 4),
+                          reference.query_knn_batch(queries, qc, 4))
+    assert stats.state_bytes_shipped == shipped_warm
+    assert pool.spawn_count == spawns
+    index.close()
+    reference.close()
+
+
+def test_shm_traced_units_ride_queue_fallback(rng):
+    """Trace-recording units have no fixed-width reservation — they
+    must come back through the pickle queue, counted, still bit-equal."""
+    pts = rng.uniform(0, 1, size=(180, 3))
+    index, grid = _windowed_index(pts, "shm")
+    reference, _ = _windowed_index(pts, "serial")
+    queries = pts[::6]
+    qc = grid.assign(queries)
+    got = index.query_knn_batch(queries, qc, 3, engine="traverse",
+                                record_traces=True)
+    want = reference.query_knn_batch(queries, qc, 3, engine="traverse",
+                                     record_traces=True)
+    _assert_batches_equal(got, want, traces=True)
+    pool = index._runtime().executor
+    if pool.effective == "shm":
+        assert pool.runtime_stats.queue_fallback_units > 0
+    index.close()
+    reference.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pipelined_repair_equivalence(rng, backend):
+    """pipeline_repair=True must be bit-equal to synchronous repair on
+    every backend, across a drifting frame sequence."""
+    pts = rng.uniform(0, 1, size=(180, 3))
+    index, grid = _windowed_index(pts, backend, pipeline_repair=True)
+    reference, _ = _windowed_index(pts, "serial")
+    frame = pts.copy()
+    queries = frame[::4]
+    qc = grid.assign(queries)
+    _assert_batches_equal(index.query_knn_batch(queries, qc, 4),
+                          reference.query_knn_batch(queries, qc, 4))
+    for step in range(3):
+        frame = frame.copy()
+        # Partial drift: only the leftmost chunk column's points move
+        # (chunk width is 1/3), so the right-hand windows stay clean
+        # and their dispatch genuinely overlaps pending rebuilds.
+        mask = frame[:, 0] < 0.3
+        frame[mask] += 0.002 * (step + 1)
+        index.update_frame(frame, index.assignment)
+        reference.update_frame(frame, reference.assignment)
+        assert index.last_dirty_windows == reference.last_dirty_windows
+        assert index.last_reused_trees == reference.last_reused_trees
+        got = index.query_knn_batch(queries, qc, 4)
+        want = reference.query_knn_batch(queries, qc, 4)
+        _assert_batches_equal(got, want)
+        rgot = index.query_range_batch(queries, qc, 0.25, max_results=5)
+        rwant = reference.query_range_batch(queries, qc, 0.25,
+                                            max_results=5)
+        _assert_batches_equal(rgot, rwant)
+    assert index.runtime_stats.overlap_windows > 0
+    assert index.max_tree_depth() == reference.max_tree_depth()
+    assert not index.pending_windows()       # depth call was a barrier
+    index.close()
+    reference.close()

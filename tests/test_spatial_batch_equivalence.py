@@ -20,8 +20,10 @@ from repro.core.config import (
 from repro.core.cotraining import (
     GroupingContext,
     baseline_config,
+    bucket_group_batch,
     cs_config,
     cs_dt_config,
+    pad_group_batch,
 )
 from repro.core.splitting import CompulsorySplitter
 from repro.errors import ValidationError
@@ -342,6 +344,108 @@ def test_ball_group_empty_rows_use_vectorized_fallback(rng):
         assert (groups[i] == nearest[i]).all()
     np.testing.assert_array_equal(
         groups, _reference_ball_group(ctx, far_queries, 0.1, 4))
+
+
+# ----------------------------------------------------------------------
+# Bucketed group batching vs repeat-padding
+# ----------------------------------------------------------------------
+def _skewed_cloud(rng, n=300):
+    """A deliberately skewed cloud: one dense clump plus a sparse halo,
+    so ball queries return wildly different hit counts per row."""
+    clump = rng.normal(scale=0.03, size=(n // 2, 3)) + 0.5
+    halo = rng.uniform(0, 1, size=(n - n // 2, 3))
+    return np.concatenate([clump, halo])
+
+
+def test_bucketed_ball_grouping_bit_equal_on_skewed_workload(rng):
+    pts = _skewed_cloud(rng)
+    ctx = GroupingContext(pts, baseline_config())
+    queries = pts[::4]
+    buckets = ctx.ball_group_buckets(queries, 0.08, 8)
+    want = _reference_ball_group(ctx, queries, 0.08, 8)
+    np.testing.assert_array_equal(buckets.padded(), want)
+    histogram = buckets.histogram
+    assert sum(histogram.values()) == len(queries)
+    # The workload is genuinely skewed: several distinct bucket widths,
+    # including saturated rows from the clump.
+    assert len(histogram) > 2
+    assert 8 in histogram
+
+
+def test_bucketed_grouping_resolves_empty_groups(rng):
+    """Rows with zero hits land in the width-1 bucket via the
+    nearest-point fallback — bit-equal to the padded semantics."""
+    pts = rng.normal(size=(50, 3)) + 40.0
+    ctx = GroupingContext(pts, baseline_config())
+    near = pts[::10]
+    far = np.zeros((4, 3))
+    queries = np.concatenate([near, far])
+    buckets = ctx.ball_group_buckets(queries, 0.3, 5)
+    want = _reference_ball_group(ctx, queries, 0.3, 5)
+    np.testing.assert_array_equal(buckets.padded(), want)
+    nearest = nearest_point_indices(pts, far)
+    padded = buckets.padded()
+    for i, idx in enumerate(nearest):
+        assert (padded[len(near) + i] == idx).all()
+
+
+@pytest.mark.parametrize("variant", range(3))
+def test_knn_group_buckets_bit_equal(rng, variant):
+    pts = rng.uniform(0, 1, size=(120, 3))
+    ctx = GroupingContext(pts, _variant_configs()[variant])
+    queries = pts[::6]
+    buckets = ctx.knn_group_buckets(queries, 5)
+    np.testing.assert_array_equal(
+        buckets.padded(), ctx.knn_group(queries, 5))
+
+
+def test_bucket_sq_distances_match_padded_gather(rng):
+    pts = _skewed_cloud(rng, n=200)
+    ctx = GroupingContext(pts, baseline_config())
+    queries = pts[::5]
+    buckets = ctx.ball_group_buckets(queries, 0.1, 6)
+    per_bucket = buckets.sq_distances(queries, pts)
+    for idx, block, sq in zip(buckets.rows, buckets.hits, per_bucket):
+        assert sq.shape == block.shape
+        diff = pts[block] - queries[idx][:, None, :]
+        np.testing.assert_array_equal(sq, np.einsum(
+            "bcd,bcd->bc", diff, diff))
+
+
+def _naive_pad(indices, counts, size, queries, positions):
+    """Per-row repeat-padding, independent of the bucketing code path
+    (``pad_group_batch`` itself now routes through the buckets)."""
+    out = np.empty((len(queries), size), dtype=np.int64)
+    for i in range(len(queries)):
+        c = min(int(counts[i]), size)
+        row = indices[i, :c]
+        if c == 0:
+            row = nearest_point_indices(positions, queries[i:i + 1])
+        out[i, :len(row)] = row
+        out[i, len(row):] = row[0]
+    return out
+
+
+def test_bucket_group_batch_fuzz_matches_repeat_padding(rng):
+    """Random (indices, counts) batches: bucketed→padded is bit-equal
+    to the repeat-padding reference for any count profile."""
+    for _ in range(25):
+        n = int(rng.integers(5, 60))
+        q = int(rng.integers(1, 40))
+        size = int(rng.integers(1, 9))
+        width = int(rng.integers(0, size + 1))
+        positions = rng.uniform(0, 1, size=(n, 3))
+        queries = rng.uniform(0, 1, size=(q, 3))
+        indices = rng.integers(0, n, size=(q, width)).astype(np.int64)
+        counts = rng.integers(0, width + 1, size=q).astype(np.int64)
+        buckets = bucket_group_batch(indices, counts, size, queries,
+                                     positions)
+        want = _naive_pad(indices, counts, size, queries, positions)
+        np.testing.assert_array_equal(buckets.padded(), want)
+        np.testing.assert_array_equal(
+            pad_group_batch(indices, counts, size, queries, positions),
+            want)
+        assert sum(buckets.histogram.values()) == q
 
 
 def test_serial_chunk_of_queries_matches_per_query_argmin(rng):
