@@ -125,6 +125,16 @@ class StreamingSessionConfig:
     without traversal (bit-exact — see
     :class:`~repro.spatial.neighbors.WindowResultCache`).
     ``cache_max_entries`` bounds the cache with LRU eviction.
+    ``cache_scope`` selects the cache instance: ``"session"`` gives the
+    session a private cache, ``"shared"`` attaches the process-global
+    cache (:func:`~repro.spatial.neighbors.shared_result_cache`) so
+    sessions streaming identical frames share entries, and ``"auto"``
+    (default) picks ``"shared"`` exactly when the session executes on
+    the multi-tenant shard fleet (``executor="fleet"`` or a
+    :class:`~repro.runtime.fleet.ShardFleet` instance) and
+    ``"session"`` for dedicated pools.  Cache keys carry window content
+    versions and query digests — never a session identity — so sharing
+    is always bit-exact.
 
     Fault-tolerance knobs (see
     :class:`repro.runtime.SupervisionConfig` and the degradation-ladder
@@ -154,6 +164,7 @@ class StreamingSessionConfig:
     reuse_index: bool = True
     result_cache: bool = True
     cache_max_entries: int = 256
+    cache_scope: str = "auto"
     pipeline_repair: bool = True
     unit_timeout: Optional[float] = None
     max_retries: int = 2
@@ -173,6 +184,10 @@ class StreamingSessionConfig:
             raise ValidationError(
                 "cache_max_entries must be positive, got "
                 f"{self.cache_max_entries}")
+        if self.cache_scope not in ("auto", "session", "shared"):
+            raise ValidationError(
+                "cache_scope must be 'auto', 'session', or 'shared', "
+                f"got {self.cache_scope!r}")
         if self.unit_timeout is not None and not self.unit_timeout > 0:
             raise ValidationError(
                 f"unit_timeout must be positive, got {self.unit_timeout}")
@@ -213,8 +228,10 @@ class StreamGridConfig:
     ``executor`` selects the window-shard runtime backend every
     neighbour-search batch runs on (:mod:`repro.runtime`):
     ``"serial"`` (inline loop), ``"thread"`` (shared-memory thread
-    pool), or ``"process"`` (forked worker processes with window-id
-    affinity).  Anything
+    pool), ``"process"`` (forked worker processes with window-id
+    affinity), ``"shm"`` (shared-memory segment transport), or
+    ``"fleet"`` (a lease on the process-global multi-tenant
+    :class:`~repro.runtime.fleet.ShardFleet`).  Anything
     :func:`~repro.runtime.executor.resolve_executor` accepts — an
     :class:`~repro.runtime.executor.Executor` instance or a factory
     callable such as

@@ -32,6 +32,17 @@ class WorkerTimeoutError(ExecutionError):
     disabled or exhausted."""
 
 
+class AdmissionError(StreamGridError, RuntimeError):
+    """The shard fleet refused new work under its admission policy.
+
+    Raised by :class:`repro.runtime.fleet.ShardFleet` when a session
+    acquisition exceeds ``max_sessions`` (shed policy, or queue policy
+    after ``admission_timeout``) or a tenant submit exceeds its
+    in-flight cap under the shed policy.  Transient by construction:
+    the same request succeeds once another tenant releases its lease.
+    """
+
+
 class GraphError(StreamGridError):
     """A dataflow graph is malformed (cycles, dangling edges, bad params)."""
 

@@ -80,7 +80,10 @@ def session_for_pipeline(name: str, k: int = 16,
     """A live session configured like the named pipeline.
 
     ``executor`` / ``executor_workers`` select the window-shard runtime
-    backend exactly as on the one-shot builders; ``session`` carries
+    backend exactly as on the one-shot builders — including
+    ``"fleet"``, which makes the pipeline session a tenant of the
+    process-global multi-tenant worker fleet
+    (:mod:`repro.runtime.fleet`); ``session`` carries
     the frame-reuse knobs — drift tolerance and cadence, incremental
     index repair (``reuse_index``), and the cross-frame result cache
     (``result_cache`` / ``cache_max_entries``, on by default).

@@ -34,7 +34,7 @@ that implements:
 * ``name`` / ``effective`` — the requested backend name and the backend
   actually in force (they differ when a backend had to fall back).
 
-Four interchangeable backends ship with the runtime:
+Five interchangeable backends ship with the runtime:
 
 * :class:`~repro.runtime.executor.SerialExecutor` — an inline loop, the
   reference backend;
@@ -57,7 +57,21 @@ Four interchangeable backends ship with the runtime:
   avoided and bytes shipped), and every segment is unlinked on
   ``close()`` / ``terminate_workers()`` / interpreter exit — no
   ``/dev/shm`` leaks.  Supervision, fault injection, and the
-  degradation ladder carry over from the forked pool unchanged.
+  degradation ladder carry over from the forked pool unchanged;
+* :class:`~repro.runtime.fleet.ShardFleet` (``executor="fleet"``) — the
+  **multi-tenant** backend: sessions acquire a
+  :class:`~repro.runtime.fleet.FleetLease` on one process-global
+  supervised worker set (shared-memory inner transport by default)
+  instead of constructing a pool of their own.  Unit window ids are
+  rewritten into per-session namespaces
+  (:func:`~repro.runtime.fleet.namespaced_window`), so the segment
+  registry, worker affinity, and fault targeting key on
+  ``(session_id, window)`` and tenants can never touch each other's
+  snapshots; cross-tenant dispatch is EDF-ordered by each batch's
+  calibrated step budget, with admission control
+  (:class:`~repro.runtime.fleet.FleetConfig`: ``max_sessions``,
+  per-tenant in-flight caps, shed-or-queue) and exact per-tenant
+  ``FaultStats`` / ``RuntimeStats`` attribution.
 
 The window-affinity sharding rule
 ---------------------------------
@@ -114,6 +128,15 @@ from repro.runtime.executor import (
     run_unit_supervised,
 )
 from repro.runtime.shm import ShmShardPool
+from repro.runtime.fleet import (
+    FleetConfig,
+    FleetLease,
+    ShardFleet,
+    namespaced_window,
+    reset_shared_fleet,
+    shared_fleet,
+    split_namespaced,
+)
 from repro.runtime.faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -142,6 +165,13 @@ __all__ = [
     "resolve_executor",
     "resolve_worker_count",
     "run_unit_supervised",
+    "FleetConfig",
+    "FleetLease",
+    "ShardFleet",
+    "namespaced_window",
+    "reset_shared_fleet",
+    "shared_fleet",
+    "split_namespaced",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",

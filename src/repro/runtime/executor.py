@@ -282,6 +282,24 @@ class Executor:
         re-forks them lazily from the current state on the next batch.
         """
 
+    def release_windows(self, windows: Sequence[int]) -> None:
+        """Retire *windows* permanently: their state will never be
+        queried again (a streaming tenant detached).  Backends holding
+        per-window resources (the shared-memory registry) free them
+        here; the default treats retirement as invalidation.
+        """
+        self.invalidate_windows(windows)
+
+    def holds_forked_state(self) -> bool:
+        """True when live workers hold a forked *snapshot* of the shard
+        state — i.e. state objects attached to the shard state **after**
+        the fork are invisible to them until :meth:`reset_workers`.
+        Backends that read live state (serial, thread) and the
+        shared-memory pool in export mode (workers attach segments by
+        name at dispatch time) return False.
+        """
+        return False
+
     @property
     def effective(self) -> str:
         """The backend actually in force (differs under fallback)."""
@@ -879,6 +897,10 @@ class ProcessShardPool(Executor):
             # fresh inbox guarantees the slot restarts clean.
             self._inboxes[slot].close()
             self._inboxes[slot] = self._context.Queue()
+
+    def holds_forked_state(self) -> bool:
+        return self._procs is not None and self._degraded is None \
+            and self._fallback is None
 
     def close(self) -> None:
         if self._degraded is not None:

@@ -148,8 +148,19 @@ class WindowScheduler:
     @property
     def fault_stats(self):
         """The executor's recovery counters (see
-        :class:`repro.runtime.executor.FaultStats`)."""
+        :class:`repro.runtime.executor.FaultStats`).
+
+        Under ``executor="fleet"`` these are the session's *lease*
+        counters — per-tenant attribution, not the fleet-wide totals.
+        """
         return self.executor.fault_stats
+
+    @property
+    def runtime_stats(self):
+        """The executor's data-movement counters (see
+        :class:`repro.runtime.executor.RuntimeStats`); per-tenant under
+        ``executor="fleet"``, like :attr:`fault_stats`."""
+        return self.executor.runtime_stats
 
     def schedule(self, queries: np.ndarray, window_ids: np.ndarray,
                  kind: str, params: Dict[str, Any]) -> List[WorkUnit]:

@@ -190,6 +190,14 @@ class _WindowSegment:
         return (self.name, self.version, self.n_points, self.root)
 
 
+#: Worker-side tree attachments kept per window.  Long-lived fleet
+#: workers see an unbounded stream of per-tenant namespaced windows, so
+#: the cache is bounded: the oldest attachment is closed and re-attached
+#: by name if its window ever dispatches again (retired tenants' never
+#: do, so their mappings are actually released).
+_WORKER_TREE_CACHE_MAX = 256
+
+
 def _worker_tree(cache: Dict[int, tuple], descriptor, window: int
                  ) -> KDTree:
     """Attach (or reuse) the tree a descriptor names, worker-side.
@@ -200,6 +208,17 @@ def _worker_tree(cache: Dict[int, tuple], descriptor, window: int
     """
     name, version, n_points, root = descriptor
     record = cache.get(window)
+    if record is None:
+        while len(cache) >= _WORKER_TREE_CACHE_MAX:
+            evicted = cache.pop(next(iter(cache)))
+            old_seg = evicted[2]
+            # Drop the evicted tree before closing so its buffer views
+            # release the mapping (else close always raises BufferError).
+            del evicted
+            try:
+                old_seg.close()
+            except BufferError:
+                pass
     if record is not None and record[0] == name and record[1] == version:
         return record[3]
     seg = None
@@ -579,6 +598,33 @@ class ShmShardPool(ProcessShardPool):
         slots = {w % self._n_workers for w in touched}
         self.runtime_stats.forks_avoided += sum(
             1 for slot in slots if self._procs[slot] is not None)
+
+    def release_windows(self, windows: Sequence[int]) -> None:
+        """Retire *windows* for good: unlink their segments **now**.
+
+        The fleet's lease-release path — a detached tenant's windows
+        will never be queried again, so keeping their segments live
+        until pool ``close()`` would grow ``/dev/shm`` with tenant
+        churn.  Workers that still cache an attachment merely hold the
+        (now anonymous) pages until their bounded tree cache evicts it.
+        Without an exporting registry this degrades to the inherited
+        invalidation (forked snapshots are dropped slot-wise).
+        """
+        if not self._segments:
+            super().release_windows(windows)
+            return
+        for window in {int(w) for w in windows}:
+            record = self._segments.pop(window, None)
+            if record is not None:
+                self._unlink_one(record)
+            self._stale.discard(window)
+        self.runtime_stats.segments_live = len(self._segments)
+
+    def holds_forked_state(self) -> bool:
+        """Export-mode workers never consult their forked snapshot for
+        exported units — state arrives through named segments staged at
+        dispatch time — so late-attached shard states need no re-fork."""
+        return super().holds_forked_state() and not self._export_active()
 
     # -- segment hygiene ------------------------------------------------
     def _unlink_one(self, record: _WindowSegment) -> None:

@@ -24,6 +24,8 @@ from repro.spatial.neighbors import (
     chunked_range_search,
     knn_search,
     range_search,
+    reset_shared_result_cache,
+    shared_result_cache,
 )
 from repro.spatial.octree import Octree
 from repro.spatial.sorting import (
@@ -55,6 +57,8 @@ __all__ = [
     "chunked_range_search",
     "knn_search",
     "range_search",
+    "reset_shared_result_cache",
+    "shared_result_cache",
     "Octree",
     "SortStats",
     "bitonic_network_comparators",

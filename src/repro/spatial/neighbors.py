@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -108,6 +109,34 @@ def range_search(points: np.ndarray, queries: np.ndarray, radius: float,
 #: stale hits.
 _WINDOW_VERSION_COUNTER = itertools.count()
 
+#: Content-interned versions (shared-cache mode): windows holding
+#: bit-identical coordinates — across *different* indexes, e.g. two
+#: fleet tenants streaming the same scene — resolve to one version, so
+#: one tenant's cached results replay for the other.  Draws numbers
+#: from the same counter as plain allocation, so a content version can
+#: never collide with a per-build one.  Bounded LRU: an evicted digest
+#: re-interns under a fresh version, which only forfeits sharing —
+#: never correctness.
+_CONTENT_VERSION_MAX = 65536
+_CONTENT_VERSIONS: "OrderedDict[bytes, int]" = OrderedDict()
+_CONTENT_VERSION_LOCK = threading.Lock()
+
+
+def _content_version(points: np.ndarray) -> int:
+    """The process-wide version interned for this exact coordinate block."""
+    digest = hashlib.sha1(
+        np.ascontiguousarray(points, dtype=np.float64).tobytes()).digest()
+    with _CONTENT_VERSION_LOCK:
+        version = _CONTENT_VERSIONS.get(digest)
+        if version is None:
+            version = next(_WINDOW_VERSION_COUNTER)
+            _CONTENT_VERSIONS[digest] = version
+            while len(_CONTENT_VERSIONS) > _CONTENT_VERSION_MAX:
+                _CONTENT_VERSIONS.popitem(last=False)
+        else:
+            _CONTENT_VERSIONS.move_to_end(digest)
+        return version
+
 
 class WindowResultCache:
     """LRU cache of per-window batch results, keyed by content version.
@@ -124,19 +153,33 @@ class WindowResultCache:
 
     ``hits`` / ``misses`` count lookups over the cache's lifetime;
     ``max_entries`` bounds memory with least-recently-used eviction.
+    Lookups and stores are thread-safe, so one cache can be shared by
+    every session of a multi-tenant shard fleet
+    (:func:`shared_result_cache`) — keys carry the window *content*
+    version and the query digest, never a session identity, so two
+    tenants streaming the same scene share entries while tenants on
+    different scenes can never collide.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256,
+                 content_addressed: bool = False) -> None:
         if max_entries <= 0:
             raise ValidationError(
                 f"max_entries must be positive, got {max_entries}")
         self.max_entries = int(max_entries)
+        #: True asks indexes this cache is attached to for
+        #: *content-interned* window versions: windows with identical
+        #: coordinates get identical versions across indexes, enabling
+        #: cross-session hits (the shared-cache mode).
+        self.content_addressed = bool(content_addressed)
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def key(version: int, unit: WorkUnit) -> tuple:
@@ -153,23 +196,61 @@ class WindowResultCache:
 
     def lookup(self, key: tuple) -> Optional[BatchQueryResult]:
         """The cached window-local result for *key*, or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: tuple, result: BatchQueryResult) -> None:
         """Insert one window-local result, evicting LRU entries."""
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+
+#: Capacity of the process-global shared result cache.  Sized for many
+#: concurrent tenants: 16x the per-session default of 256.
+SHARED_CACHE_MAX_ENTRIES = 4096
+
+_SHARED_RESULT_CACHE: Optional[WindowResultCache] = None
+_SHARED_RESULT_CACHE_LOCK = threading.Lock()
+
+
+def shared_result_cache() -> WindowResultCache:
+    """The process-global :class:`WindowResultCache`.
+
+    Streaming sessions executing on the multi-tenant shard fleet attach
+    this cache by default (``cache_scope="auto"`` in
+    :class:`repro.core.config.StreamingSessionConfig`): window content
+    versions are process-unique, so sessions streaming identical frames
+    deduplicate traversal work across tenants, bit-exactly.  Created on
+    first use; lives for the interpreter's lifetime.
+    """
+    global _SHARED_RESULT_CACHE
+    with _SHARED_RESULT_CACHE_LOCK:
+        if _SHARED_RESULT_CACHE is None:
+            _SHARED_RESULT_CACHE = WindowResultCache(
+                SHARED_CACHE_MAX_ENTRIES, content_addressed=True)
+        return _SHARED_RESULT_CACHE
+
+
+def reset_shared_result_cache() -> None:
+    """Drop the process-global cache (tests / benchmark hygiene)."""
+    global _SHARED_RESULT_CACHE
+    with _SHARED_RESULT_CACHE_LOCK:
+        if _SHARED_RESULT_CACHE is not None:
+            _SHARED_RESULT_CACHE.clear()
+        _SHARED_RESULT_CACHE = None
 
 
 @dataclass(frozen=True)
@@ -282,6 +363,12 @@ class ChunkedIndex:
         #: Optional :class:`WindowResultCache` consulted per work unit
         #: before dispatch (attached by streaming sessions).
         self.result_cache: Optional[WindowResultCache] = None
+        #: Cache lookups *this index* performed, split hit/miss.  The
+        #: attached cache may be shared across sessions (fleet mode), so
+        #: its own ``hits`` / ``misses`` aggregate every tenant — these
+        #: counters are the per-tenant attribution.
+        self.cache_hits = 0
+        self.cache_misses = 0
         #: Trees carried over by the last :meth:`update_frame` call.
         self.last_reused_trees = 0
         #: Windows left untouched / rebuilt by the last frame ingest.
@@ -327,8 +414,22 @@ class ChunkedIndex:
         self._window_lut_cache = window_lut
         self._members_cache = members_per_window
         self._trees_cache = trees
-        self._versions_cache = [next(_WINDOW_VERSION_COUNTER)
-                                for _ in self.windows]
+        self._versions_cache = [self._next_version(members)
+                                for members in members_per_window]
+
+    def _next_version(self, members: np.ndarray) -> int:
+        """A content version for the window holding *members*.
+
+        Counter-allocated normally (unique per build — free); interned
+        by coordinate digest when the attached cache is content
+        addressed, so identical windows of different sessions share
+        cache entries.
+        """
+        cache = self.result_cache
+        if cache is not None and getattr(cache, "content_addressed",
+                                         False):
+            return _content_version(self.positions[members])
+        return next(_WINDOW_VERSION_COUNTER)
 
     @property
     def _window_of_chunk(self) -> Dict[int, tuple]:
@@ -477,14 +578,14 @@ class ChunkedIndex:
                 points = positions[members]
                 if not len(points):
                     new_trees.append(None)
-                    new_versions.append(next(_WINDOW_VERSION_COUNTER))
+                    new_versions.append(self._next_version(members))
                     continue
                 source = self._probe_reuse(points, widx, old_trees)
                 if source is not None:
                     new_trees.append(old_trees[source])
                     new_versions.append(old_versions[source])
                     continue
-                new_versions.append(next(_WINDOW_VERSION_COUNTER))
+                new_versions.append(self._next_version(members))
                 if self.pipeline_repair:
                     # Placeholder now; the build lands via _tree_for /
                     # finish_windows, overlapping clean-window queries.
@@ -790,8 +891,10 @@ class ChunkedIndex:
                     key = cache.key(self._versions[unit.window], unit)
                     local = cache.lookup(key)
                     if local is not None:
+                        self.cache_hits += 1
                         outcomes[op_idx][unit_idx] = (unit, local)
                         continue
+                    self.cache_misses += 1
                 to_run.append(unit)
                 slots.append((op_idx, unit_idx, key))
         if to_run:

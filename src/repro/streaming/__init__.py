@@ -7,6 +7,12 @@ profiled deadline, and (when chunk occupancy is stable) the chunk→window
 tables warm across frames.  See :mod:`repro.streaming.session` for the
 reuse contract and :class:`~repro.core.config.StreamingSessionConfig`
 for the knobs.
+
+:class:`StreamService` is the multi-tenant front-end: an asyncio
+ingest surface holding one session per client, all executing on one
+process-global :class:`~repro.runtime.fleet.ShardFleet` with per-tenant
+frame ordering, bounded-pending backpressure, and admission control
+(:mod:`repro.streaming.service`).
 """
 
 from repro.streaming.plan import (
@@ -19,6 +25,10 @@ from repro.streaming.session import (
     SessionStats,
     StreamSession,
 )
+from repro.streaming.service import (
+    ServiceStats,
+    StreamService,
+)
 
 __all__ = [
     "FramePlan",
@@ -27,4 +37,6 @@ __all__ = [
     "FrameResult",
     "SessionStats",
     "StreamSession",
+    "ServiceStats",
+    "StreamService",
 ]

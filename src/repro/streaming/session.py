@@ -74,6 +74,7 @@ from repro.spatial.neighbors import (
     ChunkedIndex,
     WindowResultCache,
     WindowedOp,
+    shared_result_cache,
 )
 from repro.streaming.plan import FramePlan, PlanResult
 
@@ -163,8 +164,10 @@ class SessionStats:
     dirty-window split (clean windows kept their kd-trees;
     ``trees_reused`` counts the dirty windows that rotation-reuse
     covered instead of a rebuild).  ``cache_hits`` / ``cache_misses``
-    mirror the cross-frame result cache's lifetime counters — every
-    per-window work unit the session replayed versus executed.
+    count every per-window work unit *this session* replayed versus
+    executed — per-session attribution even when the attached result
+    cache is the process-global shared one (fleet sessions by
+    default), whose own lifetime counters aggregate every tenant.
 
     Fault accounting: ``retries`` / ``respawns`` / ``timeouts`` /
     ``degradations`` total the runtime's recovery work
@@ -254,9 +257,31 @@ class StreamSession:
         #: on absolute frame-id multiples).
         self._since_calibration = 0
         self._result_cache: Optional[WindowResultCache] = None
+        #: True when the cache is session-private (created here, cleared
+        #: on close); False for the process-global shared cache, which
+        #: other tenants may still be using.
+        self._owns_cache = False
         if self.session_config.result_cache:
-            self._result_cache = WindowResultCache(
-                self.session_config.cache_max_entries)
+            scope = self.session_config.cache_scope
+            if scope == "auto":
+                scope = "shared" if self._uses_fleet() else "session"
+            if scope == "shared":
+                self._result_cache = shared_result_cache()
+            else:
+                self._result_cache = WindowResultCache(
+                    self.session_config.cache_max_entries)
+                self._owns_cache = True
+
+    def _uses_fleet(self) -> bool:
+        """True when the executor knob targets the multi-tenant fleet
+        (the ``cache_scope="auto"`` trigger for the shared cache)."""
+        spec = self.config.executor
+        if isinstance(spec, str):
+            return spec == "fleet"
+        if getattr(spec, "is_fleet", False):
+            return True
+        # e.g. a FaultInjector.executor("fleet") factory.
+        return getattr(spec, "backend", None) == "fleet"
 
     # ------------------------------------------------------------------
     @property
@@ -287,15 +312,21 @@ class StreamSession:
     def close(self) -> None:
         """Shut down the session's index, workers, and cached results.
 
-        The attached :class:`~repro.spatial.neighbors.WindowResultCache`
+        A session-private :class:`~repro.spatial.neighbors.WindowResultCache`
         is cleared so a closed session releases its cached result
         arrays (its lifetime hit/miss counters survive for
-        :class:`SessionStats`).  Idempotent.
+        :class:`SessionStats`); the process-global shared cache
+        (``cache_scope="shared"``, fleet sessions by default) is left
+        intact — other tenants' entries live there too.  Closing the
+        index releases the session's executor — under ``"fleet"`` its
+        :class:`~repro.runtime.fleet.FleetLease`, exactly once, leaving
+        every other tenant's lease and worker state untouched.
+        Idempotent.
         """
         if self._index is not None:
             self._index.close()
             self._index = None
-        if self._result_cache is not None:
+        if self._result_cache is not None and self._owns_cache:
             self._result_cache.clear()
         self._grid = None
         self._closed = True
@@ -370,6 +401,7 @@ class StreamSession:
         checkpoint = self._checkpoint()
         fault_obj, fault_before = self._fault_state()
         rt_obj, rt_before = self._runtime_state()
+        cache_obj, cache_before = self._cache_state()
         try:
             positions, grid, assignment, windows = partition_cloud(
                 positions, self.config.splitting)
@@ -389,6 +421,7 @@ class StreamSession:
             retries, respawns, timeouts, degradations = \
                 self._absorb_faults(fault_obj, fault_before)
             self._absorb_runtime(rt_obj, rt_before)
+            self._absorb_cache(cache_obj, cache_before)
             self._rollback(checkpoint)
             self.stats.rollbacks += 1
             if isinstance(exc, ValidationError):
@@ -425,9 +458,7 @@ class StreamSession:
         self.stats.trees_reused += index.last_reused_trees
         self.stats.windows_clean += index.last_clean_windows
         self.stats.windows_rebuilt += frame.rebuilt_windows
-        if self._result_cache is not None:
-            self.stats.cache_hits = self._result_cache.hits
-            self.stats.cache_misses = self._result_cache.misses
+        self._absorb_cache(cache_obj, cache_before)
         return frame
 
     def query(self, plan: Optional[FramePlan] = None,
@@ -453,18 +484,13 @@ class StreamSession:
         deadline: Optional[int] = None
         if self.config.use_termination:
             deadline = self.policy.deadline
-        cache = self._index.result_cache
-        before = (cache.hits, cache.misses) if cache is not None \
-            else (0, 0)
+        cache_obj, cache_before = self._cache_state()
         fault_obj, fault_before = self._fault_state()
         op_results = self._run_plan(plan, blocks, deadline)
         self._absorb_faults(fault_obj, fault_before)
-        hits, misses = 0, 0
-        if cache is not None:
-            hits = cache.hits - before[0]
-            misses = cache.misses - before[1]
-            self.stats.cache_hits = cache.hits
-            self.stats.cache_misses = cache.misses
+        # Per-call attribution reads the *index's* lookup counters, not
+        # the cache's own — a shared cache aggregates every tenant.
+        hits, misses = self._absorb_cache(cache_obj, cache_before)
         return PlanResult(frame_id=self._frame_id - 1, deadline=deadline,
                           op_results=op_results, cache_hits=hits,
                           cache_misses=misses)
@@ -584,7 +610,7 @@ class StreamSession:
         index = self._index
         if index is None or index._scheduler is None:
             return None, None
-        stats = index._scheduler.executor.runtime_stats
+        stats = index._scheduler.runtime_stats
         return stats, stats.snapshot()
 
     def _absorb_runtime(self, before_obj, before_snap) -> Dict[str, Any]:
@@ -604,6 +630,35 @@ class StreamSession:
         self.stats.overlap_windows += delta["overlap_windows"]
         self.stats.queue_fallback_units += delta["queue_fallback_units"]
         self.stats.segments_live = delta["segments_live"]
+        return delta
+
+    def _cache_state(self):
+        """The live index's cache-lookup counters + their snapshot.
+
+        The result-cache sibling of :meth:`_fault_state`, with the same
+        identity-compare contract.  Counters live on the *index*
+        (:attr:`~repro.spatial.neighbors.ChunkedIndex.cache_hits`), not
+        the cache — a shared cache's own counters aggregate every
+        tenant, while the index's count only this session's lookups.
+        """
+        index = self._index
+        if index is None:
+            return None, (0, 0)
+        return index, (index.cache_hits, index.cache_misses)
+
+    def _absorb_cache(self, before_obj, before_snap) -> tuple:
+        """Fold this session's cache lookups since *before_snap* into
+        :attr:`stats`; returns the ``(hits, misses)`` delta."""
+        index = self._index
+        if index is None:
+            return (0, 0)
+        now = (index.cache_hits, index.cache_misses)
+        if index is not before_obj:
+            delta = now
+        else:
+            delta = (now[0] - before_snap[0], now[1] - before_snap[1])
+        self.stats.cache_hits += delta[0]
+        self.stats.cache_misses += delta[1]
         return delta
 
     def _quarantined_frame(self, plan: FramePlan,
