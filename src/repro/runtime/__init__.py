@@ -32,7 +32,30 @@ that implements:
   with dirty-window tracking use this so clean windows' workers stay
   warm across frames;
 * ``name`` / ``effective`` — the requested backend name and the backend
-  actually in force (they differ when a backend had to fall back).
+  actually in force (they differ when a backend had to fall back);
+* ``fusion_slot(window) -> Optional[int]`` — arena-fusion eligibility:
+  the dispatch slot *window*'s units run on.  The scheduler fuses
+  compatible per-window units into one multi-window
+  :class:`~repro.spatial.kdtree.TraversalArena` launch only when their
+  windows share a slot, so fused units respect worker affinity and
+  per-slot invalidation exactly like per-window ones.  ``None`` (the
+  base default) opts a backend out of fusion.
+
+Arena fusion (one lockstep launch per batch)
+--------------------------------------------
+The scheduler's window-grouped dispatch fuses compatible per-window
+units — same kind and parameters, untraced, resolving to the traverse
+engine — into single ``fused_knn`` / ``fused_range`` units whose
+queries run as *lanes* of one lockstep traversal over the concatenated
+node arrays of all member windows.  The interpreter's fixed numpy cost
+per traversal iteration is paid once per fused batch instead of once
+per window, which is the paper's parallel traversal-unit dispatch
+amortized in software.  Results are scattered back per member before
+anyone above the scheduler sees them, and are **bit-equal** to
+per-window dispatch on every backend; the result cache, retry/ticket
+supervision and pipelined-repair barriers are untouched.
+:class:`~repro.runtime.executor.RuntimeStats` counts
+``arena_launches`` / ``arena_units_fused`` / ``arena_bytes_viewed``.
 
 Five interchangeable backends ship with the runtime:
 
@@ -148,6 +171,8 @@ from repro.runtime.scheduler import (
     SingleWindowState,
     WeakShardState,
     WindowScheduler,
+    fusion_signature,
+    run_fused_unit,
     run_tree_unit,
 )
 
@@ -180,5 +205,7 @@ __all__ = [
     "SingleWindowState",
     "WeakShardState",
     "WindowScheduler",
+    "fusion_signature",
+    "run_fused_unit",
     "run_tree_unit",
 ]

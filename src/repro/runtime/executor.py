@@ -139,9 +139,16 @@ class RuntimeStats:
       execution of clean-window units (pipelined plan execution).
     - ``queue_fallback_units`` — units whose results rode the pickle
       queue because no shared output reservation fit (traced units,
-      uncapped range queries).
+      uncapped range queries, fused arena units).
     - ``bucket_sizes`` — histogram ``{group size: rows}`` of bucketed
       group batches (skew visibility for the grouping hot path).
+    - ``arena_launches`` — fused arena traversals launched by the
+      scheduler (each replaces ``group size`` per-window launches).
+    - ``arena_units_fused`` — histogram ``{group size: launches}`` of
+      arena fusion (the companion of ``bucket_sizes`` for the
+      multi-window traversal arena).
+    - ``arena_bytes_viewed`` — packed node bytes the fused launches
+      viewed (window tree bytes, counted once per launch per member).
     """
 
     state_bytes_shipped: int = 0
@@ -150,6 +157,9 @@ class RuntimeStats:
     overlap_windows: int = 0
     queue_fallback_units: int = 0
     bucket_sizes: Dict[int, int] = field(default_factory=dict)
+    arena_launches: int = 0
+    arena_units_fused: Dict[int, int] = field(default_factory=dict)
+    arena_bytes_viewed: int = 0
 
     def record_buckets(self, histogram: Dict[int, int]) -> None:
         """Merge one batch's ``{group size: rows}`` histogram."""
@@ -157,6 +167,20 @@ class RuntimeStats:
             key = int(size)
             self.bucket_sizes[key] = self.bucket_sizes.get(key, 0) \
                 + int(rows)
+
+    def record_fusion(self, group_size: int, bytes_viewed: int = 0) -> None:
+        """Account one arena launch fusing *group_size* units."""
+        self.arena_launches += 1
+        key = int(group_size)
+        self.arena_units_fused[key] = self.arena_units_fused.get(key, 0) + 1
+        self.arena_bytes_viewed += int(bytes_viewed)
+
+    def record_fused_sizes(self, histogram: Dict[int, int]) -> None:
+        """Merge an ``{group size: launches}`` fusion histogram."""
+        for size, launches in histogram.items():
+            key = int(size)
+            self.arena_units_fused[key] = \
+                self.arena_units_fused.get(key, 0) + int(launches)
 
     def snapshot(self) -> Dict[str, Any]:
         """A value snapshot for per-frame delta accounting."""
@@ -167,6 +191,9 @@ class RuntimeStats:
             "overlap_windows": self.overlap_windows,
             "queue_fallback_units": self.queue_fallback_units,
             "bucket_sizes": dict(self.bucket_sizes),
+            "arena_launches": self.arena_launches,
+            "arena_units_fused": dict(self.arena_units_fused),
+            "arena_bytes_viewed": self.arena_bytes_viewed,
         }
 
     @staticmethod
@@ -174,21 +201,23 @@ class RuntimeStats:
         """Per-frame view between two :meth:`snapshot` values.
 
         Counters are differenced; ``segments_live`` is a gauge and
-        reports the current level; ``bucket_sizes`` is differenced per
-        group size (sizes whose row count did not grow are omitted).
+        reports the current level; the two histograms are differenced
+        per group size (sizes whose count did not grow are omitted).
         """
         out: Dict[str, Any] = {}
         for key in ("state_bytes_shipped", "forks_avoided",
-                    "overlap_windows", "queue_fallback_units"):
+                    "overlap_windows", "queue_fallback_units",
+                    "arena_launches", "arena_bytes_viewed"):
             out[key] = int(new[key]) - int(old[key])
         out["segments_live"] = int(new["segments_live"])
-        old_buckets = old.get("bucket_sizes", {})
-        buckets = {}
-        for size, rows in new.get("bucket_sizes", {}).items():
-            grown = int(rows) - int(old_buckets.get(size, 0))
-            if grown > 0:
-                buckets[int(size)] = grown
-        out["bucket_sizes"] = buckets
+        for key in ("bucket_sizes", "arena_units_fused"):
+            old_hist = old.get(key, {})
+            hist = {}
+            for size, value in new.get(key, {}).items():
+                grown = int(value) - int(old_hist.get(size, 0))
+                if grown > 0:
+                    hist[int(size)] = grown
+            out[key] = hist
         return out
 
 
@@ -300,6 +329,20 @@ class Executor:
         """
         return False
 
+    def fusion_slot(self, window: int) -> Optional[int]:
+        """Arena-fusion eligibility: the dispatch slot *window* runs on.
+
+        The scheduler may fuse compatible per-window units into one
+        arena unit only when their windows report the **same** slot: a
+        fused unit is dispatched — and its state invalidated — as a
+        single unit pinned to its first member's window, so windows
+        that live on different worker slots must never share one.
+        ``None`` opts the backend out of fusion entirely; the default
+        is conservative because the base class cannot know the
+        backend's affinity scheme.
+        """
+        return None
+
     @property
     def effective(self) -> str:
         """The backend actually in force (differs under fallback)."""
@@ -326,6 +369,10 @@ class SerialExecutor(Executor):
         return [run_unit_supervised(self._state, unit, self.supervision,
                                     self.fault_stats)
                 for unit in units]
+
+    def fusion_slot(self, window: int) -> Optional[int]:
+        """Everything runs inline — one slot, maximal fusion."""
+        return 0
 
 
 class ThreadExecutor(Executor):
@@ -443,6 +490,14 @@ class ThreadExecutor(Executor):
                     results[j] = value
                 break
         return results
+
+    def fusion_slot(self, window: int) -> Optional[int]:
+        """Threads read live state, so any grouping is *correct*; fuse
+        per worker-count stripes to keep pool parallelism while still
+        amortizing the per-window launch cost within each stripe."""
+        if self._degraded is not None or self._n_workers <= 1:
+            return 0
+        return int(window) % self._n_workers
 
     def close(self) -> None:
         if self._pool is not None:
@@ -901,6 +956,17 @@ class ProcessShardPool(Executor):
     def holds_forked_state(self) -> bool:
         return self._procs is not None and self._degraded is None \
             and self._fallback is None
+
+    def fusion_slot(self, window: int) -> Optional[int]:
+        """Window affinity is ``window % n_workers``; fusing within one
+        affinity stripe keeps every window's units on its pinned slot,
+        so per-slot invalidation and the ticket protocol see fused
+        units exactly like per-window ones."""
+        if self._degraded is not None:
+            return self._degraded.fusion_slot(window)
+        if self._fallback is not None:
+            return self._fallback.fusion_slot(window)
+        return int(window) % self._n_workers
 
     def close(self) -> None:
         if self._degraded is not None:

@@ -92,7 +92,13 @@ class FaultSpec:
                 f"duration must be non-negative, got {self.duration}")
 
     def matches(self, unit) -> bool:
-        return self.window is None or unit.window == self.window
+        if self.window is None or unit.window == self.window:
+            return True
+        # A fused arena unit serves every member window it carries: a
+        # fault targeting any member hits the whole launch (and its
+        # retry re-runs the whole launch, bit-safe).
+        members = unit.params.get("windows")
+        return members is not None and self.window in members
 
     def fires(self, count: int) -> bool:
         """Whether the rule fires on the *count*-th matching unit."""

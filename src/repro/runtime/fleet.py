@@ -191,6 +191,15 @@ class _FleetState:
 
     def run_unit(self, unit: WorkUnit):
         state, window = self._route(int(unit.window))
+        if unit.kind in ("fused_knn", "fused_range"):
+            # Fused arena units carry every member window in params;
+            # denamespace them alongside the primary window so the
+            # tenant state sees only its local ids.
+            params = dict(unit.params)
+            params["windows"] = tuple(
+                split_namespaced(int(w))[1] for w in params["windows"])
+            return state.run_unit(
+                _replace_unit(unit, window=window, params=params))
         return state.run_unit(_replace_unit(unit, window=window))
 
     def window_is_empty(self, ns_window: int) -> bool:
@@ -255,8 +264,17 @@ class FleetLease(Executor):
         for unit in units:
             window = int(unit.window)
             self._windows.add(window)
-            ns_units.append(
-                _replace_unit(unit, window=self.namespaced(window)))
+            if unit.kind in ("fused_knn", "fused_range"):
+                members = [int(w) for w in unit.params["windows"]]
+                self._windows.update(members)
+                params = dict(unit.params)
+                params["windows"] = tuple(
+                    self.namespaced(w) for w in members)
+                ns_units.append(_replace_unit(
+                    unit, window=self.namespaced(window), params=params))
+            else:
+                ns_units.append(
+                    _replace_unit(unit, window=self.namespaced(window)))
             cap = unit.params.get("max_steps")
             if cap is not None:
                 deadline = min(deadline, float(cap))
@@ -282,6 +300,17 @@ class FleetLease(Executor):
             return
         self._fleet._release_windows(self, [int(w) for w in windows])
         self._windows.difference_update(int(w) for w in windows)
+
+    def fusion_slot(self, window: int) -> Optional[int]:
+        """Arena-fusion slot: the inner backend's slot for this
+        tenant's namespaced window, so fused groups respect the same
+        worker affinity as the inner transport."""
+        if self._released:
+            return None
+        fleet = self._fleet
+        with fleet._cond:
+            inner = fleet._inner_executor()
+        return inner.fusion_slot(self.namespaced(window))
 
     def close(self) -> None:
         self._fleet.release(self)
@@ -570,6 +599,9 @@ class ShardFleet:
         runtime.queue_fallback_units += delta["queue_fallback_units"]
         runtime.segments_live = delta["segments_live"]
         runtime.record_buckets(delta["bucket_sizes"])
+        runtime.arena_launches += delta["arena_launches"]
+        runtime.arena_bytes_viewed += delta["arena_bytes_viewed"]
+        runtime.record_fused_sizes(delta["arena_units_fused"])
 
     def _invalidate(self, lease: FleetLease,
                     windows: Sequence[int]) -> None:

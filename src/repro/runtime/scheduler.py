@@ -17,6 +17,15 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.runtime.executor import Executor, WorkUnit, resolve_executor
+from repro.spatial.kdtree import TraversalArena
+
+#: Packed bytes per arena node — 24 (xyz) + 8 (left) + 8 (right) +
+#: 8 (point index) + 1 (axis); mirrors
+#: :func:`repro.runtime.shm._tree_layout`.
+_ARENA_NODE_BYTES = 49
+
+#: Fusable per-window unit kinds and their fused arena counterparts.
+_FUSED_KIND = {"knn": "fused_knn", "range": "fused_range"}
 
 
 class WeakShardState:
@@ -77,6 +86,12 @@ class WeakShardState:
         if finish is not None:
             finish(windows)
 
+    def window_size(self, window: int) -> int:
+        """Node count of *window*'s tree (0 when the target does not
+        report sizes) — arena-bytes accounting only."""
+        size = getattr(self._state(), "window_size", None)
+        return int(size(window)) if size is not None else 0
+
 
 def run_tree_unit(tree, unit: WorkUnit):
     """Execute one work unit against a kd-tree (the standard kernel).
@@ -102,6 +117,58 @@ def run_tree_unit(tree, unit: WorkUnit):
     raise ValidationError(f"unknown work-unit kind {unit.kind!r}")
 
 
+def run_fused_unit(trees, unit: WorkUnit):
+    """Execute one fused arena unit against its member windows' trees.
+
+    *trees* holds one kd-tree per entry of ``unit.params["windows"]``
+    (in order); the unit's query block is partitioned by
+    ``unit.params["splits"]``.  Returns one
+    :class:`~repro.spatial.kdtree.BatchQueryResult` per member window,
+    bit-equal to running each member's per-window unit on its own tree.
+    """
+    params = unit.params
+    splits = params["splits"]
+    if unit.kind == "fused_knn":
+        arena = TraversalArena(trees)
+        return arena.knn_fused(unit.queries, splits, params["k"],
+                               max_steps=params.get("max_steps"))
+    if unit.kind == "fused_range":
+        arena = TraversalArena(trees)
+        return arena.range_fused(unit.queries, splits, params["radius"],
+                                 params.get("max_steps"),
+                                 max_results=params.get("max_results"))
+    raise ValidationError(f"unknown fused work-unit kind {unit.kind!r}")
+
+
+def fusion_signature(unit: WorkUnit):
+    """Hashable compatibility key, or ``None`` when *unit* must not fuse.
+
+    Units fuse only when an arena traversal is provably bit-equal to
+    their per-window engine resolution: untraced kNN / range units that
+    resolve to the ``"traverse"`` engine on every tree.  Capped units
+    under ``engine="auto"`` always resolve to traverse; uncapped kNN
+    only under an explicit ``engine="traverse"`` (uncapped auto may
+    pick the per-tree scan), and uncapped range units never fuse (their
+    hit buffers are unbounded).  The key folds in the full parameter
+    set, so fused members share k / radius / cap / max_results exactly.
+    """
+    if unit.kind not in _FUSED_KIND:
+        return None
+    params = unit.params
+    if params.get("record_traces"):
+        return None
+    engine = params.get("engine", "auto")
+    if engine not in ("auto", "traverse"):
+        return None
+    if params.get("max_steps") is None:
+        if unit.kind == "range" or engine != "traverse":
+            return None
+    try:
+        return (unit.kind, tuple(sorted(params.items())))
+    except TypeError:
+        return None
+
+
 class SingleWindowState:
     """Adapter presenting one kd-tree as a single-window shard state.
 
@@ -117,7 +184,13 @@ class SingleWindowState:
         return False
 
     def run_unit(self, unit: WorkUnit):
+        if unit.kind in ("fused_knn", "fused_range"):
+            trees = [self.tree for _ in unit.params["windows"]]
+            return run_fused_unit(trees, unit)
         return run_tree_unit(self.tree, unit)
+
+    def window_size(self, window: int) -> int:
+        return len(self.tree)
 
     def supports_shm_export(self) -> bool:
         return True
@@ -136,12 +209,22 @@ class WindowScheduler:
     emitted in ascending window order and results come back in unit
     order, so scattering by ``unit.rows`` reassembles the batch in input
     order regardless of backend.
+
+    With ``fusion`` on (the default), the window-grouped dispatch path
+    (:meth:`execute_by_window` / :meth:`run_ops`) fuses compatible
+    per-window units that share an executor dispatch slot into single
+    multi-window **arena** units (see
+    :class:`~repro.spatial.kdtree.TraversalArena`) and scatters the
+    per-member results back, so callers — and the result cache, fault
+    supervision and repair barriers above them — observe exactly the
+    per-window units they submitted.
     """
 
     def __init__(self, state, executor="serial",
                  n_workers: Optional[int] = None,
-                 supervision=None) -> None:
+                 supervision=None, fusion: bool = True) -> None:
         self.state = state
+        self.fusion = bool(fusion)
         self.executor: Executor = resolve_executor(executor, state,
                                                    n_workers, supervision)
 
@@ -231,14 +314,95 @@ class WindowScheduler:
 
     def _run_sorted(self, units: Sequence[WorkUnit]) -> List[Any]:
         """One executor dispatch in ascending-window order, scattered
-        back to the given unit order."""
+        back to the given unit order (fusing compatible units into
+        arena launches on the way down, invisibly to the caller)."""
         order = sorted(range(len(units)),
                        key=lambda i: (units[i].window, i))
-        executed = self.executor.run([units[i] for i in order])
+        dispatch, plan = self._fuse_units([units[i] for i in order])
+        executed = self.executor.run(dispatch)
+        if plan is not None:
+            unfused: List[Any] = [None] * len(order)
+            for positions, result in zip(plan, executed):
+                if len(positions) == 1:
+                    unfused[positions[0]] = result
+                else:
+                    for pos, member_result in zip(positions, result):
+                        unfused[pos] = member_result
+            executed = unfused
         results: List[Any] = [None] * len(units)
         for i, result in zip(order, executed):
             results[i] = result
         return results
+
+    def _fuse_units(self, units: Sequence[WorkUnit]):
+        """Greedily fuse compatible same-slot units into arena units.
+
+        Returns ``(dispatch, plan)``: the unit list to hand the
+        executor, and — when anything fused — one entry per dispatch
+        unit listing the input positions it serves (``plan is None``
+        means dispatch is the input, unchanged).  A fused unit sits at
+        its first member's position, so the dispatch list stays in
+        ascending-window order; its ``window`` is that first member's,
+        keeping slot affinity, fault targeting and the ticket protocol
+        byte-compatible with per-window dispatch.
+        """
+        if not self.fusion or len(units) < 2:
+            return list(units), None
+        keys: List[Any] = []
+        groups: Dict[Any, List[int]] = {}
+        for i, unit in enumerate(units):
+            key = None
+            signature = fusion_signature(unit)
+            if signature is not None:
+                slot = self.executor.fusion_slot(int(unit.window))
+                if slot is not None:
+                    key = (slot, signature)
+            keys.append(key)
+            if key is not None:
+                groups.setdefault(key, []).append(i)
+        fused_groups = {key: members for key, members in groups.items()
+                        if len(members) >= 2}
+        if not fused_groups:
+            return list(units), None
+        dispatch: List[WorkUnit] = []
+        plan: List[List[int]] = []
+        for i, unit in enumerate(units):
+            key = keys[i]
+            if key not in fused_groups:
+                dispatch.append(unit)
+                plan.append([i])
+                continue
+            members = fused_groups[key]
+            if i != members[0]:
+                continue  # folded into the group's first position
+            dispatch.append(self._build_fused([units[j]
+                                               for j in members]))
+            plan.append(list(members))
+        return dispatch, plan
+
+    def _build_fused(self, members: Sequence[WorkUnit]) -> WorkUnit:
+        """One arena unit covering *members* (same kind and params)."""
+        first = members[0]
+        params = dict(first.params)
+        params["windows"] = tuple(int(unit.window) for unit in members)
+        params["splits"] = tuple(len(unit.queries) for unit in members)
+        queries = np.concatenate([unit.queries for unit in members])
+        rows = np.concatenate([unit.rows for unit in members])
+        self._account_fusion(members)
+        return WorkUnit(first.window, rows, _FUSED_KIND[first.kind],
+                        queries, params)
+
+    def _account_fusion(self, members: Sequence[WorkUnit]) -> None:
+        stats = self.executor.runtime_stats
+        nodes = 0
+        size_of = getattr(self.state, "window_size", None)
+        if size_of is not None:
+            try:
+                nodes = sum(int(size_of(int(unit.window)))
+                            for unit in members)
+            except Exception:
+                nodes = 0
+        stats.record_fusion(len(members), nodes * _ARENA_NODE_BYTES)
 
     def _pending_windows(self):
         pending = getattr(self.state, "pending_windows", None)

@@ -164,7 +164,9 @@ def _result_views(buf, base: int, n_rows: int, width: int):
 def _unit_output_width(unit: WorkUnit, n_points: int) -> Optional[int]:
     """Deterministic result width of *unit* on an ``n_points`` tree,
     or ``None`` when the result cannot ride a preallocated buffer
-    (traced units, uncapped range queries)."""
+    (traced units, uncapped range queries, fused arena units)."""
+    if unit.kind not in ("knn", "range"):
+        return None
     if unit.params.get("record_traces"):
         return None
     if unit.kind == "knn":
@@ -246,6 +248,14 @@ def _worker_tree(cache: Dict[int, tuple], descriptor, window: int
     return tree
 
 
+def _fused_windows(unit_kind: str, params) -> Optional[Tuple[int, ...]]:
+    """Member windows of a fused arena unit, or ``None`` for plain
+    units (which carry exactly one window in ``unit.window``)."""
+    if unit_kind in ("fused_knn", "fused_range"):
+        return tuple(int(w) for w in params["windows"])
+    return None
+
+
 def _run_shm_unit(trees, injector, attach_batch, payload):
     """Execute one shared-memory unit descriptor; returns the success
     payload for the outbox (``_SHM_RESULT`` or the full result).
@@ -253,9 +263,28 @@ def _run_shm_unit(trees, injector, attach_batch, payload):
     All buffer views live only inside this frame, so batch-segment
     attachments are safe to evict once the call returns.
     """
-    from repro.runtime.scheduler import run_tree_unit
+    from repro.runtime.scheduler import run_fused_unit, run_tree_unit
 
     (_tag, window, kind, params, tree_desc, in_desc, out_spec) = payload
+    members = _fused_windows(kind, params)
+    if members is not None:
+        # Fused arena unit: rebuild every member window's tree from its
+        # segment (descriptors ship in member order) and run the whole
+        # arena traversal worker-side; the list result rides the pickle
+        # queue (out_spec is always None for fused kinds).
+        member_trees = [_worker_tree(trees, desc, w)
+                        for desc, w in zip(tree_desc, members)]
+        in_name, q_off, rows_off, n_rows = in_desc
+        in_seg = attach_batch(in_name)
+        queries = np.ndarray((n_rows, 3), dtype=np.float64,
+                             buffer=in_seg.buf, offset=q_off)
+        rows = np.ndarray((n_rows,), dtype=np.int64,
+                          buffer=in_seg.buf, offset=rows_off)
+        unit = WorkUnit(window=window, rows=rows, kind=kind,
+                        queries=queries, params=params)
+        if injector is not None:
+            injector.before_unit(unit)
+        return run_fused_unit(member_trees, unit)
     tree = _worker_tree(trees, tree_desc, window)
     in_name, q_off, rows_off, n_rows = in_desc
     in_seg = attach_batch(in_name)
@@ -445,9 +474,11 @@ class ShmShardPool(ProcessShardPool):
         stats = self.runtime_stats
         segments: Dict[int, _WindowSegment] = {}
         for unit in units:
-            window = int(unit.window)
-            if window not in segments:
-                segments[window] = self._export_window(window)
+            members = _fused_windows(unit.kind, unit.params)
+            for window in (members if members is not None
+                           else (int(unit.window),)):
+                if window not in segments:
+                    segments[window] = self._export_window(window)
 
         in_bytes = 0
         in_offsets = []
@@ -492,9 +523,14 @@ class ShmShardPool(ProcessShardPool):
                 base, width = out_specs[seq]
                 out_spec = (self._batch_out.name, base, width)
                 self._out_slots[seq] = (base, n_rows, width)
+            members = _fused_windows(unit.kind, unit.params)
+            if members is not None:
+                tree_desc = tuple(segments[w].descriptor for w in members)
+            else:
+                tree_desc = segments[int(unit.window)].descriptor
             self._shm_msgs[seq] = (
                 _SHM_UNIT, int(unit.window), unit.kind, dict(unit.params),
-                segments[int(unit.window)].descriptor,
+                tree_desc,
                 (self._batch_in.name, q_off, rows_off, n_rows),
                 out_spec)
 

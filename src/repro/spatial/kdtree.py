@@ -44,8 +44,9 @@ termination always runs a real traversal.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -56,12 +57,83 @@ _INF = float("inf")
 # A full scan beats the Python traversal loop comfortably until the
 # O(N log N) per-query sort dominates; beyond this point count the
 # traversal engine takes over.
-_SCAN_MAX_POINTS = 262_144
+_DEFAULT_SCAN_MAX_POINTS = 262_144
 # Pairwise-distance blocks are capped at ~4M float64 entries (~32 MB).
-_SCAN_BLOCK_ELEMS = 1 << 22
+_DEFAULT_SCAN_BLOCK_ELEMS = 1 << 22
+
+
+def _positive_int(name: str, value) -> int:
+    if isinstance(value, (bool, float)):
+        raise ValidationError(
+            f"{name} must be a positive integer, got {value!r}")
+    try:
+        parsed = int(value)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"{name} must be a positive integer, got {value!r}") from None
+    if parsed <= 0:
+        raise ValidationError(
+            f"{name} must be a positive integer, got {value!r}")
+    return parsed
+
+
+def _env_tuning(env: str, default: int) -> int:
+    raw = os.environ.get(env)
+    if raw is None:
+        return default
+    return _positive_int(env, raw)
+
+
+# Live engine crossovers.  Initialised from the environment
+# (REPRO_SCAN_MAX_POINTS / REPRO_SCAN_BLOCK_ELEMS) and adjustable per
+# process through :func:`set_engine_tuning` — e.g. from
+# ``StreamGridConfig(scan_max_points=..., scan_block_elems=...)``.
+_SCAN_MAX_POINTS = _env_tuning("REPRO_SCAN_MAX_POINTS",
+                               _DEFAULT_SCAN_MAX_POINTS)
+_SCAN_BLOCK_ELEMS = _env_tuning("REPRO_SCAN_BLOCK_ELEMS",
+                                _DEFAULT_SCAN_BLOCK_ELEMS)
 # The lockstep engine pays a fixed numpy cost per traversal iteration;
 # below this many queries the scalar kernel amortizes better.
 _LOCKSTEP_MIN_QUERIES = 32
+
+
+def engine_tuning() -> Dict[str, int]:
+    """The live scan/traverse crossover knobs.
+
+    ``scan_max_points`` is the tree size up to which ``engine="auto"``
+    prefers the brute-force scan for uncapped, untraced batches;
+    ``scan_block_elems`` bounds the working-set element count of every
+    blocked engine (scan distance matrices and lockstep stacks alike).
+    Both knobs only affect engine *selection and blocking* — results
+    are bit-identical at any setting.
+    """
+    return {"scan_max_points": _SCAN_MAX_POINTS,
+            "scan_block_elems": _SCAN_BLOCK_ELEMS}
+
+
+def set_engine_tuning(scan_max_points: Optional[int] = None,
+                      scan_block_elems: Optional[int] = None) -> None:
+    """Override the engine crossovers process-wide (validated).
+
+    ``None`` leaves a knob untouched; :func:`reset_engine_tuning`
+    restores the environment/default values.
+    """
+    global _SCAN_MAX_POINTS, _SCAN_BLOCK_ELEMS
+    if scan_max_points is not None:
+        _SCAN_MAX_POINTS = _positive_int("scan_max_points",
+                                         scan_max_points)
+    if scan_block_elems is not None:
+        _SCAN_BLOCK_ELEMS = _positive_int("scan_block_elems",
+                                          scan_block_elems)
+
+
+def reset_engine_tuning() -> None:
+    """Restore the engine crossovers to their env/default values."""
+    global _SCAN_MAX_POINTS, _SCAN_BLOCK_ELEMS
+    _SCAN_MAX_POINTS = _env_tuning("REPRO_SCAN_MAX_POINTS",
+                                   _DEFAULT_SCAN_MAX_POINTS)
+    _SCAN_BLOCK_ELEMS = _env_tuning("REPRO_SCAN_BLOCK_ELEMS",
+                                    _DEFAULT_SCAN_BLOCK_ELEMS)
 
 
 @dataclass(frozen=True)
@@ -289,6 +361,7 @@ class KDTree:
         # traversal) engine.
         self._node_xyz = node_points
         self._node_split = node_points[np.arange(n), self.axis]
+        self._depth_cache: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -323,6 +396,7 @@ class KDTree:
         tree._col_z = points[:, 2]
         tree._node_xyz = node_points
         tree._node_split = node_points[np.arange(n), tree.axis]
+        tree._depth_cache = None
         return tree
 
     def packed_arrays(self):
@@ -510,11 +584,16 @@ class KDTree:
             steps[:] = n
             return BatchQueryResult(indices, distances, counts, steps,
                                     terminated)
-        if (max_steps is not None and not record_traces
-                and n_queries >= _LOCKSTEP_MIN_QUERIES):
-            # Capped, untraced traversal: the lockstep engine advances
-            # every query's stack together with identical semantics.
-            return self._knn_lockstep(queries, k_eff, max_steps)
+        if not record_traces and n_queries >= _LOCKSTEP_MIN_QUERIES:
+            if max_steps is not None:
+                # Capped, untraced traversal: the lockstep engine
+                # advances every query's stack together with identical
+                # semantics.
+                return self._knn_lockstep(queries, k_eff, max_steps)
+            # Uncapped, untraced traversal (the calibration profile
+            # path): lockstep with cap doubling — bit-equal to the
+            # scalar uncapped kernel, including step counts.
+            return self._knn_lockstep_uncapped(queries, k_eff)
         traces: Optional[List[List[int]]] = [] if record_traces else None
         kernel_args = self._kernel_args()
         for qi in range(n_queries):
@@ -684,96 +763,45 @@ class KDTree:
         return BatchQueryResult(indices, distances, counts, steps,
                                 terminated)
 
+    def _knn_lockstep_uncapped(self, queries: np.ndarray,
+                               k: int) -> BatchQueryResult:
+        """Uncapped kNN on the lockstep engine, via cap doubling.
+
+        A DFS pushes each node at most once, so any traversal takes at
+        most ``len(tree)`` steps — a cap of ``n`` can never expire,
+        making the capped lockstep kernel bit-equal to the uncapped
+        scalar search.  Start from a cheap optimistic cap, then rerun
+        only the rows that hit it at double the cap (clamped to ``n``):
+        every surviving row's results and step counts come from a run
+        whose cap never fired, so the final batch is exactly the
+        canonical uncapped traversal.
+        """
+        n = len(self.points)
+        cap = min(n, max(64, 2 * (self.depth() + k)))
+        result = self._knn_lockstep(queries, k, cap)
+        while result.terminated.any() and cap < n:
+            cap = min(n, 2 * cap)
+            redo = np.nonzero(result.terminated)[0]
+            sub = self._knn_lockstep(queries[redo], k, cap)
+            result.indices[redo] = sub.indices
+            result.distances[redo] = sub.distances
+            result.counts[redo] = sub.counts
+            result.steps[redo] = sub.steps
+            result.terminated[redo] = sub.terminated
+        return result
+
+    def _lane_arrays(self):
+        """The packed node arrays in per-lane kernel order."""
+        return (self.axis, self.left, self.right, self.point_index,
+                self._node_xyz, self._node_split)
+
     def _knn_lockstep_block(self, q: np.ndarray, k: int, cap: int,
                             stack_cap: int):
         n_q = len(q)
-        axis_a, left_a, right_a = self.axis, self.left, self.right
-        pidx_a, xyz_a, split_a = (self.point_index, self._node_xyz,
-                                  self._node_split)
-        stack_nodes = np.empty((n_q, stack_cap), dtype=np.int64)
-        stack_d2 = np.empty((n_q, stack_cap), dtype=np.float64)
-        stack_nodes[:, 0] = self.root
-        stack_d2[:, 0] = 0.0
-        sp = np.ones(n_q, dtype=np.int64)
-        steps = np.zeros(n_q, dtype=np.int64)
-        terminated = np.zeros(n_q, dtype=bool)
-        best_d2 = np.full((n_q, k), np.inf, dtype=np.float64)
-        best_idx = np.full((n_q, k), -1, dtype=np.int64)
-        count = np.zeros(n_q, dtype=np.int64)
-        worst = np.full(n_q, np.inf, dtype=np.float64)
-        alive = np.ones(n_q, dtype=bool)
-        i64_max = np.iinfo(np.int64).max
-        while True:
-            act = np.nonzero(alive)[0]
-            if not len(act):
-                break
-            top = sp[act] - 1
-            sp[act] = top
-            nd = stack_nodes[act, top]
-            d2s = stack_d2[act, top]
-            # Prune: the far subtree cannot contain anything closer.
-            keep = d2s <= worst[act]
-            act, nd = act[keep], nd[keep]
-            if len(act):
-                over = steps[act] >= cap
-                if over.any():
-                    expired = act[over]
-                    terminated[expired] = True
-                    alive[expired] = False
-                    act, nd = act[~over], nd[~over]
-            if len(act):
-                steps[act] += 1
-                node_pts = xyz_a[nd]
-                dx = node_pts[:, 0] - q[act, 0]
-                dy = node_pts[:, 1] - q[act, 1]
-                dz = node_pts[:, 2] - q[act, 2]
-                d2 = dx * dx + dy * dy + dz * dz
-                pid = pidx_a[nd]
-                filling = count[act] < k
-                if filling.any():
-                    fill_rows = act[filling]
-                    slot = count[fill_rows]
-                    best_d2[fill_rows, slot] = d2[filling]
-                    best_idx[fill_rows, slot] = pid[filling]
-                    count[fill_rows] = slot + 1
-                    full_now = slot + 1 == k
-                    if full_now.any():
-                        filled = fill_rows[full_now]
-                        worst[filled] = best_d2[filled].max(axis=1)
-                replace = ~filling & (d2 < worst[act])
-                if replace.any():
-                    rep_rows = act[replace]
-                    # Evict the current worst entry; ties by lowest
-                    # point index — the heap's (-d², idx) ordering.
-                    at_worst = best_d2[rep_rows] == worst[rep_rows][:, None]
-                    tie_key = np.where(at_worst, best_idx[rep_rows],
-                                       i64_max)
-                    slot = np.argmin(tie_key, axis=1)
-                    best_d2[rep_rows, slot] = d2[replace]
-                    best_idx[rep_rows, slot] = pid[replace]
-                    worst[rep_rows] = best_d2[rep_rows].max(axis=1)
-                diff = q[act, axis_a[nd]] - split_a[nd]
-                go_left = diff < 0
-                near = np.where(go_left, left_a[nd], right_a[nd])
-                far = np.where(go_left, right_a[nd], left_a[nd])
-                f2 = diff * diff
-                push_far = (far != -1) & (f2 <= worst[act])
-                if push_far.any():
-                    rows = act[push_far]
-                    stack_nodes[rows, sp[rows]] = far[push_far]
-                    stack_d2[rows, sp[rows]] = f2[push_far]
-                    sp[rows] += 1
-                push_near = near != -1
-                if push_near.any():
-                    rows = act[push_near]
-                    stack_nodes[rows, sp[rows]] = near[push_near]
-                    stack_d2[rows, sp[rows]] = 0.0
-                    sp[rows] += 1
-            alive &= sp > 0
-        order = np.lexsort((best_idx, best_d2))
-        indices = np.take_along_axis(best_idx, order, axis=1)
-        distances = np.sqrt(np.take_along_axis(best_d2, order, axis=1))
-        return indices, distances, count, steps, terminated
+        return _knn_lanes_block(
+            self._lane_arrays(), q,
+            np.full(n_q, self.root, dtype=np.int64),
+            np.full(n_q, k, dtype=np.int64), k, cap, stack_cap)
 
     def _range_lockstep(self, queries: np.ndarray, radius: float,
                         cap: int, max_results: Optional[int]):
@@ -818,66 +846,10 @@ class KDTree:
     def _range_lockstep_block(self, q: np.ndarray, radius: float,
                               cap: int, stack_cap: int, hit_cap: int):
         n_q = len(q)
-        axis_a, left_a, right_a = self.axis, self.left, self.right
-        pidx_a, xyz_a, split_a = (self.point_index, self._node_xyz,
-                                  self._node_split)
-        r2 = radius * radius
-        # Range pruning is radius-fixed, so no split-distance stack.
-        stack_nodes = np.empty((n_q, stack_cap), dtype=np.int64)
-        stack_nodes[:, 0] = self.root
-        sp = np.ones(n_q, dtype=np.int64)
-        steps = np.zeros(n_q, dtype=np.int64)
-        terminated = np.zeros(n_q, dtype=bool)
-        hit_d2 = np.full((n_q, hit_cap), np.inf, dtype=np.float64)
-        hit_idx = np.full((n_q, hit_cap), -1, dtype=np.int64)
-        hcount = np.zeros(n_q, dtype=np.int64)
-        alive = np.ones(n_q, dtype=bool)
-        while True:
-            act = np.nonzero(alive)[0]
-            if not len(act):
-                break
-            top = sp[act] - 1
-            sp[act] = top
-            nd = stack_nodes[act, top]
-            over = steps[act] >= cap
-            if over.any():
-                expired = act[over]
-                terminated[expired] = True
-                alive[expired] = False
-                act, nd = act[~over], nd[~over]
-            if len(act):
-                steps[act] += 1
-                node_pts = xyz_a[nd]
-                dx = node_pts[:, 0] - q[act, 0]
-                dy = node_pts[:, 1] - q[act, 1]
-                dz = node_pts[:, 2] - q[act, 2]
-                d2 = dx * dx + dy * dy + dz * dz
-                is_hit = d2 <= r2
-                if is_hit.any():
-                    rows = act[is_hit]
-                    slot = hcount[rows]
-                    hit_d2[rows, slot] = d2[is_hit]
-                    hit_idx[rows, slot] = pidx_a[nd[is_hit]]
-                    hcount[rows] = slot + 1
-                diff = q[act, axis_a[nd]] - split_a[nd]
-                go_left = diff < 0
-                near = np.where(go_left, left_a[nd], right_a[nd])
-                far = np.where(go_left, right_a[nd], left_a[nd])
-                push_far = (far != -1) & (diff * diff <= r2)
-                if push_far.any():
-                    rows = act[push_far]
-                    stack_nodes[rows, sp[rows]] = far[push_far]
-                    sp[rows] += 1
-                push_near = near != -1
-                if push_near.any():
-                    rows = act[push_near]
-                    stack_nodes[rows, sp[rows]] = near[push_near]
-                    sp[rows] += 1
-            alive &= sp > 0
-        order = np.lexsort((hit_idx, hit_d2))
-        indices = np.take_along_axis(hit_idx, order, axis=1)
-        distances = np.sqrt(np.take_along_axis(hit_d2, order, axis=1))
-        return indices, distances, hcount, steps, terminated
+        return _range_lanes_block(
+            self._lane_arrays(), q,
+            np.full(n_q, self.root, dtype=np.int64),
+            radius, cap, stack_cap, hit_cap)
 
     # ------------------------------------------------------------------
     # Profiling helpers
@@ -892,17 +864,20 @@ class KDTree:
         return self.knn_batch(queries, k, engine="traverse").steps
 
     def depth(self) -> int:
-        """Maximum node depth (root = 1)."""
-        best = 0
-        stack = [(self.root, 1)]
-        while stack:
-            node, d = stack.pop()
-            if node == -1:
-                continue
-            best = max(best, d)
-            stack.append((int(self.left[node]), d + 1))
-            stack.append((int(self.right[node]), d + 1))
-        return best
+        """Maximum node depth (root = 1); memoized — trees are
+        immutable once built."""
+        if self._depth_cache is None:
+            best = 0
+            stack = [(self.root, 1)]
+            while stack:
+                node, d = stack.pop()
+                if node == -1:
+                    continue
+                best = max(best, d)
+                stack.append((int(self.left[node]), d + 1))
+                stack.append((int(self.right[node]), d + 1))
+            self._depth_cache = best
+        return self._depth_cache
 
     def _check_query(self, query: np.ndarray) -> np.ndarray:
         query = np.asarray(query, dtype=np.float64)
@@ -919,6 +894,409 @@ class KDTree:
                 f"queries must have shape (Q, 3), got {queries.shape}"
             )
         return queries
+
+
+# ----------------------------------------------------------------------
+# Per-lane lockstep kernels
+# ----------------------------------------------------------------------
+# The lockstep traversal generalised to independent *lanes*: every lane
+# carries its own root node (and, for kNN, its own effective k), so one
+# kernel launch can serve queries against a single tree (all lanes share
+# one root) or against a whole arena of concatenated trees (each lane's
+# root points into its window's node range).  Lanes never interact — the
+# per-lane visit sequence, step counts and termination points replicate
+# the scalar kernels exactly, whatever the roots are.
+
+def _knn_lanes_block(arrays, q: np.ndarray, roots: np.ndarray,
+                     k_lane: np.ndarray, width: int, cap: int,
+                     stack_cap: int):
+    axis_a, left_a, right_a, pidx_a, xyz_a, split_a = arrays
+    n_q = len(q)
+    stack_nodes = np.empty((n_q, stack_cap), dtype=np.int64)
+    stack_d2 = np.empty((n_q, stack_cap), dtype=np.float64)
+    stack_nodes[:, 0] = roots
+    stack_d2[:, 0] = 0.0
+    sp = np.ones(n_q, dtype=np.int64)
+    steps = np.zeros(n_q, dtype=np.int64)
+    terminated = np.zeros(n_q, dtype=bool)
+    best_d2 = np.full((n_q, width), np.inf, dtype=np.float64)
+    best_idx = np.full((n_q, width), -1, dtype=np.int64)
+    # Lanes narrower than the block width (k_lane < width) mask their
+    # padding columns to -inf during traversal: fills stop at k_lane, a
+    # -inf column can never equal `worst` (real squared distances are
+    # >= 0), and the row max over them equals the max over the lane's
+    # real columns — so padding never influences the traversal.  The
+    # columns are reset to +inf before the final sort, which pushes them
+    # past every real entry, exactly where a width-k_lane kernel's
+    # unfilled slots would sit.
+    pad = np.arange(width)[None, :] >= k_lane[:, None]
+    has_pad = bool(pad.any())
+    if has_pad:
+        best_d2[pad] = -np.inf
+    count = np.zeros(n_q, dtype=np.int64)
+    worst = np.full(n_q, np.inf, dtype=np.float64)
+    alive = np.ones(n_q, dtype=bool)
+    i64_max = np.iinfo(np.int64).max
+    while True:
+        act = np.nonzero(alive)[0]
+        if not len(act):
+            break
+        top = sp[act] - 1
+        sp[act] = top
+        nd = stack_nodes[act, top]
+        d2s = stack_d2[act, top]
+        # Prune: the far subtree cannot contain anything closer.
+        keep = d2s <= worst[act]
+        act, nd = act[keep], nd[keep]
+        if len(act):
+            over = steps[act] >= cap
+            if over.any():
+                expired = act[over]
+                terminated[expired] = True
+                alive[expired] = False
+                act, nd = act[~over], nd[~over]
+        if len(act):
+            steps[act] += 1
+            node_pts = xyz_a[nd]
+            dx = node_pts[:, 0] - q[act, 0]
+            dy = node_pts[:, 1] - q[act, 1]
+            dz = node_pts[:, 2] - q[act, 2]
+            d2 = dx * dx + dy * dy + dz * dz
+            pid = pidx_a[nd]
+            filling = count[act] < k_lane[act]
+            if filling.any():
+                fill_rows = act[filling]
+                slot = count[fill_rows]
+                best_d2[fill_rows, slot] = d2[filling]
+                best_idx[fill_rows, slot] = pid[filling]
+                count[fill_rows] = slot + 1
+                full_now = slot + 1 == k_lane[fill_rows]
+                if full_now.any():
+                    filled = fill_rows[full_now]
+                    worst[filled] = best_d2[filled].max(axis=1)
+            replace = ~filling & (d2 < worst[act])
+            if replace.any():
+                rep_rows = act[replace]
+                # Evict the current worst entry; ties by lowest
+                # point index — the heap's (-d², idx) ordering.
+                at_worst = best_d2[rep_rows] == worst[rep_rows][:, None]
+                tie_key = np.where(at_worst, best_idx[rep_rows],
+                                   i64_max)
+                slot = np.argmin(tie_key, axis=1)
+                best_d2[rep_rows, slot] = d2[replace]
+                best_idx[rep_rows, slot] = pid[replace]
+                worst[rep_rows] = best_d2[rep_rows].max(axis=1)
+            diff = q[act, axis_a[nd]] - split_a[nd]
+            go_left = diff < 0
+            near = np.where(go_left, left_a[nd], right_a[nd])
+            far = np.where(go_left, right_a[nd], left_a[nd])
+            f2 = diff * diff
+            push_far = (far != -1) & (f2 <= worst[act])
+            if push_far.any():
+                rows = act[push_far]
+                stack_nodes[rows, sp[rows]] = far[push_far]
+                stack_d2[rows, sp[rows]] = f2[push_far]
+                sp[rows] += 1
+            push_near = near != -1
+            if push_near.any():
+                rows = act[push_near]
+                stack_nodes[rows, sp[rows]] = near[push_near]
+                stack_d2[rows, sp[rows]] = 0.0
+                sp[rows] += 1
+        alive &= sp > 0
+    if has_pad:
+        best_d2[pad] = np.inf
+    order = np.lexsort((best_idx, best_d2))
+    indices = np.take_along_axis(best_idx, order, axis=1)
+    distances = np.sqrt(np.take_along_axis(best_d2, order, axis=1))
+    return indices, distances, count, steps, terminated
+
+
+def _range_lanes_block(arrays, q: np.ndarray, roots: np.ndarray,
+                       radius: float, cap: int, stack_cap: int,
+                       hit_cap: int):
+    axis_a, left_a, right_a, pidx_a, xyz_a, split_a = arrays
+    n_q = len(q)
+    r2 = radius * radius
+    # Range pruning is radius-fixed, so no split-distance stack.
+    stack_nodes = np.empty((n_q, stack_cap), dtype=np.int64)
+    stack_nodes[:, 0] = roots
+    sp = np.ones(n_q, dtype=np.int64)
+    steps = np.zeros(n_q, dtype=np.int64)
+    terminated = np.zeros(n_q, dtype=bool)
+    hit_d2 = np.full((n_q, hit_cap), np.inf, dtype=np.float64)
+    hit_idx = np.full((n_q, hit_cap), -1, dtype=np.int64)
+    hcount = np.zeros(n_q, dtype=np.int64)
+    alive = np.ones(n_q, dtype=bool)
+    while True:
+        act = np.nonzero(alive)[0]
+        if not len(act):
+            break
+        top = sp[act] - 1
+        sp[act] = top
+        nd = stack_nodes[act, top]
+        over = steps[act] >= cap
+        if over.any():
+            expired = act[over]
+            terminated[expired] = True
+            alive[expired] = False
+            act, nd = act[~over], nd[~over]
+        if len(act):
+            steps[act] += 1
+            node_pts = xyz_a[nd]
+            dx = node_pts[:, 0] - q[act, 0]
+            dy = node_pts[:, 1] - q[act, 1]
+            dz = node_pts[:, 2] - q[act, 2]
+            d2 = dx * dx + dy * dy + dz * dz
+            is_hit = d2 <= r2
+            if is_hit.any():
+                rows = act[is_hit]
+                slot = hcount[rows]
+                hit_d2[rows, slot] = d2[is_hit]
+                hit_idx[rows, slot] = pidx_a[nd[is_hit]]
+                hcount[rows] = slot + 1
+            diff = q[act, axis_a[nd]] - split_a[nd]
+            go_left = diff < 0
+            near = np.where(go_left, left_a[nd], right_a[nd])
+            far = np.where(go_left, right_a[nd], left_a[nd])
+            push_far = (far != -1) & (diff * diff <= r2)
+            if push_far.any():
+                rows = act[push_far]
+                stack_nodes[rows, sp[rows]] = far[push_far]
+                sp[rows] += 1
+            push_near = near != -1
+            if push_near.any():
+                rows = act[push_near]
+                stack_nodes[rows, sp[rows]] = near[push_near]
+                sp[rows] += 1
+        alive &= sp > 0
+    order = np.lexsort((hit_idx, hit_d2))
+    indices = np.take_along_axis(hit_idx, order, axis=1)
+    distances = np.sqrt(np.take_along_axis(hit_d2, order, axis=1))
+    return indices, distances, hcount, steps, terminated
+
+
+class TraversalArena:
+    """Several kd-trees fused into one lockstep launch.
+
+    The arena concatenates the packed node arrays of its member trees
+    into contiguous buffers — child links are rebased by each member's
+    node offset (absent ``-1`` links preserved), ``point_index`` stays
+    window-local — and traverses all (query, member) lanes *together*:
+    each lane's stack starts at its member's rebased root, so one numpy
+    advance per iteration serves every member at once instead of one
+    lockstep launch per window.  This is the paper's parallel
+    traversal-unit dispatch, amortized in the interpreter: the fixed
+    numpy cost per iteration is paid once per fused batch, not once per
+    window.
+
+    Lanes are grouped by member: ``knn_fused`` / ``range_fused`` take
+    per-member query counts (``splits``) and return one
+    :class:`BatchQueryResult` per member, **bit-equal** to running that
+    member's queries through its own tree's batch engine with the same
+    parameters — indices, distances, counts, steps and terminated flags
+    alike.  The concatenated layout is exactly what an opt-in compiled
+    kernel (numba / Cython) would consume unchanged.
+
+    Construction gathers the member arrays once (the sources may be
+    zero-copy views over attached shared-memory segments; the gather is
+    the only copy and is linear in total node count).
+    """
+
+    def __init__(self, trees: Sequence[KDTree]) -> None:
+        if not trees:
+            raise ValidationError("an arena needs at least one tree")
+        self.trees = list(trees)
+        sizes = np.array([len(tree) for tree in self.trees],
+                         dtype=np.int64)
+        offsets = np.concatenate(
+            ([0], np.cumsum(sizes)[:-1])).astype(np.int64)
+        self.sizes = sizes
+        self.offsets = offsets
+        self.roots = offsets + np.array(
+            [tree.root for tree in self.trees], dtype=np.int64)
+        self.max_size = int(sizes.max())
+        self.nodes_total = int(sizes.sum())
+        axis = np.concatenate([tree.axis for tree in self.trees])
+        left = np.concatenate(
+            [np.where(tree.left >= 0, tree.left + off, -1)
+             for tree, off in zip(self.trees, offsets)])
+        right = np.concatenate(
+            [np.where(tree.right >= 0, tree.right + off, -1)
+             for tree, off in zip(self.trees, offsets)])
+        pidx = np.concatenate(
+            [tree.point_index for tree in self.trees])
+        xyz = np.concatenate(
+            [tree._node_xyz for tree in self.trees])
+        split = np.concatenate(
+            [tree._node_split for tree in self.trees])
+        self._arrays = (axis, left, right, pidx, xyz, split)
+        self._max_depth: Optional[int] = None
+
+    def max_depth(self) -> int:
+        """Deepest member tree (memoized; members are immutable)."""
+        if self._max_depth is None:
+            self._max_depth = max(tree.depth() for tree in self.trees)
+        return self._max_depth
+
+    def _lane_layout(self, splits) -> np.ndarray:
+        splits = np.asarray(splits, dtype=np.int64)
+        if len(splits) != len(self.trees):
+            raise ValidationError(
+                f"expected one split per member tree "
+                f"({len(self.trees)}), got {len(splits)}")
+        if (splits < 0).any():
+            raise ValidationError("splits must be non-negative")
+        return splits
+
+    def knn_fused(self, queries: np.ndarray, splits, k: int,
+                  max_steps: Optional[int] = None
+                  ) -> List[BatchQueryResult]:
+        """Fused kNN: member *m* serves ``queries`` rows
+        ``sum(splits[:m]) : sum(splits[:m+1])``; one result per member,
+        bit-equal to ``trees[m].knn_batch(rows, k, max_steps=...,
+        engine="traverse")``."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        splits = self._lane_layout(splits)
+        if int(splits.sum()) != len(queries):
+            raise ValidationError(
+                "splits must partition the fused query block")
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        if max_steps is not None and max_steps <= 0:
+            raise ValidationError("max_steps must be positive when given")
+        member_of = np.repeat(np.arange(len(splits)), splits)
+        k_member = np.minimum(int(k), self.sizes)
+        k_lane = k_member[member_of]
+        width = int(k_member.max())
+        if max_steps is not None:
+            out = self._knn_lanes(queries, member_of, k_lane, width,
+                                  int(max_steps))
+        else:
+            # Cap doubling, as in KDTree._knn_lockstep_uncapped: a cap
+            # of max_size can never expire on any lane.
+            cap = min(self.max_size,
+                      max(64, 2 * (self.max_depth() + int(k))))
+            out = self._knn_lanes(queries, member_of, k_lane, width, cap)
+            indices, distances, counts, steps, terminated = out
+            while terminated.any() and cap < self.max_size:
+                cap = min(self.max_size, 2 * cap)
+                redo = np.nonzero(terminated)[0]
+                sub = self._knn_lanes(queries[redo], member_of[redo],
+                                      k_lane[redo], width, cap)
+                (indices[redo], distances[redo], counts[redo],
+                 steps[redo], terminated[redo]) = sub
+        indices, distances, counts, steps, terminated = out
+        results: List[BatchQueryResult] = []
+        start = 0
+        for m, n_rows in enumerate(splits):
+            stop = start + int(n_rows)
+            k_w = int(k_member[m])
+            results.append(BatchQueryResult(
+                indices[start:stop, :k_w].copy(),
+                distances[start:stop, :k_w].copy(),
+                counts[start:stop].copy(), steps[start:stop].copy(),
+                terminated[start:stop].copy()))
+            start = stop
+        return results
+
+    def _knn_lanes(self, queries: np.ndarray, member_of: np.ndarray,
+                   k_lane: np.ndarray, width: int, cap: int):
+        n_queries = len(queries)
+        stack_cap = 2 * min(cap, self.max_size) + 2
+        indices = np.full((n_queries, width), -1, dtype=np.int64)
+        distances = np.full((n_queries, width), np.inf, dtype=np.float64)
+        counts = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        block = max(1, _SCAN_BLOCK_ELEMS // (3 * stack_cap
+                                             + 2 * max(width, 1) + 8))
+        roots = self.roots[member_of]
+        for start in range(0, n_queries, block):
+            stop = min(start + block, n_queries)
+            out = _knn_lanes_block(
+                self._arrays, queries[start:stop], roots[start:stop],
+                k_lane[start:stop], width, cap, stack_cap)
+            (indices[start:stop], distances[start:stop],
+             counts[start:stop], steps[start:stop],
+             terminated[start:stop]) = out
+        return indices, distances, counts, steps, terminated
+
+    def range_fused(self, queries: np.ndarray, splits, radius: float,
+                    max_steps: int,
+                    max_results: Optional[int] = None
+                    ) -> List[BatchQueryResult]:
+        """Fused ball queries; one result per member, bit-equal to
+        ``trees[m].range_batch(rows, radius, max_steps=...,
+        max_results=..., engine="traverse")``.
+
+        ``max_steps`` is required: the capped hit buffer is what bounds
+        the arena's working set (uncapped range queries stay on the
+        per-tree engines).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        splits = self._lane_layout(splits)
+        if int(splits.sum()) != len(queries):
+            raise ValidationError(
+                "splits must partition the fused query block")
+        if radius <= 0:
+            raise ValidationError(
+                f"radius must be positive, got {radius}")
+        if max_steps is None or max_steps <= 0:
+            raise ValidationError(
+                "fused range queries need a positive max_steps")
+        if max_results is not None and max_results <= 0:
+            raise ValidationError("max_results must be positive when given")
+        member_of = np.repeat(np.arange(len(splits)), splits)
+        cap = int(max_steps)
+        n_queries = len(queries)
+        stack_cap = 2 * min(cap, self.max_size) + 2
+        hit_cap = min(cap, self.max_size)
+        block = max(1, _SCAN_BLOCK_ELEMS // (3 * stack_cap
+                                             + 2 * hit_cap + 8))
+        lane_idx = np.full((n_queries, hit_cap), -1, dtype=np.int64)
+        lane_dst = np.full((n_queries, hit_cap), np.inf,
+                           dtype=np.float64)
+        hcount = np.zeros(n_queries, dtype=np.int64)
+        steps = np.zeros(n_queries, dtype=np.int64)
+        terminated = np.zeros(n_queries, dtype=bool)
+        roots = self.roots[member_of]
+        for start in range(0, n_queries, block):
+            stop = min(start + block, n_queries)
+            out = _range_lanes_block(
+                self._arrays, queries[start:stop], roots[start:stop],
+                radius, cap, stack_cap, hit_cap)
+            (lane_idx[start:stop], lane_dst[start:stop],
+             hcount[start:stop], steps[start:stop],
+             terminated[start:stop]) = out
+        results: List[BatchQueryResult] = []
+        start = 0
+        for m, n_rows in enumerate(splits):
+            stop = start + int(n_rows)
+            n_w = int(self.sizes[m])
+            hc = hcount[start:stop]
+            # Per-member output assembly, replicating
+            # KDTree._range_lockstep's sizing exactly.
+            if max_results is not None:
+                counts = np.minimum(hc, max_results)
+                cap_out = min(int(max_results), n_w)
+            else:
+                counts = hc.copy()
+                cap_out = int(counts.max()) if n_rows else 0
+            indices = np.full((int(n_rows), cap_out), -1, dtype=np.int64)
+            distances = np.full((int(n_rows), cap_out), np.inf,
+                                dtype=np.float64)
+            width = min(hit_cap, cap_out)
+            indices[:, :width] = lane_idx[start:stop, :width]
+            distances[:, :width] = lane_dst[start:stop, :width]
+            valid = np.arange(cap_out)[None, :] < counts[:, None]
+            indices[~valid] = -1
+            distances[~valid] = np.inf
+            results.append(BatchQueryResult(
+                indices, distances, counts, steps[start:stop].copy(),
+                terminated[start:stop].copy()))
+            start = stop
+        return results
 
 
 def _smallest_k(dist: np.ndarray, k: int):
@@ -942,13 +1320,17 @@ def _smallest_k(dist: np.ndarray, k: int):
 
 
 def nearest_point_indices(points: np.ndarray, queries: np.ndarray,
-                          block_elems: int = _SCAN_BLOCK_ELEMS
+                          block_elems: Optional[int] = None
                           ) -> np.ndarray:
     """Index of the closest point for every query, in one blocked pass.
 
     Vectorized replacement for per-query ``argmin(norm(points - q))``
     loops; ties resolve to the lowest point index (argmin semantics).
+    ``block_elems`` defaults to the live ``scan_block_elems`` knob
+    (see :func:`engine_tuning`).
     """
+    if block_elems is None:
+        block_elems = _SCAN_BLOCK_ELEMS
     points = np.asarray(points, dtype=np.float64)
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     if points.ndim != 2 or points.shape[1] != 3:

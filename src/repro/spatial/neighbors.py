@@ -44,6 +44,7 @@ from repro.runtime import (
     WeakShardState,
     WindowScheduler,
     WorkUnit,
+    run_fused_unit,
     run_tree_unit,
 )
 from repro.spatial.grid import ChunkGrid, ChunkWindow
@@ -329,7 +330,8 @@ class ChunkedIndex:
                  executor="serial",
                  executor_workers: Optional[int] = None,
                  supervision=None,
-                 pipeline_repair: bool = False) -> None:
+                 pipeline_repair: bool = False,
+                 arena_fusion: bool = True) -> None:
         positions = np.asarray(positions, dtype=np.float64)
         chunk_assignment = np.asarray(chunk_assignment, dtype=np.int64)
         if positions.ndim != 2 or positions.shape[1] != 3:
@@ -351,6 +353,11 @@ class ChunkedIndex:
         #: pool; the scheduler barriers per window via
         #: :meth:`finish_windows`).  Bit-equal either way.
         self.pipeline_repair = pipeline_repair
+        #: Fuse compatible per-window work units into multi-window
+        #: arena launches (:class:`repro.spatial.kdtree.TraversalArena`)
+        #: inside the scheduler.  Bit-equal either way; disable to
+        #: force one lockstep launch per window.
+        self.arena_fusion = arena_fusion
         self._pending_repairs: Dict[int, object] = {}
         self._repair_pool = None
         self._repair_pid: Optional[int] = None
@@ -754,7 +761,8 @@ class ChunkedIndex:
             self._scheduler = WindowScheduler(WeakShardState(self),
                                               self.executor,
                                               self.executor_workers,
-                                              self.supervision)
+                                              self.supervision,
+                                              fusion=self.arena_fusion)
         return self._scheduler
 
     @property
@@ -834,14 +842,25 @@ class ChunkedIndex:
         """
         return not len(self._members[window])
 
-    def run_unit(self, unit: WorkUnit) -> BatchQueryResult:
+    def run_unit(self, unit: WorkUnit):
         """Shard-state protocol: answer one window's work unit.
 
         Runs in executor workers (forked copies of this index included);
         results are window-local — the parent remaps indices through the
-        window's member table when scattering.
+        window's member table when scattering.  Fused arena units carry
+        their member windows in ``params["windows"]`` and come back as
+        one window-local result per member.
         """
+        if unit.kind in ("fused_knn", "fused_range"):
+            trees = [self._tree_for(int(w))
+                     for w in unit.params["windows"]]
+            return run_fused_unit(trees, unit)
         return run_tree_unit(self._tree_for(unit.window), unit)
+
+    def window_size(self, window: int) -> int:
+        """Shard-state protocol (optional): node count of *window*'s
+        tree — the scheduler's arena-bytes accounting hook."""
+        return len(self._members[window])
 
     def shm_export_window(self, window: int):
         """Shard-state protocol: packed tree arrays for the

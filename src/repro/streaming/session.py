@@ -184,6 +184,13 @@ class SessionStats:
     ``overlap_windows`` / ``queue_fallback_units`` total the runtime's
     lifetime counters; ``segments_live`` is the gauge as of the last
     frame.  All zero on backends without shared-memory state.
+
+    Arena-fusion accounting (same absorption path):
+    ``arena_launches`` / ``arena_bytes_viewed`` total the scheduler's
+    fused multi-window traversal launches and the packed node bytes
+    those launches viewed; ``arena_units_fused`` histograms fused group
+    sizes (``{group_size: launches}``).  All zero with
+    ``arena_fusion=False`` or when no batch ever fused.
     """
 
     frames: int = 0
@@ -207,6 +214,9 @@ class SessionStats:
     overlap_windows: int = 0
     queue_fallback_units: int = 0
     segments_live: int = 0
+    arena_launches: int = 0
+    arena_bytes_viewed: int = 0
+    arena_units_fused: Dict[int, int] = field(default_factory=dict)
 
 
 class StreamSession:
@@ -240,6 +250,7 @@ class StreamSession:
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
         self.k = int(k)
+        self.config.apply_engine_tuning()
         self.policy = TerminationPolicy(self.config.termination)
         self.stats = SessionStats()
         self._index: Optional[ChunkedIndex] = None
@@ -630,6 +641,11 @@ class StreamSession:
         self.stats.overlap_windows += delta["overlap_windows"]
         self.stats.queue_fallback_units += delta["queue_fallback_units"]
         self.stats.segments_live = delta["segments_live"]
+        self.stats.arena_launches += delta["arena_launches"]
+        self.stats.arena_bytes_viewed += delta["arena_bytes_viewed"]
+        for size, count in delta["arena_units_fused"].items():
+            self.stats.arena_units_fused[size] = \
+                self.stats.arena_units_fused.get(size, 0) + count
         return delta
 
     def _cache_state(self):
@@ -845,7 +861,8 @@ class StreamSession:
                 executor=self.config.executor,
                 executor_workers=self.config.executor_workers,
                 supervision=self.session_config.supervision(),
-                pipeline_repair=self.session_config.pipeline_repair)
+                pipeline_repair=self.session_config.pipeline_repair,
+                arena_fusion=self.session_config.arena_fusion)
             reused = False
         if self.session_config.reuse_index:
             self._index.result_cache = self._result_cache

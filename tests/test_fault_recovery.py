@@ -39,14 +39,14 @@ BACKENDS = ["serial", "thread", "process", "shm"]
 # ----------------------------------------------------------------------
 # Executor-level fault matrix on a real windowed index
 # ----------------------------------------------------------------------
-def _index(rng, executor="serial", supervision=None, n=200):
+def _index(rng, executor="serial", supervision=None, n=200, **kwargs):
     pts = rng.uniform(0, 1, size=(n, 3))
     grid = ChunkGrid.fit(pts, (4, 4, 1))
     windows = chunk_windows((4, 4, 1), (2, 2, 1))
     assignment = grid.assign(pts)
     index = ChunkedIndex(pts, assignment, windows, executor=executor,
                          executor_workers=WORKERS,
-                         supervision=supervision)
+                         supervision=supervision, **kwargs)
     return index, pts, assignment
 
 
@@ -112,9 +112,15 @@ def test_exact_counter_accounting_process(rng):
         FaultSpec(kind="hang", window=4, duration=30.0),
         FaultSpec(kind="raise", window=6),
     ])
+    # Per-window dispatch: the three specs address three distinct
+    # windows, which arena fusion would collapse onto one unit (a spec
+    # targeting any member matches the whole launch, so the schedule
+    # could no longer fire one fault per spec).  Fused-unit fault
+    # recovery is covered by tests/test_arena_fusion.py.
     index, pts, assignment = _index(
         np.random.default_rng(42), executor=injector.executor("process"),
-        supervision=SupervisionConfig(unit_timeout=1.5))
+        supervision=SupervisionConfig(unit_timeout=1.5),
+        arena_fusion=False)
     got = index.query_knn_batch(pts[::3], assignment[::3], 4,
                                 max_steps=20)
     _assert_batches_equal(got, want)
